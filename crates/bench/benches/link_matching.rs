@@ -1,0 +1,92 @@
+//! Criterion bench of one link-matching hop: the §3.3 mask-refinement
+//! search at a single broker, compared against a full centralized match of
+//! the same event — the per-hop cost Chart 2 accumulates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linkcast::{ContentRouter, EventRouter};
+use linkcast_bench::options_for;
+use linkcast_matching::MatchStats;
+use linkcast_sim::topology39;
+use linkcast_workload::{EventGenerator, SubscriptionGenerator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_link_matching(c: &mut Criterion) {
+    let wconfig = WorkloadConfig::chart2();
+    let schema = wconfig.schema();
+    let mut group = c.benchmark_group("link_matching_hop");
+    group.sample_size(12);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    for subs in [2_000usize, 10_000] {
+        let world = topology39::build().expect("figure 6 builds");
+        let mut router =
+            ContentRouter::new(world.fabric.clone(), schema.clone(), options_for(&wconfig))
+                .unwrap();
+        let generator = SubscriptionGenerator::new(&wconfig, 11);
+        let mut rng = StdRng::seed_from_u64(11);
+        topology39::subscribe_random(&mut router, &world, &generator, subs, &mut rng).unwrap();
+
+        let events_gen = EventGenerator::new(&wconfig, 11);
+        let events: Vec<_> = (0..128).map(|_| events_gen.generate(&mut rng, 0)).collect();
+        let publisher = world.publishers[0].broker;
+        let tree = world.fabric.tree_for(publisher).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("route_at_publisher", subs),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut stats = MatchStats::new();
+                    let mut links = 0usize;
+                    for e in events {
+                        links += router
+                            .route_at(publisher, black_box(e), tree, &mut stats)
+                            .len();
+                    }
+                    links
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("centralized_match", subs),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut stats = MatchStats::new();
+                    let mut matched = 0usize;
+                    for e in events {
+                        matched += router
+                            .centralized_match(publisher, black_box(e), &mut stats)
+                            .len();
+                    }
+                    matched
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_multicast", subs),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut recipients = 0usize;
+                    for e in events {
+                        recipients += router
+                            .publish(publisher, black_box(e))
+                            .unwrap()
+                            .recipients
+                            .len();
+                    }
+                    recipients
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_link_matching);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench of the broker prototype pipeline (the §4.2 "14,000
+//! events/sec" claim): publish-to-delivery through the in-process
+//! connection, full engine loop and outgoing-queue machinery included.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{BrokerConfig, BrokerNode, ClientToBroker};
+use linkcast_types::{Event, SchemaId, SchemaRegistry, Value, ValueKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_broker_pipeline(c: &mut Criterion) {
+    let mut b = NetworkBuilder::new();
+    let b0 = b.add_broker();
+    let subscriber = b.add_client(b0).unwrap();
+    let publisher = b.add_client(b0).unwrap();
+    let fabric = RoutingFabric::new_all_roots(b.build().unwrap()).unwrap();
+    let mut registry = SchemaRegistry::new();
+    registry
+        .register(
+            linkcast_types::EventSchema::builder("trades")
+                .attribute("issue", ValueKind::Str)
+                .attribute("price", ValueKind::Dollar)
+                .attribute("volume", ValueKind::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let registry = Arc::new(registry);
+    let node =
+        BrokerNode::start(BrokerConfig::localhost(b0, fabric, Arc::clone(&registry))).unwrap();
+    let schema = registry.get(SchemaId::new(0)).unwrap().clone();
+
+    let sub_conn = node.open_local();
+    sub_conn.send(&ClientToBroker::Hello {
+        client: subscriber,
+        resume_from: 0,
+    });
+    sub_conn.recv(Duration::from_secs(2)).unwrap();
+    sub_conn.send(&ClientToBroker::Subscribe {
+        schema: SchemaId::new(0),
+        expression: "volume >= 0".into(),
+    });
+    sub_conn.recv(Duration::from_secs(2)).unwrap();
+
+    let pub_conn = node.open_local();
+    pub_conn.send(&ClientToBroker::Hello {
+        client: publisher,
+        resume_from: 0,
+    });
+    pub_conn.recv(Duration::from_secs(2)).unwrap();
+
+    let event = Event::from_values(
+        &schema,
+        [Value::str("IBM"), Value::Dollar(11950), Value::Int(3000)],
+    )
+    .unwrap();
+
+    let batch = 1_000u64;
+    let mut group = c.benchmark_group("broker_pipeline");
+    group.sample_size(12);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(batch));
+    group.bench_function("publish_to_delivery", |b| {
+        b.iter(|| {
+            for _ in 0..batch {
+                pub_conn.send(&ClientToBroker::Publish {
+                    event: event.clone(),
+                });
+            }
+            for _ in 0..batch {
+                sub_conn.recv(Duration::from_secs(10)).expect("delivery");
+            }
+        })
+    });
+    group.finish();
+    node.shutdown();
+}
+
+criterion_group!(benches, bench_broker_pipeline);
+criterion_main!(benches);

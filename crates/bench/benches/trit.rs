@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the trit-vector algebra — the inner loop of every
+//! link-matching step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linkcast_types::{Trit, TritVec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn mixed_vector(len: usize, phase: usize) -> TritVec {
+    (0..len)
+        .map(|i| match (i + phase) % 3 {
+            0 => Trit::No,
+            1 => Trit::Maybe,
+            _ => Trit::Yes,
+        })
+        .collect()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trit_ops");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for len in [8usize, 64, 512] {
+        let a = mixed_vector(len, 0);
+        let b = mixed_vector(len, 1);
+        group.bench_with_input(BenchmarkId::new("alternative", len), &len, |bch, _| {
+            bch.iter(|| black_box(&a).alternative(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", len), &len, |bch, _| {
+            bch.iter(|| black_box(&a).parallel(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("refine", len), &len, |bch, _| {
+            bch.iter(|| black_box(&a).refine(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("absorb_yes", len), &len, |bch, _| {
+            bch.iter(|| black_box(&a).absorb_yes(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("has_maybe", len), &len, |bch, _| {
+            bch.iter(|| black_box(&a).has_maybe())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! **Ablation A5 — locality of interest** (§1/§4.1): "the flooding
+//! technique cannot exploit locality of information requests, i.e., when
+//! clients in a single geographic area are ... likely to have similar
+//! requests for data"; link matching, by contrast, exploits locality.
+//!
+//! Runs the Figure 6 network with the same subscription count twice — once
+//! with per-region value distributions (locality on) and once with a single
+//! global distribution (locality off) — and reports the copies carried by
+//! the intercontinental root links under each protocol.
+//!
+//! Run with: `cargo run --release -p linkcast-bench --bin ablation_locality`
+
+use linkcast::{ContentRouter, FloodingRouter};
+use linkcast_bench::{options_for, print_table};
+use linkcast_sim::{topology39, FloodingSim, LinkMatchingSim, SimConfig, SimReport, Simulation};
+use linkcast_workload::{EventGenerator, SubscriptionGenerator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn intercontinental(report: &SimReport, world: &topology39::Figure6) -> u64 {
+    let roots = [world.brokers[0], world.brokers[13], world.brokers[26]];
+    report
+        .link_loads
+        .iter()
+        .filter(|((from, to), _)| roots.contains(from) && roots.contains(to))
+        .map(|(_, count)| *count)
+        .sum()
+}
+
+fn main() {
+    let subscriptions = 1_000;
+    let events_n = 500;
+    let mut rows = Vec::new();
+    for locality in [true, false] {
+        let mut wconfig = WorkloadConfig::chart1();
+        wconfig.locality = locality;
+        let schema = wconfig.schema();
+        let options = options_for(&wconfig);
+        let world = topology39::build().expect("figure 6 builds");
+        let events = EventGenerator::new(&wconfig, 7);
+        let config = SimConfig::default().with_rate(100.0).with_events(events_n);
+
+        let mut lm =
+            ContentRouter::new(world.fabric.clone(), schema.clone(), options.clone()).unwrap();
+        let generator = SubscriptionGenerator::new(&wconfig, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        topology39::subscribe_random(&mut lm, &world, &generator, subscriptions, &mut rng).unwrap();
+        let lm_report = Simulation::new(
+            &LinkMatchingSim(lm),
+            world.publishers.clone(),
+            &events,
+            config.clone(),
+        )
+        .run();
+
+        let mut fl =
+            FloodingRouter::new(world.fabric.clone(), schema.clone(), options.clone()).unwrap();
+        let generator = SubscriptionGenerator::new(&wconfig, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        topology39::subscribe_random(&mut fl, &world, &generator, subscriptions, &mut rng).unwrap();
+        let fl_report = Simulation::new(
+            &FloodingSim::new(fl, world.fabric.clone()),
+            world.publishers.clone(),
+            &events,
+            config,
+        )
+        .run();
+
+        rows.push((
+            if locality {
+                "regional interests"
+            } else {
+                "global interests"
+            }
+            .to_string(),
+            vec![
+                format!("{}", intercontinental(&lm_report, &world)),
+                format!("{}", intercontinental(&fl_report, &world)),
+                format!("{}", lm_report.broker_messages),
+                format!("{}", fl_report.broker_messages),
+            ],
+        ));
+        eprintln!("locality={locality} done");
+    }
+    print_table(
+        &format!(
+            "Ablation A5: locality of interest ({subscriptions} subscriptions, {events_n} events)"
+        ),
+        "workload",
+        &[
+            "LM intercont. copies",
+            "flood intercont. copies",
+            "LM total copies",
+            "flood total copies",
+        ],
+        &rows,
+    );
+    println!(
+        "\nFlooding carries every event over every link regardless of who wants\n\
+         what — its columns do not move. Link matching's intercontinental (and\n\
+         total) traffic drops when interests are regional: the protocol exploits\n\
+         locality, exactly the paper's claim."
+    );
+}

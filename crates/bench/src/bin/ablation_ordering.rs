@@ -1,0 +1,142 @@
+//! **Ablation A1 — attribute ordering** (§2): "performance seems to be
+//! better if the attributes near the root are chosen to have the fewest
+//! number of subscriptions labeled with a `*`."
+//!
+//! Sweeps the ordering policy crossed with trivial test elimination (§2.1
+//! optimization 2) on a workload where half the attributes are almost
+//! always `*` and half are almost always constrained. The interesting,
+//! honest finding: the fewest-stars-first heuristic *partitions* the
+//! subscription set early (more sharing lost, more nodes), so **without**
+//! star-chain skipping it can lose to the opposite order; combined with
+//! trivial test elimination — as in the paper's implementation — it is the
+//! clear winner.
+//!
+//! Run with: `cargo run --release -p linkcast-bench --bin ablation_ordering`
+
+use linkcast_bench::print_table;
+use linkcast_matching::{MatchStats, Matcher, OrderPolicy, Pst, PstOptions};
+use linkcast_types::{
+    AttrTest, BrokerId, ClientId, Event, EventSchema, Predicate, SubscriberId, Subscription,
+    SubscriptionId, Value, ValueKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ATTRS: usize = 8;
+const VALUES: i64 = 8;
+
+fn main() {
+    let mut b = EventSchema::builder("skewed");
+    for i in 0..ATTRS {
+        b = b.attribute_with_domain(format!("a{i}"), ValueKind::Int, (0..VALUES).map(Value::Int));
+    }
+    let schema = b.build().unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    // Even attributes: almost always don't-care. Odd: almost always
+    // constrained.
+    let probs: Vec<f64> = (0..ATTRS)
+        .map(|a| if a % 2 == 0 { 0.03 } else { 0.85 })
+        .collect();
+    let subs: Vec<Subscription> = (0..5_000)
+        .map(|i| {
+            let tests: Vec<AttrTest> = (0..ATTRS)
+                .map(|a| {
+                    if rng.random_bool(probs[a]) {
+                        AttrTest::Eq(Value::Int(rng.random_range(0..VALUES)))
+                    } else {
+                        AttrTest::Any
+                    }
+                })
+                .collect();
+            Subscription::new(
+                SubscriptionId::new(i),
+                SubscriberId::new(BrokerId::new(0), ClientId::new(i)),
+                Predicate::from_tests(&schema, tests).unwrap(),
+            )
+        })
+        .collect();
+    let events: Vec<Event> = (0..2_000)
+        .map(|_| {
+            Event::from_values(
+                &schema,
+                (0..ATTRS).map(|_| Value::Int(rng.random_range(0..VALUES))),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Derive the heuristic order and its exact reverse from the actual
+    // star statistics.
+    let mut stars = [0usize; ATTRS];
+    for s in &subs {
+        for (i, t) in s.predicate().tests().iter().enumerate() {
+            if t.is_wildcard() {
+                stars[i] += 1;
+            }
+        }
+    }
+    let mut fewest: Vec<usize> = (0..ATTRS).collect();
+    fewest.sort_by_key(|&a| stars[a]);
+    let most: Vec<usize> = fewest.iter().rev().copied().collect();
+
+    let configs: Vec<(&str, OrderPolicy, bool)> = vec![
+        ("schema order", OrderPolicy::Schema, false),
+        ("schema order + TTE", OrderPolicy::Schema, true),
+        (
+            "fewest-stars-first",
+            OrderPolicy::Explicit(fewest.clone()),
+            false,
+        ),
+        (
+            "fewest-stars-first + TTE (paper)",
+            OrderPolicy::Explicit(fewest),
+            true,
+        ),
+        (
+            "most-stars-first",
+            OrderPolicy::Explicit(most.clone()),
+            false,
+        ),
+        ("most-stars-first + TTE", OrderPolicy::Explicit(most), true),
+    ];
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<Vec<SubscriptionId>>> = None;
+    for (name, order, tte) in configs {
+        let pst = Pst::build(
+            schema.clone(),
+            subs.iter().cloned(),
+            PstOptions::default()
+                .with_order(order)
+                .with_trivial_test_elimination(tte),
+        )
+        .unwrap();
+        let mut stats = MatchStats::new();
+        let results: Vec<_> = events
+            .iter()
+            .map(|e| pst.matches_with_stats(e, &mut stats))
+            .collect();
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(r, &results, "configurations must agree on matches"),
+        }
+        rows.push((
+            name.to_string(),
+            vec![
+                format!("{:.1}", stats.steps as f64 / stats.events as f64),
+                format!("{}", pst.node_count()),
+            ],
+        ));
+    }
+    print_table(
+        "Ablation A1: attribute ordering x trivial test elimination (5,000 subscriptions)",
+        "configuration",
+        &["steps/event", "tree nodes"],
+        &rows,
+    );
+    println!(
+        "\nPaper heuristic (fewest `*` near the root) + trivial test elimination is\n\
+         the winning configuration. Note the interaction: early partitioning by\n\
+         selective attributes duplicates `*`-chains across subtrees, so the\n\
+         heuristic *needs* chain skipping to pay off."
+    );
+}

@@ -1,0 +1,111 @@
+//! **Chart 2 — Matching time**: "the cumulative processing time taken by
+//! the link matching algorithm and the centralized (non-trit) matching
+//! algorithm", measured in *matching steps* ("the visitation of a single
+//! node in the matching tree"), bucketed by how many hops an event traveled
+//! from publishing broker to subscriber.
+//!
+//! Paper setup (§4.1): 10 attributes (3 factored), 3 values each; non-`*`
+//! probability 0.98 decaying ×0.82; 1000 events; subscriptions 2000–10000.
+//! Expected shape: "the cumulative matching steps for up to four hops using
+//! the link matching algorithm is not more than the number of matching
+//! steps taken by the centralized algorithm".
+//!
+//! Run with: `cargo run --release -p linkcast-bench --bin chart2_matching_steps`
+
+use std::collections::HashMap;
+
+use linkcast::{ContentRouter, EventRouter};
+use linkcast_bench::{options_for, print_table};
+use linkcast_matching::MatchStats;
+use linkcast_sim::topology39;
+use linkcast_workload::{EventGenerator, SubscriptionGenerator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_HOPS: usize = 6;
+
+fn main() {
+    let wconfig = WorkloadConfig::chart2();
+    let schema = wconfig.schema();
+    let options = options_for(&wconfig);
+
+    let sub_counts = [2000usize, 4000, 6000, 8000, 10000];
+    let mut rows = Vec::new();
+    for &subs in &sub_counts {
+        let world = topology39::build().expect("figure 6 builds");
+        let network = world.fabric.network();
+        let mut router =
+            ContentRouter::new(world.fabric.clone(), schema.clone(), options.clone()).unwrap();
+        let generator = SubscriptionGenerator::new(&wconfig, 11);
+        let mut rng = StdRng::seed_from_u64(11);
+        topology39::subscribe_random(&mut router, &world, &generator, subs, &mut rng).unwrap();
+
+        let events = EventGenerator::new(&wconfig, 11);
+        // Per hop count 1..=6: (deliveries, cumulative steps along the
+        // publisher-to-subscriber path).
+        let mut by_hops: Vec<(u64, u64)> = vec![(0, 0); MAX_HOPS + 1];
+        let mut centralized = MatchStats::new();
+        for i in 0..1000 {
+            let publisher = world.publishers[i % world.publishers.len()];
+            let event = events.generate(&mut rng, publisher.region);
+            let delivery = router.publish(publisher.broker, &event).unwrap();
+            let tree_id = world.fabric.tree_for(publisher.broker).unwrap();
+            let tree = world.fabric.forest().tree(tree_id).unwrap();
+            let steps_of: HashMap<_, _> = delivery
+                .per_hop
+                .iter()
+                .map(|h| (h.broker, h.steps))
+                .collect();
+            for client in &delivery.recipients {
+                let home = network.home_broker(*client).unwrap();
+                let path = tree
+                    .path_down(publisher.broker, home)
+                    .expect("recipients are downstream of the publisher");
+                let hops = path.len() - 1;
+                let path_steps: u64 = path
+                    .iter()
+                    .map(|b| steps_of.get(b).copied().unwrap_or(0))
+                    .sum();
+                let bucket = hops.clamp(1, MAX_HOPS);
+                by_hops[bucket].0 += 1;
+                by_hops[bucket].1 += path_steps;
+            }
+            router.centralized_match(publisher.broker, &event, &mut centralized);
+        }
+
+        let mut cells = Vec::new();
+        for &(n, steps) in by_hops.iter().take(MAX_HOPS + 1).skip(1) {
+            cells.push(if n == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}", steps as f64 / n as f64)
+            });
+        }
+        cells.push(format!(
+            "{:.0}",
+            centralized.steps as f64 / centralized.events as f64
+        ));
+        rows.push((subs.to_string(), cells));
+        eprintln!("subs={subs} done");
+    }
+
+    print_table(
+        "Chart 2: average matching steps per delivered event (Figure 6 network)",
+        "subscriptions",
+        &[
+            "LM 1 hop",
+            "LM 2 hops",
+            "LM 3 hops",
+            "LM 4 hops",
+            "LM 5 hops",
+            "LM 6 hops",
+            "centralized",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper: cumulative link-matching steps up to ~4 hops stay at or below one\n\
+         centralized match; longer paths cost more steps but the extra processing\n\
+         (microseconds) is dwarfed by WAN latency (tens of milliseconds)."
+    );
+}

@@ -1,0 +1,829 @@
+//! The broker node: connection manager, protocol state machine, and
+//! lifecycle.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use linkcast::{LinkTarget, RoutingFabric, TreeId};
+use linkcast_matching::{MatchStats, PstOptions};
+use linkcast_types::{
+    BrokerId, ClientId, Event, SchemaRegistry, SubscriberId, Subscription, SubscriptionId,
+};
+
+use crate::engine::MatchingEngine;
+use crate::log::EventLog;
+use crate::outbox::{ConnId, Outbox, Sink};
+use crate::protocol::{BrokerToBroker, BrokerToClient, ClientToBroker};
+use crate::tcp;
+
+/// Configuration of one broker node.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// This broker's identity in the topology.
+    pub broker: BrokerId,
+    /// Shared topology + spanning trees (identical on every node).
+    pub fabric: Arc<RoutingFabric>,
+    /// Information spaces served.
+    pub registry: Arc<SchemaRegistry>,
+    /// PST options for the matching engine.
+    pub options: PstOptions,
+    /// Listen address; use port 0 to let the OS pick.
+    pub listen: SocketAddr,
+    /// Size of the sending-thread pool.
+    pub sender_threads: usize,
+    /// Garbage-collection period for client event logs.
+    pub gc_interval: Duration,
+    /// Maximum retained entries per client log (older unacknowledged
+    /// entries are dropped and counted as lost).
+    pub log_bound: usize,
+    /// How long a disconnected client's log is retained before the garbage
+    /// collector reclaims it entirely. A client reconnecting later starts a
+    /// fresh session (sequence numbers restart).
+    pub client_ttl: Duration,
+}
+
+impl BrokerConfig {
+    /// A localhost configuration with OS-assigned port and default tuning.
+    pub fn localhost(
+        broker: BrokerId,
+        fabric: Arc<RoutingFabric>,
+        registry: Arc<SchemaRegistry>,
+    ) -> Self {
+        BrokerConfig {
+            broker,
+            fabric,
+            registry,
+            options: PstOptions::default(),
+            listen: "127.0.0.1:0".parse().expect("valid literal address"),
+            sender_threads: 2,
+            gc_interval: Duration::from_millis(250),
+            log_bound: 4096,
+            client_ttl: Duration::from_secs(3600),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a broker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Events published by local clients.
+    pub published: u64,
+    /// Event copies forwarded to neighbor brokers.
+    pub forwarded: u64,
+    /// Events appended to local client logs (deliveries).
+    pub delivered: u64,
+    /// Protocol errors answered with `Error` frames.
+    pub errors: u64,
+    /// Currently registered subscriptions (network-wide view).
+    pub subscriptions: usize,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    published: AtomicU64,
+    forwarded: AtomicU64,
+    delivered: AtomicU64,
+    errors: AtomicU64,
+    subscriptions: AtomicUsize,
+}
+
+pub(crate) enum Command {
+    /// A frame payload (length prefix stripped) from a connection.
+    Frame(ConnId, Bytes),
+    /// The dialing side knows which neighbor it reached.
+    DialedNeighbor(ConnId, BrokerId),
+    /// A connection died (reader EOF/error or writer failure).
+    Disconnected(ConnId),
+    /// Periodic garbage collection of client logs.
+    GcTick,
+    /// Stop the engine loop.
+    Shutdown,
+}
+
+enum Peer {
+    Client(ClientId),
+    Broker(BrokerId),
+}
+
+struct ClientState {
+    conn: Option<ConnId>,
+    log: EventLog,
+    /// When the client's connection dropped (None while connected).
+    disconnected_at: Option<std::time::Instant>,
+}
+
+/// A running broker node (also its handle: inspect stats, connect
+/// neighbors, open local connections, shut down).
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use linkcast::{NetworkBuilder, RoutingFabric};
+/// use linkcast_types::{EventSchema, SchemaRegistry, ValueKind};
+/// use linkcast_broker::{BrokerConfig, BrokerNode};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetworkBuilder::new();
+/// let b0 = b.add_broker();
+/// let _client = b.add_client(b0)?;
+/// let fabric = RoutingFabric::new_all_roots(b.build()?)?;
+/// let mut registry = SchemaRegistry::new();
+/// registry.register(
+///     EventSchema::builder("trades")
+///         .attribute("issue", ValueKind::Str)
+///         .build()?,
+/// )?;
+/// let node = BrokerNode::start(BrokerConfig::localhost(b0, fabric, Arc::new(registry)))?;
+/// println!("listening on {}", node.addr());
+/// node.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct BrokerNode {
+    broker: BrokerId,
+    addr: SocketAddr,
+    registry: Arc<SchemaRegistry>,
+    cmd_tx: Sender<Command>,
+    outbox: Arc<Outbox>,
+    stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+    next_conn: Arc<AtomicU64>,
+    engine_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BrokerNode {
+    /// Starts the node: binds the listener, spawns the engine loop, the
+    /// sender pool, the acceptor, and the GC ticker.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding, or engine construction errors (boxed).
+    pub fn start(config: BrokerConfig) -> Result<BrokerNode, Box<dyn std::error::Error>> {
+        let listener = TcpListener::bind(config.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (dead_tx, dead_rx) = unbounded::<ConnId>();
+        let outbox = Outbox::new(config.sender_threads.max(1), dead_tx);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let next_conn = Arc::new(AtomicU64::new(1));
+
+        // Forward writer deaths into the command stream.
+        {
+            let cmd_tx = cmd_tx.clone();
+            std::thread::Builder::new()
+                .name("dead-conn-fwd".into())
+                .spawn(move || {
+                    for conn in dead_rx.iter() {
+                        if cmd_tx.send(Command::Disconnected(conn)).is_err() {
+                            break;
+                        }
+                    }
+                })?;
+        }
+
+        // GC ticker.
+        {
+            let cmd_tx = cmd_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let interval = config.gc_interval;
+            std::thread::Builder::new()
+                .name("gc-ticker".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        std::thread::sleep(interval);
+                        if cmd_tx.send(Command::GcTick).is_err() {
+                            break;
+                        }
+                    }
+                })?;
+        }
+
+        // Acceptor.
+        tcp::spawn_acceptor(
+            listener,
+            cmd_tx.clone(),
+            Arc::clone(&outbox),
+            Arc::clone(&next_conn),
+            Arc::clone(&shutdown),
+        )?;
+
+        // Engine loop.
+        let engine = MatchingEngine::new(
+            config.broker,
+            &config.fabric,
+            Arc::clone(&config.registry),
+            config.options.clone(),
+        )?;
+        let engine_thread = {
+            let outbox = Arc::clone(&outbox);
+            let stats = Arc::clone(&stats);
+            let config2 = config.clone();
+            std::thread::Builder::new()
+                .name(format!("broker-{}", config.broker))
+                .spawn(move || {
+                    EngineLoop {
+                        config: config2,
+                        engine,
+                        outbox,
+                        stats,
+                        conns: HashMap::new(),
+                        clients: HashMap::new(),
+                        neighbors: HashMap::new(),
+                        sub_counter: 0,
+                    }
+                    .run(cmd_rx)
+                })?
+        };
+
+        Ok(BrokerNode {
+            broker: config.broker,
+            addr,
+            registry: config.registry,
+            cmd_tx,
+            outbox,
+            stats,
+            shutdown,
+            next_conn,
+            engine_thread: Some(engine_thread),
+        })
+    }
+
+    /// This broker's id.
+    pub fn broker(&self) -> BrokerId {
+        self.broker
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The information spaces served.
+    pub fn registry(&self) -> &Arc<SchemaRegistry> {
+        &self.registry
+    }
+
+    /// Dials a neighbor broker and performs the broker-protocol handshake.
+    /// Call once per topology link (one side suffices; conventionally the
+    /// higher-id broker dials).
+    ///
+    /// # Errors
+    ///
+    /// Connection I/O errors.
+    pub fn connect_to(&self, neighbor: BrokerId, addr: SocketAddr) -> std::io::Result<()> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let reader = stream.try_clone()?;
+        self.outbox.register(conn, Sink::Tcp(stream));
+        let _ = self.cmd_tx.send(Command::DialedNeighbor(conn, neighbor));
+        self.outbox.send(
+            conn,
+            BrokerToBroker::Hello {
+                broker: self.broker,
+            }
+            .encode(),
+        );
+        tcp::spawn_reader(
+            reader,
+            conn,
+            self.cmd_tx.clone(),
+            Arc::clone(&self.shutdown),
+        );
+        Ok(())
+    }
+
+    /// Like [`BrokerNode::connect_to`], but supervised: if the link drops
+    /// (or the first dial fails), a background thread redials with
+    /// exponential backoff until the node shuts down. On every
+    /// (re-)establishment both sides resync their full subscription sets,
+    /// so a restarted neighbor catches up on missed control traffic.
+    ///
+    /// Events routed toward the neighbor while the link is down are dropped
+    /// (no spooling across broker links, matching the prototype's scope).
+    pub fn connect_to_persistent(&self, neighbor: BrokerId, addr: SocketAddr) {
+        let cmd_tx = self.cmd_tx.clone();
+        let outbox = Arc::clone(&self.outbox);
+        let next_conn = Arc::clone(&self.next_conn);
+        let shutdown = Arc::clone(&self.shutdown);
+        let me = self.broker;
+        let _ = std::thread::Builder::new()
+            .name(format!("link-{me}-{neighbor}"))
+            .spawn(move || {
+                let mut backoff = Duration::from_millis(50);
+                while !shutdown.load(Ordering::Acquire) {
+                    let Ok(stream) = std::net::TcpStream::connect(addr) else {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(2));
+                        continue;
+                    };
+                    if stream.set_nodelay(true).is_err()
+                        || stream
+                            .set_read_timeout(Some(Duration::from_millis(200)))
+                            .is_err()
+                    {
+                        continue;
+                    }
+                    let Ok(mut reader) = stream.try_clone() else {
+                        continue;
+                    };
+                    let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+                    outbox.register(conn, crate::outbox::Sink::Tcp(stream));
+                    if cmd_tx
+                        .send(Command::DialedNeighbor(conn, neighbor))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    outbox.send(conn, BrokerToBroker::Hello { broker: me }.encode());
+                    backoff = Duration::from_millis(50);
+                    // Inline read loop; on link death, fall through to redial.
+                    loop {
+                        if shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        match crate::tcp::read_frame(&mut reader) {
+                            Ok(Some(payload)) => {
+                                if cmd_tx.send(Command::Frame(conn, payload)).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) => continue,
+                            Err(_) => {
+                                let _ = cmd_tx.send(Command::Disconnected(conn));
+                                break;
+                            }
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                }
+            });
+    }
+
+    /// Opens an in-process connection (bypassing TCP). The returned pair is
+    /// a sender for client frames and a receiver of broker frames — used by
+    /// tests and the throughput benchmark.
+    pub fn open_local(&self) -> LocalConn {
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded::<Bytes>();
+        self.outbox.register(conn, Sink::Chan(tx));
+        LocalConn {
+            conn,
+            cmd_tx: self.cmd_tx.clone(),
+            rx,
+            registry: Arc::clone(&self.registry),
+        }
+    }
+
+    /// A snapshot of the broker's counters.
+    pub fn stats(&self) -> BrokerStats {
+        BrokerStats {
+            published: self.stats.published.load(Ordering::Relaxed),
+            forwarded: self.stats.forwarded.load(Ordering::Relaxed),
+            delivered: self.stats.delivered.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            subscriptions: self.stats.subscriptions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the node: the engine loop exits, the acceptor stops, reader
+    /// threads wind down at their next poll.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+        // Close every connection (peers see EOF and can react, e.g. a
+        // supervised link redials) and wind the sender pool down.
+        self.outbox.close();
+    }
+}
+
+impl Drop for BrokerNode {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for BrokerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerNode")
+            .field("broker", &self.broker)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An in-process connection to a broker (see [`BrokerNode::open_local`]).
+pub struct LocalConn {
+    conn: ConnId,
+    cmd_tx: Sender<Command>,
+    rx: Receiver<Bytes>,
+    registry: Arc<SchemaRegistry>,
+}
+
+impl LocalConn {
+    /// Sends a client-protocol message to the broker.
+    pub fn send(&self, message: &ClientToBroker) {
+        let frame = message.encode();
+        // The engine expects the payload without the length prefix.
+        let payload = frame.slice(4..);
+        let _ = self.cmd_tx.send(Command::Frame(self.conn, payload));
+    }
+
+    /// Receives the next broker-protocol message, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ClientError`] on timeout or malformed frames.
+    pub fn recv(&self, timeout: Duration) -> Result<BrokerToClient, crate::ClientError> {
+        let frame = self
+            .rx
+            .recv_timeout(timeout)
+            .map_err(|_| crate::ClientError::Timeout)?;
+        let payload = frame.slice(4..);
+        BrokerToClient::decode(payload, &self.registry)
+            .map_err(|e| crate::ClientError::Protocol(e.to_string()))
+    }
+}
+
+impl Drop for LocalConn {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Command::Disconnected(self.conn));
+    }
+}
+
+struct EngineLoop {
+    config: BrokerConfig,
+    engine: MatchingEngine,
+    outbox: Arc<Outbox>,
+    stats: Arc<StatsInner>,
+    conns: HashMap<ConnId, Peer>,
+    clients: HashMap<ClientId, ClientState>,
+    neighbors: HashMap<BrokerId, ConnId>,
+    sub_counter: u32,
+}
+
+impl EngineLoop {
+    fn run(mut self, cmd_rx: Receiver<Command>) {
+        for command in cmd_rx.iter() {
+            match command {
+                Command::Frame(conn, payload) => self.handle_frame(conn, payload),
+                Command::DialedNeighbor(conn, neighbor) => {
+                    self.conns.insert(conn, Peer::Broker(neighbor));
+                    self.neighbors.insert(neighbor, conn);
+                    self.resync_subscriptions(conn);
+                }
+                Command::Disconnected(conn) => self.handle_disconnect(conn),
+                Command::GcTick => self.collect_garbage(),
+                Command::Shutdown => break,
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, conn: ConnId, payload: Bytes) {
+        let Some(&tag) = payload.first() else {
+            return;
+        };
+        if tag < 0x10 {
+            match ClientToBroker::decode(payload, &self.config.registry) {
+                Ok(msg) => self.handle_client(conn, msg),
+                Err(e) => self.client_error(conn, e.to_string()),
+            }
+        } else if (0x21..=0x2f).contains(&tag) {
+            match BrokerToBroker::decode(payload, &self.config.registry) {
+                Ok(msg) => self.handle_broker(conn, msg),
+                Err(_) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            self.client_error(conn, format!("unexpected message tag {tag:#x}"));
+        }
+    }
+
+    fn handle_client(&mut self, conn: ConnId, message: ClientToBroker) {
+        match message {
+            ClientToBroker::Hello {
+                client,
+                resume_from,
+            } => {
+                let home = self.config.fabric.network().home_broker(client);
+                if home != Some(self.config.broker) {
+                    self.client_error(
+                        conn,
+                        format!(
+                            "client {client} is not homed at broker {}",
+                            self.config.broker
+                        ),
+                    );
+                    return;
+                }
+                self.conns.insert(conn, Peer::Client(client));
+                let state = self.clients.entry(client).or_insert_with(|| ClientState {
+                    conn: None,
+                    log: EventLog::new(),
+                    disconnected_at: None,
+                });
+                state.conn = Some(conn);
+                state.disconnected_at = None;
+                state.log.ack(resume_from);
+                let acked = state.log.acked();
+                self.outbox.send(
+                    conn,
+                    BrokerToClient::Welcome {
+                        client,
+                        resume_from: acked,
+                    }
+                    .encode(),
+                );
+                // Replay what the client missed while disconnected.
+                let frames: Vec<Bytes> = state
+                    .log
+                    .replay_after(acked)
+                    .map(|(seq, event)| {
+                        BrokerToClient::Deliver {
+                            seq,
+                            event: event.clone(),
+                        }
+                        .encode()
+                    })
+                    .collect();
+                for frame in frames {
+                    self.outbox.send(conn, frame);
+                }
+            }
+            ClientToBroker::Subscribe { schema, expression } => {
+                let Some(client) = self.client_of(conn) else {
+                    self.client_error(conn, "subscribe before hello".into());
+                    return;
+                };
+                let predicate = match self.engine.parse_subscription(schema, &expression) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.client_error(conn, e.to_string());
+                        return;
+                    }
+                };
+                // Globally unique id: 12 bits of broker, 20 bits of
+                // per-broker counter.
+                if self.sub_counter >= 1 << 20 {
+                    self.client_error(conn, "subscription id space exhausted".into());
+                    return;
+                }
+                let id = SubscriptionId::new((self.config.broker.raw() << 20) | self.sub_counter);
+                self.sub_counter += 1;
+                let subscription =
+                    Subscription::new(id, SubscriberId::new(self.config.broker, client), predicate);
+                match self.engine.subscribe(schema, subscription.clone()) {
+                    Ok(()) => {
+                        self.stats
+                            .subscriptions
+                            .store(self.engine.subscription_count(), Ordering::Relaxed);
+                        self.outbox
+                            .send(conn, BrokerToClient::SubAck { id }.encode());
+                        // Control plane: flood to every neighbor.
+                        self.flood_broker_message(
+                            &BrokerToBroker::SubAdd {
+                                schema,
+                                subscription,
+                            },
+                            None,
+                        );
+                    }
+                    Err(e) => self.client_error(conn, e.to_string()),
+                }
+            }
+            ClientToBroker::Unsubscribe { id } => {
+                let Some(client) = self.client_of(conn) else {
+                    self.client_error(conn, "unsubscribe before hello".into());
+                    return;
+                };
+                let owned = self
+                    .engine
+                    .subscription(id)
+                    .is_some_and(|s| s.subscriber().client == client);
+                if !owned {
+                    self.client_error(conn, format!("subscription {id} is not yours"));
+                    return;
+                }
+                self.engine.unsubscribe(id);
+                self.stats
+                    .subscriptions
+                    .store(self.engine.subscription_count(), Ordering::Relaxed);
+                self.outbox
+                    .send(conn, BrokerToClient::UnsubAck { id }.encode());
+                self.flood_broker_message(&BrokerToBroker::SubRemove { id }, None);
+            }
+            ClientToBroker::Publish { event } => {
+                if self.client_of(conn).is_none() {
+                    self.client_error(conn, "publish before hello".into());
+                    return;
+                }
+                let tree = match self.config.fabric.tree_for(self.config.broker) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.client_error(conn, e.to_string());
+                        return;
+                    }
+                };
+                self.stats.published.fetch_add(1, Ordering::Relaxed);
+                self.route_and_dispatch(event, tree);
+            }
+            ClientToBroker::Ack { seq } => {
+                if let Some(client) = self.client_of(conn) {
+                    if let Some(state) = self.clients.get_mut(&client) {
+                        state.log.ack(seq);
+                    }
+                }
+            }
+            ClientToBroker::StatsRequest => {
+                self.outbox.send(
+                    conn,
+                    BrokerToClient::Stats {
+                        published: self.stats.published.load(Ordering::Relaxed),
+                        forwarded: self.stats.forwarded.load(Ordering::Relaxed),
+                        delivered: self.stats.delivered.load(Ordering::Relaxed),
+                        errors: self.stats.errors.load(Ordering::Relaxed),
+                        subscriptions: self.engine.subscription_count() as u64,
+                    }
+                    .encode(),
+                );
+            }
+        }
+    }
+
+    fn handle_broker(&mut self, conn: ConnId, message: BrokerToBroker) {
+        match message {
+            BrokerToBroker::Hello { broker } => {
+                self.conns.insert(conn, Peer::Broker(broker));
+                self.neighbors.insert(broker, conn);
+                // Anti-entropy: a (re-)connecting neighbor may have missed
+                // subscription traffic (e.g. it restarted); replay the full
+                // set. Duplicates are dropped by the flood dedup.
+                self.resync_subscriptions(conn);
+            }
+            BrokerToBroker::Forward { tree, event } => {
+                self.route_and_dispatch(event, tree);
+            }
+            BrokerToBroker::SubAdd {
+                schema,
+                subscription,
+            } => {
+                if self.engine.knows(subscription.id()) {
+                    return; // flood dedup on cyclic broker graphs
+                }
+                let id = subscription.id();
+                if self.engine.subscribe(schema, subscription.clone()).is_ok() {
+                    self.stats
+                        .subscriptions
+                        .store(self.engine.subscription_count(), Ordering::Relaxed);
+                    self.flood_broker_message(
+                        &BrokerToBroker::SubAdd {
+                            schema,
+                            subscription,
+                        },
+                        Some(conn),
+                    );
+                } else {
+                    debug_assert!(false, "replicated subscription {id} failed to install");
+                }
+            }
+            BrokerToBroker::SubRemove { id } => {
+                if self.engine.unsubscribe(id) {
+                    self.stats
+                        .subscriptions
+                        .store(self.engine.subscription_count(), Ordering::Relaxed);
+                    self.flood_broker_message(&BrokerToBroker::SubRemove { id }, Some(conn));
+                }
+            }
+        }
+    }
+
+    /// Link matching plus dispatch: forward to neighbor brokers, append to
+    /// local client logs (and push to connected clients).
+    fn route_and_dispatch(&mut self, event: Event, tree: TreeId) {
+        let mut stats = MatchStats::new();
+        let links = self.engine.route(&event, tree, &mut stats);
+        let network = self.config.fabric.network();
+        for link in links {
+            match network.link_target(self.config.broker, link) {
+                LinkTarget::Broker(neighbor) => {
+                    if let Some(&conn) = self.neighbors.get(&neighbor) {
+                        self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                        self.outbox.send(
+                            conn,
+                            BrokerToBroker::Forward {
+                                tree,
+                                event: event.clone(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    // An unconnected neighbor is a partition: the event is
+                    // dropped for that subtree (no spooling across broker
+                    // links in this prototype).
+                }
+                LinkTarget::Client(client) => {
+                    let state = self.clients.entry(client).or_insert_with(|| ClientState {
+                        conn: None,
+                        log: EventLog::new(),
+                        disconnected_at: Some(std::time::Instant::now()),
+                    });
+                    let seq = state.log.append(event.clone());
+                    self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    if let Some(conn) = state.conn {
+                        self.outbox.send(
+                            conn,
+                            BrokerToClient::Deliver {
+                                seq,
+                                event: event.clone(),
+                            }
+                            .encode(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends every known subscription to a newly established broker link.
+    fn resync_subscriptions(&self, conn: ConnId) {
+        for (schema, subscription) in self.engine.all_subscriptions() {
+            self.outbox.send(
+                conn,
+                BrokerToBroker::SubAdd {
+                    schema,
+                    subscription,
+                }
+                .encode(),
+            );
+        }
+    }
+
+    fn flood_broker_message(&self, message: &BrokerToBroker, except: Option<ConnId>) {
+        let frame = message.encode();
+        for (_, &conn) in self.neighbors.iter() {
+            if Some(conn) != except {
+                self.outbox.send(conn, frame.clone());
+            }
+        }
+    }
+
+    fn client_of(&self, conn: ConnId) -> Option<ClientId> {
+        match self.conns.get(&conn) {
+            Some(Peer::Client(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn client_error(&self, conn: ConnId, message: String) {
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        self.outbox
+            .send(conn, BrokerToClient::Error { message }.encode());
+    }
+
+    fn handle_disconnect(&mut self, conn: ConnId) {
+        self.outbox.unregister(conn);
+        match self.conns.remove(&conn) {
+            Some(Peer::Client(client)) => {
+                if let Some(state) = self.clients.get_mut(&client) {
+                    if state.conn == Some(conn) {
+                        // Keep the log: deliveries continue to accumulate
+                        // for replay on reconnect (until the TTL).
+                        state.conn = None;
+                        state.disconnected_at = Some(std::time::Instant::now());
+                    }
+                }
+            }
+            Some(Peer::Broker(broker)) if self.neighbors.get(&broker) == Some(&conn) => {
+                self.neighbors.remove(&broker);
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_garbage(&mut self) {
+        let ttl = self.config.client_ttl;
+        self.clients.retain(|_, state| {
+            state.log.collect();
+            state.log.enforce_bound(self.config.log_bound);
+            // Reclaim state for clients gone longer than the TTL.
+            state.disconnected_at.is_none_or(|at| at.elapsed() <= ttl)
+        });
+    }
+}

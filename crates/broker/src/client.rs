@@ -1,0 +1,295 @@
+//! Client library for connecting to broker nodes over TCP.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use linkcast_types::{ClientId, Event, SchemaId, SchemaRegistry, SubscriptionId};
+
+use crate::protocol::{BrokerToClient, ClientToBroker};
+use crate::tcp::read_frame;
+
+/// Errors from the client library.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The broker sent something undecodable or out of protocol.
+    Protocol(String),
+    /// The broker answered a request with an `Error` frame.
+    Rejected(String),
+    /// No message arrived within the allotted time.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the broker"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected pub/sub client.
+///
+/// Connecting identifies the (pre-provisioned) [`ClientId`] and optionally
+/// resumes a previous session: the broker replays every event logged while
+/// the client was away. [`Client::ack`] (or the auto-ack inside
+/// [`Client::recv`]) lets the broker's garbage collector trim the log.
+pub struct Client {
+    stream: TcpStream,
+    registry: Arc<SchemaRegistry>,
+    client: ClientId,
+    /// Delivered-but-unreturned events (e.g. received while waiting for a
+    /// subscription ack).
+    inbox: VecDeque<(u64, Event)>,
+    /// Highest sequence number returned to the application.
+    last_seq: u64,
+}
+
+impl Client {
+    /// Connects and performs the hello handshake. `resume_from` is the last
+    /// sequence number safely processed in a previous session (0 for a
+    /// fresh one).
+    ///
+    /// # Errors
+    ///
+    /// Connection errors, a rejected hello, or protocol violations.
+    pub fn connect(
+        addr: SocketAddr,
+        client: ClientId,
+        resume_from: u64,
+        registry: Arc<SchemaRegistry>,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        let mut c = Client {
+            stream,
+            registry,
+            client,
+            inbox: VecDeque::new(),
+            last_seq: resume_from,
+        };
+        c.send(&ClientToBroker::Hello {
+            client,
+            resume_from,
+        })?;
+        match c.read_message(Duration::from_secs(5))? {
+            BrokerToClient::Welcome { client: echoed, .. } if echoed == client => Ok(c),
+            BrokerToClient::Error { message } => Err(ClientError::Rejected(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.client
+    }
+
+    /// Highest sequence number the application has consumed.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Registers a subscription and waits for the broker's acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// A rejected expression ([`ClientError::Rejected`]) or transport
+    /// errors.
+    pub fn subscribe(
+        &mut self,
+        schema: SchemaId,
+        expression: &str,
+    ) -> Result<SubscriptionId, ClientError> {
+        self.send(&ClientToBroker::Subscribe {
+            schema,
+            expression: expression.to_string(),
+        })?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.read_message(deadline.saturating_duration_since(Instant::now()))? {
+                BrokerToClient::SubAck { id } => return Ok(id),
+                BrokerToClient::Error { message } => return Err(ClientError::Rejected(message)),
+                BrokerToClient::Deliver { seq, event } => {
+                    self.inbox.push_back((seq, event));
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected subscription ack, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Removes a subscription and waits for the acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::subscribe`].
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), ClientError> {
+        self.send(&ClientToBroker::Unsubscribe { id })?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.read_message(deadline.saturating_duration_since(Instant::now()))? {
+                BrokerToClient::UnsubAck { id: echoed } if echoed == id => return Ok(()),
+                BrokerToClient::Error { message } => return Err(ClientError::Rejected(message)),
+                BrokerToClient::Deliver { seq, event } => {
+                    self.inbox.push_back((seq, event));
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected unsubscription ack, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Publishes an event (fire-and-forget, like the paper's prototype).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; matching problems surface as `Error` frames
+    /// on a later receive.
+    pub fn publish(&mut self, event: &Event) -> Result<(), ClientError> {
+        self.send(&ClientToBroker::Publish {
+            event: event.clone(),
+        })
+    }
+
+    /// Receives the next matched event, waiting up to `timeout`. The
+    /// delivery is auto-acknowledged (see [`Client::ack`] for manual
+    /// control — acks here are cumulative and sent eagerly).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] if nothing arrives, plus transport and
+    /// protocol errors.
+    pub fn recv(&mut self, timeout: Duration) -> Result<(u64, Event), ClientError> {
+        let (seq, event) = self.recv_unacked(timeout)?;
+        self.ack(seq)?;
+        Ok((seq, event))
+    }
+
+    /// Like [`Client::recv`] but without sending an acknowledgment — the
+    /// broker keeps the event in this client's log until [`Client::ack`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::recv`].
+    pub fn recv_unacked(&mut self, timeout: Duration) -> Result<(u64, Event), ClientError> {
+        if let Some((seq, event)) = self.inbox.pop_front() {
+            self.last_seq = self.last_seq.max(seq);
+            return Ok((seq, event));
+        }
+        match self.read_message(timeout)? {
+            BrokerToClient::Deliver { seq, event } => {
+                self.last_seq = self.last_seq.max(seq);
+                Ok((seq, event))
+            }
+            BrokerToClient::Error { message } => Err(ClientError::Rejected(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected message while receiving: {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends a cumulative acknowledgment for every delivery up to `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn ack(&mut self, seq: u64) -> Result<(), ClientError> {
+        self.send(&ClientToBroker::Ack { seq })
+    }
+
+    /// Fetches the broker's counters (published / forwarded / delivered /
+    /// errors / subscriptions).
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol errors.
+    pub fn stats(&mut self) -> Result<(u64, u64, u64, u64, u64), ClientError> {
+        self.send(&ClientToBroker::StatsRequest)?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.read_message(deadline.saturating_duration_since(Instant::now()))? {
+                BrokerToClient::Stats {
+                    published,
+                    forwarded,
+                    delivered,
+                    errors,
+                    subscriptions,
+                } => return Ok((published, forwarded, delivered, errors, subscriptions)),
+                BrokerToClient::Deliver { seq, event } => {
+                    self.inbox.push_back((seq, event));
+                }
+                BrokerToClient::Error { message } => return Err(ClientError::Rejected(message)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected stats, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, message: &ClientToBroker) -> Result<(), ClientError> {
+        use std::io::Write;
+        let frame = message.encode();
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Reads the next broker message, waiting at most `timeout`.
+    fn read_message(&mut self, timeout: Duration) -> Result<BrokerToClient, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match read_frame(&mut self.stream) {
+                Ok(Some(payload)) => {
+                    return BrokerToClient::decode(payload, &self.registry)
+                        .map_err(|e| ClientError::Protocol(e.to_string()));
+                }
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Timeout);
+                    }
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("client", &self.client)
+            .field("last_seq", &self.last_seq)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,280 @@
+//! The Fig. 7 "matching engine": subscription manager + event parser over
+//! one link-matching engine per information space.
+
+use std::sync::Arc;
+
+use linkcast::{CoreError, LinkMatchEngine, LinkSpace, Result, RoutingFabric, TreeId};
+use linkcast_matching::{MatchStats, PstOptions};
+use linkcast_types::{
+    parse_predicate, BrokerId, Event, LinkId, Predicate, SchemaId, SchemaRegistry, Subscription,
+    SubscriptionId,
+};
+
+/// A broker's matching engine: "a subscription manager, and an event
+/// parser" (§4.2), serving every registered information space.
+///
+/// The subscription manager "receives a subscription from a client, parses
+/// the subscription expression, and adds the subscription to the matching
+/// tree"; the event parser validates incoming events against their schema
+/// (done at decode time by [`linkcast_types::wire::get_event`], re-checked
+/// here for locally constructed events).
+#[derive(Debug)]
+pub struct MatchingEngine {
+    registry: Arc<SchemaRegistry>,
+    /// One annotated PST per information space, indexed by schema id.
+    engines: Vec<LinkMatchEngine>,
+    /// Which schema each subscription id belongs to (for removal).
+    subscription_schema: std::collections::HashMap<SubscriptionId, SchemaId>,
+}
+
+impl MatchingEngine {
+    /// Builds the engine for `broker` over all schemas in `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Any link-matching engine construction error.
+    pub fn new(
+        broker: BrokerId,
+        fabric: &RoutingFabric,
+        registry: Arc<SchemaRegistry>,
+        options: PstOptions,
+    ) -> Result<Self> {
+        let mut engines = Vec::with_capacity(registry.len());
+        for schema in registry.iter() {
+            let space = LinkSpace::build(fabric.network(), fabric.forest(), broker);
+            engines.push(LinkMatchEngine::new(
+                broker,
+                schema.clone(),
+                options.clone(),
+                space,
+            )?);
+        }
+        Ok(MatchingEngine {
+            registry,
+            engines,
+            subscription_schema: std::collections::HashMap::new(),
+        })
+    }
+
+    /// The schema registry (information spaces) this engine serves.
+    pub fn registry(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+
+    /// Parses a subscription expression against an information space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unknown`] for unknown schemas, or parse errors.
+    pub fn parse_subscription(&self, schema: SchemaId, expression: &str) -> Result<Predicate> {
+        let schema = self
+            .registry
+            .get(schema)
+            .ok_or_else(|| CoreError::Unknown(format!("information space {schema}")))?;
+        parse_predicate(schema, expression).map_err(CoreError::Types)
+    }
+
+    /// Registers a subscription in the given information space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unknown`] for unknown schemas, plus matcher errors
+    /// (duplicates, arity mismatches).
+    pub fn subscribe(&mut self, schema: SchemaId, subscription: Subscription) -> Result<()> {
+        let engine = self
+            .engines
+            .get_mut(schema.index())
+            .ok_or_else(|| CoreError::Unknown(format!("information space {schema}")))?;
+        let id = subscription.id();
+        engine.subscribe(subscription)?;
+        self.subscription_schema.insert(id, schema);
+        Ok(())
+    }
+
+    /// Removes a subscription, returning whether it was registered.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let Some(schema) = self.subscription_schema.remove(&id) else {
+            return false;
+        };
+        self.engines[schema.index()].unsubscribe(id)
+    }
+
+    /// Whether a subscription id is registered (used to stop control-plane
+    /// flooding).
+    pub fn knows(&self, id: SubscriptionId) -> bool {
+        self.subscription_schema.contains_key(&id)
+    }
+
+    /// Total registered subscriptions across all information spaces.
+    pub fn subscription_count(&self) -> usize {
+        self.engines
+            .iter()
+            .map(LinkMatchEngine::subscription_count)
+            .sum()
+    }
+
+    /// Link matching for one event: the links the event must be forwarded
+    /// on, per its own schema's annotated tree.
+    pub fn route(&self, event: &Event, tree: TreeId, stats: &mut MatchStats) -> Vec<LinkId> {
+        let schema = event.schema().id();
+        match self.engines.get(schema.index()) {
+            Some(engine) => engine.match_links(event, tree, stats),
+            None => Vec::new(),
+        }
+    }
+
+    /// Looks up a registered subscription.
+    pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
+        let schema = self.subscription_schema.get(&id)?;
+        self.engines[schema.index()].subscription(id)
+    }
+
+    /// Every registered subscription with its information space — the
+    /// payload of the anti-entropy resync sent when a broker link
+    /// (re-)establishes.
+    pub fn all_subscriptions(&self) -> Vec<(SchemaId, Subscription)> {
+        let mut out: Vec<(SchemaId, Subscription)> = self
+            .subscription_schema
+            .iter()
+            .filter_map(|(id, schema)| {
+                self.engines[schema.index()]
+                    .subscription(*id)
+                    .map(|s| (*schema, s.clone()))
+            })
+            .collect();
+        out.sort_by_key(|(_, s)| s.id());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkcast::NetworkBuilder;
+    use linkcast_types::{ClientId, EventSchema, SubscriberId, Value, ValueKind};
+
+    fn registry() -> Arc<SchemaRegistry> {
+        let mut r = SchemaRegistry::new();
+        r.register(
+            EventSchema::builder("trades")
+                .attribute("issue", ValueKind::Str)
+                .attribute("volume", ValueKind::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        r.register(
+            EventSchema::builder("quotes")
+                .attribute("bid", ValueKind::Dollar)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+
+    fn world() -> (Arc<RoutingFabric>, ClientId, ClientId) {
+        let mut b = NetworkBuilder::new();
+        let b0 = b.add_broker();
+        let b1 = b.add_broker();
+        b.connect(b0, b1, 5.0).unwrap();
+        let local = b.add_client(b0).unwrap();
+        let remote = b.add_client(b1).unwrap();
+        (
+            RoutingFabric::new_all_roots(b.build().unwrap()).unwrap(),
+            local,
+            remote,
+        )
+    }
+
+    #[test]
+    fn multiple_information_spaces_are_independent() {
+        let (fabric, local, _remote) = world();
+        let registry = registry();
+        let mut engine = MatchingEngine::new(
+            BrokerId::new(0),
+            &fabric,
+            Arc::clone(&registry),
+            PstOptions::default(),
+        )
+        .unwrap();
+
+        let trades = registry.get_by_name("trades").unwrap().clone();
+        let quotes = registry.get_by_name("quotes").unwrap().clone();
+        let p_trades = engine
+            .parse_subscription(trades.id(), "volume > 100")
+            .unwrap();
+        engine
+            .subscribe(
+                trades.id(),
+                Subscription::new(
+                    SubscriptionId::new(1),
+                    SubscriberId::new(BrokerId::new(0), local),
+                    p_trades,
+                ),
+            )
+            .unwrap();
+
+        let tree = fabric.tree_for(BrokerId::new(0)).unwrap();
+        let trade = Event::from_values(&trades, [Value::str("IBM"), Value::Int(500)]).unwrap();
+        let quote = Event::from_values(&quotes, [Value::Dollar(100)]).unwrap();
+        let mut stats = MatchStats::new();
+        assert_eq!(engine.route(&trade, tree, &mut stats).len(), 1);
+        assert!(engine.route(&quote, tree, &mut stats).is_empty());
+        assert_eq!(engine.subscription_count(), 1);
+        assert!(engine.knows(SubscriptionId::new(1)));
+        assert!(engine.subscription(SubscriptionId::new(1)).is_some());
+    }
+
+    #[test]
+    fn unsubscribe_routes_nothing() {
+        let (fabric, local, _) = world();
+        let registry = registry();
+        let trades = registry.get_by_name("trades").unwrap().clone();
+        let mut engine = MatchingEngine::new(
+            BrokerId::new(0),
+            &fabric,
+            Arc::clone(&registry),
+            PstOptions::default(),
+        )
+        .unwrap();
+        let p = engine
+            .parse_subscription(trades.id(), "volume > 0")
+            .unwrap();
+        engine
+            .subscribe(
+                trades.id(),
+                Subscription::new(
+                    SubscriptionId::new(1),
+                    SubscriberId::new(BrokerId::new(0), local),
+                    p,
+                ),
+            )
+            .unwrap();
+        assert!(engine.unsubscribe(SubscriptionId::new(1)));
+        assert!(!engine.unsubscribe(SubscriptionId::new(1)));
+        let tree = fabric.tree_for(BrokerId::new(0)).unwrap();
+        let trade = Event::from_values(&trades, [Value::str("IBM"), Value::Int(500)]).unwrap();
+        let mut stats = MatchStats::new();
+        assert!(engine.route(&trade, tree, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (fabric, _, _) = world();
+        let registry = registry();
+        let engine = MatchingEngine::new(
+            BrokerId::new(0),
+            &fabric,
+            Arc::clone(&registry),
+            PstOptions::default(),
+        )
+        .unwrap();
+        assert!(engine
+            .parse_subscription(SchemaId::new(9), "volume > 0")
+            .is_err());
+        assert!(engine
+            .parse_subscription(SchemaId::new(0), "nonsense >>>")
+            .is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! The broker-node prototype of the paper's §4.2 (Fig. 7), in Rust.
+//!
+//! Each broker node consists of:
+//!
+//! - a **matching engine** (subscription manager + event parser) wrapping a
+//!   per-information-space [`LinkMatchEngine`](linkcast::LinkMatchEngine);
+//! - a **client protocol** that assigns per-client sequence numbers, keeps
+//!   an **event log** per client so that "once a client re-connects after a
+//!   failure, the client protocol object delivers the events received while
+//!   the client was dis-connected", with a periodic **garbage collector**
+//!   trimming acknowledged entries;
+//! - a **broker protocol** that floods subscriptions to every broker and
+//!   forwards published events along spanning-tree links chosen by link
+//!   matching;
+//! - a **connection manager** tracking client and neighbor-broker
+//!   connections;
+//! - a **transport** that "implements an asynchronous send operation by
+//!   maintaining a set of outgoing queues, one per connection", drained by
+//!   "a pool of sending threads".
+//!
+//! The paper's prototype is Java over TCP/IP; this one is OS threads +
+//! blocking TCP (`std::net`) with `crossbeam` channels — no async runtime,
+//! matching the 1999 design faithfully.
+//!
+//! # Example
+//!
+//! See [`BrokerNode`] and [`Client`] for a runnable two-broker setup, and
+//! the `tcp_cluster` example for a full network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod client;
+mod engine;
+mod log;
+mod outbox;
+mod protocol;
+mod tcp;
+
+pub use broker::{BrokerConfig, BrokerNode, BrokerStats, LocalConn};
+pub use client::{Client, ClientError};
+pub use engine::MatchingEngine;
+pub use log::EventLog;
+pub use protocol::{BrokerToBroker, BrokerToClient, ClientToBroker, ProtocolError, MAX_FRAME};

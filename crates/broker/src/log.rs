@@ -1,0 +1,225 @@
+//! Per-client event logs for disconnection recovery.
+//!
+//! "These protocol objects are robust enough to handle transient failures
+//! of connections by maintaining an event log per client. Once a client
+//! re-connects after a failure, the client protocol object delivers the
+//! events received while the client was dis-connected. A garbage collector
+//! periodically cleans up the log." (§4.2)
+
+use std::collections::VecDeque;
+
+use linkcast_types::Event;
+
+/// An append-only, acknowledgment-trimmed log of events destined for one
+/// client.
+///
+/// Sequence numbers are contiguous from 1. Entries stay in the log until
+/// the garbage collector observes the client's cumulative acknowledgment,
+/// so a reconnecting client can be replayed everything it missed.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// Retained entries, oldest first; `entries[0]` has sequence
+    /// `first_seq`.
+    entries: VecDeque<Event>,
+    /// Sequence number of the first retained entry.
+    first_seq: u64,
+    /// Highest assigned sequence number (0 before any append).
+    last_seq: u64,
+    /// Highest acknowledged sequence number.
+    acked: u64,
+    /// Entries dropped unacknowledged because the log exceeded its bound.
+    lost: u64,
+}
+
+impl EventLog {
+    /// Creates an empty log; the first appended event gets sequence 1.
+    pub fn new() -> Self {
+        EventLog {
+            entries: VecDeque::new(),
+            first_seq: 1,
+            last_seq: 0,
+            acked: 0,
+            lost: 0,
+        }
+    }
+
+    /// Appends a matched event, returning its sequence number.
+    pub fn append(&mut self, event: Event) -> u64 {
+        self.entries.push_back(event);
+        self.last_seq += 1;
+        self.last_seq
+    }
+
+    /// Records the client's cumulative acknowledgment. Acks are monotonic;
+    /// stale or future values are clamped.
+    pub fn ack(&mut self, seq: u64) {
+        self.acked = self.acked.max(seq).min(self.last_seq);
+    }
+
+    /// Highest assigned sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Highest acknowledged sequence number.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log retains no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries dropped unacknowledged by [`EventLog::enforce_bound`].
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// The entries after `seq`, with their sequence numbers — what a client
+    /// resuming from `seq` must be replayed.
+    pub fn replay_after(&self, seq: u64) -> impl Iterator<Item = (u64, &Event)> {
+        let start = seq.max(self.first_seq - 1);
+        let skip = (start + 1 - self.first_seq) as usize;
+        self.entries
+            .iter()
+            .enumerate()
+            .skip(skip)
+            .map(move |(i, e)| (self.first_seq + i as u64, e))
+    }
+
+    /// Garbage collection: drops every acknowledged entry, returning how
+    /// many were reclaimed. Called periodically rather than on every ack,
+    /// per the paper's design.
+    pub fn collect(&mut self) -> usize {
+        let mut dropped = 0;
+        while self.first_seq <= self.acked && !self.entries.is_empty() {
+            self.entries.pop_front();
+            self.first_seq += 1;
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Caps the log at `max_entries`, dropping the *oldest unacknowledged*
+    /// entries if necessary (counted in [`EventLog::lost`]). Acknowledged
+    /// entries are reclaimed first — they are free, not losses. A slow or
+    /// permanently absent client must not hold broker memory forever.
+    pub fn enforce_bound(&mut self, max_entries: usize) {
+        if self.entries.len() <= max_entries {
+            return;
+        }
+        // Acknowledged prefix first: reclaimable at no cost.
+        self.collect();
+        while self.entries.len() > max_entries {
+            self.entries.pop_front();
+            self.first_seq += 1;
+            self.lost += 1;
+        }
+        // Anything below the new floor counts as acknowledged: it can no
+        // longer be replayed.
+        self.acked = self.acked.max(self.first_seq - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkcast_types::{EventSchema, Value, ValueKind};
+
+    fn event(x: i64) -> Event {
+        let schema = EventSchema::builder("s")
+            .attribute("x", ValueKind::Int)
+            .build()
+            .unwrap();
+        Event::from_values(&schema, [Value::Int(x)]).unwrap()
+    }
+
+    #[test]
+    fn sequences_are_contiguous_from_one() {
+        let mut log = EventLog::new();
+        assert_eq!(log.append(event(10)), 1);
+        assert_eq!(log.append(event(11)), 2);
+        assert_eq!(log.append(event(12)), 3);
+        assert_eq!(log.last_seq(), 3);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn replay_after_resumes_correctly() {
+        let mut log = EventLog::new();
+        for i in 0..5 {
+            log.append(event(i));
+        }
+        let replayed: Vec<u64> = log.replay_after(2).map(|(s, _)| s).collect();
+        assert_eq!(replayed, vec![3, 4, 5]);
+        let all: Vec<u64> = log.replay_after(0).map(|(s, _)| s).collect();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+        assert!(log.replay_after(5).next().is_none());
+        assert!(log.replay_after(99).next().is_none());
+    }
+
+    #[test]
+    fn gc_trims_only_acknowledged() {
+        let mut log = EventLog::new();
+        for i in 0..5 {
+            log.append(event(i));
+        }
+        log.ack(3);
+        assert_eq!(log.collect(), 3);
+        assert_eq!(log.len(), 2);
+        // Replay after 3 still works post-GC.
+        let replayed: Vec<u64> = log.replay_after(3).map(|(s, _)| s).collect();
+        assert_eq!(replayed, vec![4, 5]);
+        // Re-collect is a no-op.
+        assert_eq!(log.collect(), 0);
+    }
+
+    #[test]
+    fn acks_are_monotonic_and_clamped() {
+        let mut log = EventLog::new();
+        log.append(event(1));
+        log.ack(5); // future: clamped to last_seq
+        assert_eq!(log.acked(), 1);
+        log.append(event(2));
+        log.ack(1); // stale: ignored
+        assert_eq!(log.acked(), 1);
+        log.ack(2);
+        assert_eq!(log.acked(), 2);
+    }
+
+    #[test]
+    fn bound_enforcement_drops_oldest_and_counts_losses() {
+        let mut log = EventLog::new();
+        for i in 0..10 {
+            log.append(event(i));
+        }
+        log.enforce_bound(4);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.lost(), 6);
+        // Sequences 7..=10 remain.
+        let replayed: Vec<u64> = log.replay_after(0).map(|(s, _)| s).collect();
+        assert_eq!(replayed, vec![7, 8, 9, 10]);
+        // The floor moved: acked reflects the irrecoverable prefix.
+        assert_eq!(log.acked(), 6);
+    }
+
+    #[test]
+    fn bound_respects_acknowledged_entries() {
+        let mut log = EventLog::new();
+        for i in 0..6 {
+            log.append(event(i));
+        }
+        log.ack(4);
+        log.collect();
+        log.enforce_bound(10);
+        assert_eq!(log.lost(), 0);
+        assert_eq!(log.len(), 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! The transport's send side: one outgoing queue per connection, drained by
+//! a pool of sending threads (paper §4.2: "a broker thread sends a message
+//! by en-queueing it in the appropriate queue. A pool of sending threads is
+//! responsible for monitoring these queues for outgoing messages").
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+/// Identifies one connection within a broker node.
+pub(crate) type ConnId = u64;
+
+/// Where a connection's frames go.
+pub(crate) enum Sink {
+    /// A TCP peer (client or neighbor broker).
+    Tcp(TcpStream),
+    /// An in-process peer (used by tests and the throughput benchmark to
+    /// bypass the kernel).
+    Chan(Sender<Bytes>),
+}
+
+pub(crate) struct Conn {
+    id: ConnId,
+    sink: Sink,
+    queue: Mutex<VecDeque<Bytes>>,
+    /// Whether a drain task is scheduled or running for this connection;
+    /// guarantees a single writer per sink.
+    draining: AtomicBool,
+    dead: AtomicBool,
+}
+
+/// The send half of the transport: registry of connections plus the sender
+/// pool.
+pub(crate) struct Outbox {
+    conns: RwLock<HashMap<ConnId, Arc<Conn>>>,
+    /// `None` after [`Outbox::close`]: the pool threads drain out and exit.
+    work_tx: Mutex<Option<Sender<Arc<Conn>>>>,
+    /// Write failures are reported here (the engine treats them as
+    /// disconnects).
+    dead_tx: Sender<ConnId>,
+}
+
+impl Outbox {
+    /// Creates the outbox and spawns `senders` pool threads. Dead
+    /// connections are announced on the returned receiver's sender side.
+    pub(crate) fn new(senders: usize, dead_tx: Sender<ConnId>) -> Arc<Outbox> {
+        assert!(senders > 0, "at least one sender thread required");
+        let (work_tx, work_rx) = unbounded::<Arc<Conn>>();
+        let outbox = Arc::new(Outbox {
+            conns: RwLock::new(HashMap::new()),
+            work_tx: Mutex::new(Some(work_tx)),
+            dead_tx,
+        });
+        for i in 0..senders {
+            let rx: Receiver<Arc<Conn>> = work_rx.clone();
+            let ob = Arc::clone(&outbox);
+            std::thread::Builder::new()
+                .name(format!("sender-{i}"))
+                .spawn(move || {
+                    for conn in rx.iter() {
+                        ob.drain(&conn);
+                    }
+                })
+                .expect("spawning sender threads succeeds");
+        }
+        outbox
+    }
+
+    /// Registers a connection.
+    pub(crate) fn register(&self, id: ConnId, sink: Sink) {
+        let conn = Arc::new(Conn {
+            id,
+            sink,
+            queue: Mutex::new(VecDeque::new()),
+            draining: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+        });
+        self.conns.write().insert(id, conn);
+    }
+
+    /// Removes a connection; queued frames are dropped.
+    pub(crate) fn unregister(&self, id: ConnId) {
+        if let Some(conn) = self.conns.write().remove(&id) {
+            conn.dead.store(true, Ordering::Release);
+        }
+    }
+
+    /// Enqueues a frame for asynchronous sending. Unknown or dead
+    /// connections drop the frame silently (the engine hears about the
+    /// death separately).
+    pub(crate) fn send(&self, id: ConnId, frame: Bytes) {
+        let conn = {
+            let conns = self.conns.read();
+            match conns.get(&id) {
+                Some(c) => Arc::clone(c),
+                None => return,
+            }
+        };
+        if conn.dead.load(Ordering::Acquire) {
+            return;
+        }
+        conn.queue.lock().push_back(frame);
+        self.schedule(conn);
+    }
+
+    /// Number of live registered connections.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.conns.read().len()
+    }
+
+    fn schedule(&self, conn: Arc<Conn>) {
+        if !conn.draining.swap(true, Ordering::AcqRel) {
+            if let Some(tx) = self.work_tx.lock().as_ref() {
+                let _ = tx.send(conn);
+            }
+        }
+    }
+
+    /// Shuts the transport down: drops every connection (closing the
+    /// broker's half of each socket so peers see EOF) and closes the work
+    /// channel so the sender pool exits.
+    pub(crate) fn close(&self) {
+        for conn in self.conns.write().drain() {
+            conn.1.dead.store(true, Ordering::Release);
+        }
+        self.work_tx.lock().take();
+    }
+
+    /// Drains one connection's queue to its sink (runs on a pool thread;
+    /// the `draining` flag guarantees exclusive sink access).
+    fn drain(&self, conn: &Arc<Conn>) {
+        loop {
+            let batch: Vec<Bytes> = {
+                let mut q = conn.queue.lock();
+                q.drain(..).collect()
+            };
+            if batch.is_empty() {
+                conn.draining.store(false, Ordering::Release);
+                // Re-check: a frame may have been enqueued between the
+                // drain and the flag store.
+                if !conn.queue.lock().is_empty() && !conn.draining.swap(true, Ordering::AcqRel) {
+                    continue;
+                }
+                return;
+            }
+            if conn.dead.load(Ordering::Acquire) {
+                return;
+            }
+            for frame in batch {
+                let result = match &conn.sink {
+                    Sink::Tcp(stream) => (&*stream).write_all(&frame),
+                    Sink::Chan(tx) => tx
+                        .send(frame)
+                        .map_err(|_| std::io::Error::other("in-process peer hung up")),
+                };
+                if result.is_err() {
+                    conn.dead.store(true, Ordering::Release);
+                    let _ = self.dead_tx.send(conn.id);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn frames_arrive_in_order_per_connection() {
+        let (dead_tx, _dead_rx) = unbounded();
+        let outbox = Outbox::new(4, dead_tx);
+        let (tx, rx) = unbounded::<Bytes>();
+        outbox.register(1, Sink::Chan(tx));
+        for i in 0..100u8 {
+            outbox.send(1, Bytes::from(vec![i]));
+        }
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv_timeout(Duration::from_secs(2)).unwrap()[0]);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<u8>>());
+        assert_eq!(outbox.len(), 1);
+    }
+
+    #[test]
+    fn many_connections_share_the_pool() {
+        let (dead_tx, _dead_rx) = unbounded();
+        let outbox = Outbox::new(2, dead_tx);
+        let mut receivers = Vec::new();
+        for id in 0..20u64 {
+            let (tx, rx) = unbounded::<Bytes>();
+            outbox.register(id, Sink::Chan(tx));
+            receivers.push(rx);
+        }
+        for round in 0..10u8 {
+            for id in 0..20u64 {
+                outbox.send(id, Bytes::from(vec![round]));
+            }
+        }
+        for rx in &receivers {
+            for round in 0..10u8 {
+                assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap()[0], round);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_peers_are_reported_once_and_dropped() {
+        let (dead_tx, dead_rx) = unbounded();
+        let outbox = Outbox::new(1, dead_tx);
+        let (tx, rx) = unbounded::<Bytes>();
+        outbox.register(7, Sink::Chan(tx));
+        drop(rx); // peer hangs up
+        outbox.send(7, Bytes::from_static(b"x"));
+        assert_eq!(dead_rx.recv_timeout(Duration::from_secs(2)).unwrap(), 7);
+        // Further sends are silently dropped.
+        outbox.send(7, Bytes::from_static(b"y"));
+        assert!(dead_rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn unregistered_connections_drop_frames() {
+        let (dead_tx, dead_rx) = unbounded();
+        let outbox = Outbox::new(1, dead_tx);
+        outbox.send(99, Bytes::from_static(b"x"));
+        assert!(dead_rx.recv_timeout(Duration::from_millis(50)).is_err());
+
+        let (tx, rx) = unbounded::<Bytes>();
+        outbox.register(1, Sink::Chan(tx));
+        outbox.unregister(1);
+        outbox.send(1, Bytes::from_static(b"x"));
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(outbox.len(), 0);
+    }
+}

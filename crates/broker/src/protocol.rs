@@ -1,0 +1,627 @@
+//! Message types and codec for the client and broker protocols.
+//!
+//! Every frame on the wire is `[u32 LE payload length][payload]`; the
+//! payload starts with a one-byte message tag. Events, predicates, and
+//! subscriptions reuse the [`linkcast_types::wire`] codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use linkcast::TreeId;
+use linkcast_types::{
+    wire, BrokerId, ClientId, Event, SchemaId, SchemaRegistry, Subscription, SubscriptionId,
+};
+use std::fmt;
+
+/// Maximum accepted frame payload, bytes (a defense against corrupt length
+/// prefixes).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Errors from encoding or decoding protocol frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The payload failed to decode.
+    Malformed(String),
+    /// The frame length prefix exceeded [`MAX_FRAME`].
+    Oversized(usize),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            ProtocolError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<linkcast_types::Error> for ProtocolError {
+    fn from(e: linkcast_types::Error) -> Self {
+        ProtocolError::Malformed(e.to_string())
+    }
+}
+
+/// Messages a client sends to its broker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientToBroker {
+    /// Identify (and possibly resume) a session. `resume_from` is the last
+    /// sequence number the client has safely received (0 for a fresh
+    /// session); the broker redelivers everything after it.
+    Hello {
+        /// The pre-provisioned client identity.
+        client: ClientId,
+        /// Last sequence number already received.
+        resume_from: u64,
+    },
+    /// Register a subscription: a predicate expression against the named
+    /// information space, parsed by the broker's subscription manager.
+    Subscribe {
+        /// Information space to subscribe in.
+        schema: SchemaId,
+        /// Predicate expression, e.g. `issue = "IBM" & price < 120.00`.
+        expression: String,
+    },
+    /// Remove a subscription.
+    Unsubscribe {
+        /// The subscription to remove.
+        id: SubscriptionId,
+    },
+    /// Publish an event.
+    Publish {
+        /// The event (validated against its schema by the event parser).
+        event: Event,
+    },
+    /// Acknowledge delivery of every event up to `seq`, allowing the
+    /// broker's garbage collector to trim the client's log.
+    Ack {
+        /// Highest contiguously received sequence number.
+        seq: u64,
+    },
+    /// Ask for the broker's counters (allowed before `Hello`; used by
+    /// operational tooling).
+    StatsRequest,
+}
+
+/// Messages a broker sends to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerToClient {
+    /// Session accepted; deliveries resume after `resume_from`.
+    Welcome {
+        /// Echo of the client identity.
+        client: ClientId,
+        /// Sequence number deliveries resume after.
+        resume_from: u64,
+    },
+    /// A matched event, with the client's log sequence number.
+    Deliver {
+        /// Per-client sequence number (contiguous from 1).
+        seq: u64,
+        /// The event.
+        event: Event,
+    },
+    /// A subscription was registered.
+    SubAck {
+        /// The assigned subscription id.
+        id: SubscriptionId,
+    },
+    /// A subscription was removed.
+    UnsubAck {
+        /// The removed subscription id.
+        id: SubscriptionId,
+    },
+    /// A request failed.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The broker's counters, answering a
+    /// [`StatsRequest`](ClientToBroker::StatsRequest).
+    Stats {
+        /// Events published by local clients.
+        published: u64,
+        /// Event copies forwarded to neighbor brokers.
+        forwarded: u64,
+        /// Events appended to local client logs.
+        delivered: u64,
+        /// Protocol errors answered with `Error` frames.
+        errors: u64,
+        /// Currently registered subscriptions (network-wide view).
+        subscriptions: u64,
+    },
+}
+
+/// Messages brokers exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerToBroker {
+    /// Identify the dialing broker.
+    Hello {
+        /// The neighbor's id.
+        broker: BrokerId,
+    },
+    /// An event in flight along a spanning tree.
+    Forward {
+        /// The spanning tree the event follows.
+        tree: TreeId,
+        /// The event.
+        event: Event,
+    },
+    /// Flooded subscription registration (control plane).
+    SubAdd {
+        /// Information space of the subscription.
+        schema: SchemaId,
+        /// The subscription.
+        subscription: Subscription,
+    },
+    /// Flooded subscription removal.
+    SubRemove {
+        /// The subscription to remove.
+        id: SubscriptionId,
+    },
+}
+
+const C2B_HELLO: u8 = 0x01;
+const C2B_SUBSCRIBE: u8 = 0x02;
+const C2B_UNSUBSCRIBE: u8 = 0x03;
+const C2B_PUBLISH: u8 = 0x04;
+const C2B_ACK: u8 = 0x05;
+const C2B_STATS: u8 = 0x06;
+
+const B2C_WELCOME: u8 = 0x11;
+const B2C_DELIVER: u8 = 0x12;
+const B2C_SUBACK: u8 = 0x13;
+const B2C_UNSUBACK: u8 = 0x14;
+const B2C_ERROR: u8 = 0x15;
+const B2C_STATS: u8 = 0x16;
+
+const B2B_HELLO: u8 = 0x21;
+const B2B_FORWARD: u8 = 0x22;
+const B2B_SUBADD: u8 = 0x23;
+const B2B_SUBREMOVE: u8 = 0x24;
+
+fn frame(payload: BytesMut) -> Bytes {
+    let mut out = BytesMut::with_capacity(payload.len() + 4);
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out.freeze()
+}
+
+impl ClientToBroker {
+    /// Encodes into a length-prefixed frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            ClientToBroker::Hello {
+                client,
+                resume_from,
+            } => {
+                b.put_u8(C2B_HELLO);
+                b.put_u32_le(client.raw());
+                b.put_u64_le(*resume_from);
+            }
+            ClientToBroker::Subscribe { schema, expression } => {
+                b.put_u8(C2B_SUBSCRIBE);
+                b.put_u32_le(schema.raw());
+                wire::put_str(&mut b, expression);
+            }
+            ClientToBroker::Unsubscribe { id } => {
+                b.put_u8(C2B_UNSUBSCRIBE);
+                b.put_u32_le(id.raw());
+            }
+            ClientToBroker::Publish { event } => {
+                b.put_u8(C2B_PUBLISH);
+                wire::put_event(&mut b, event);
+            }
+            ClientToBroker::Ack { seq } => {
+                b.put_u8(C2B_ACK);
+                b.put_u64_le(*seq);
+            }
+            ClientToBroker::StatsRequest => {
+                b.put_u8(C2B_STATS);
+            }
+        }
+        frame(b)
+    }
+
+    /// Decodes a frame payload (without the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncation, unknown tags, or schema
+    /// violations.
+    pub fn decode(mut payload: Bytes, registry: &SchemaRegistry) -> Result<Self, ProtocolError> {
+        let buf = &mut payload;
+        if buf.remaining() < 1 {
+            return Err(ProtocolError::Malformed("empty payload".into()));
+        }
+        match buf.get_u8() {
+            C2B_HELLO => {
+                if buf.remaining() < 12 {
+                    return Err(ProtocolError::Malformed("short hello".into()));
+                }
+                Ok(ClientToBroker::Hello {
+                    client: ClientId::new(buf.get_u32_le()),
+                    resume_from: buf.get_u64_le(),
+                })
+            }
+            C2B_SUBSCRIBE => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short subscribe".into()));
+                }
+                let schema = SchemaId::new(buf.get_u32_le());
+                let expression = wire::get_str(buf)?;
+                Ok(ClientToBroker::Subscribe { schema, expression })
+            }
+            C2B_UNSUBSCRIBE => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short unsubscribe".into()));
+                }
+                Ok(ClientToBroker::Unsubscribe {
+                    id: SubscriptionId::new(buf.get_u32_le()),
+                })
+            }
+            C2B_PUBLISH => Ok(ClientToBroker::Publish {
+                event: wire::get_event(buf, registry)?,
+            }),
+            C2B_ACK => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("short ack".into()));
+                }
+                Ok(ClientToBroker::Ack {
+                    seq: buf.get_u64_le(),
+                })
+            }
+            C2B_STATS => Ok(ClientToBroker::StatsRequest),
+            tag => Err(ProtocolError::Malformed(format!(
+                "unknown client message tag {tag:#x}"
+            ))),
+        }
+    }
+}
+
+impl BrokerToClient {
+    /// Encodes into a length-prefixed frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            BrokerToClient::Welcome {
+                client,
+                resume_from,
+            } => {
+                b.put_u8(B2C_WELCOME);
+                b.put_u32_le(client.raw());
+                b.put_u64_le(*resume_from);
+            }
+            BrokerToClient::Deliver { seq, event } => {
+                b.put_u8(B2C_DELIVER);
+                b.put_u64_le(*seq);
+                wire::put_event(&mut b, event);
+            }
+            BrokerToClient::SubAck { id } => {
+                b.put_u8(B2C_SUBACK);
+                b.put_u32_le(id.raw());
+            }
+            BrokerToClient::UnsubAck { id } => {
+                b.put_u8(B2C_UNSUBACK);
+                b.put_u32_le(id.raw());
+            }
+            BrokerToClient::Error { message } => {
+                b.put_u8(B2C_ERROR);
+                wire::put_str(&mut b, message);
+            }
+            BrokerToClient::Stats {
+                published,
+                forwarded,
+                delivered,
+                errors,
+                subscriptions,
+            } => {
+                b.put_u8(B2C_STATS);
+                b.put_u64_le(*published);
+                b.put_u64_le(*forwarded);
+                b.put_u64_le(*delivered);
+                b.put_u64_le(*errors);
+                b.put_u64_le(*subscriptions);
+            }
+        }
+        frame(b)
+    }
+
+    /// Decodes a frame payload (without the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncation, unknown tags, or schema
+    /// violations.
+    pub fn decode(mut payload: Bytes, registry: &SchemaRegistry) -> Result<Self, ProtocolError> {
+        let buf = &mut payload;
+        if buf.remaining() < 1 {
+            return Err(ProtocolError::Malformed("empty payload".into()));
+        }
+        match buf.get_u8() {
+            B2C_WELCOME => {
+                if buf.remaining() < 12 {
+                    return Err(ProtocolError::Malformed("short welcome".into()));
+                }
+                Ok(BrokerToClient::Welcome {
+                    client: ClientId::new(buf.get_u32_le()),
+                    resume_from: buf.get_u64_le(),
+                })
+            }
+            B2C_DELIVER => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("short deliver".into()));
+                }
+                let seq = buf.get_u64_le();
+                let event = wire::get_event(buf, registry)?;
+                Ok(BrokerToClient::Deliver { seq, event })
+            }
+            B2C_SUBACK => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short suback".into()));
+                }
+                Ok(BrokerToClient::SubAck {
+                    id: SubscriptionId::new(buf.get_u32_le()),
+                })
+            }
+            B2C_UNSUBACK => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short unsuback".into()));
+                }
+                Ok(BrokerToClient::UnsubAck {
+                    id: SubscriptionId::new(buf.get_u32_le()),
+                })
+            }
+            B2C_ERROR => Ok(BrokerToClient::Error {
+                message: wire::get_str(buf)?,
+            }),
+            B2C_STATS => {
+                if buf.remaining() < 40 {
+                    return Err(ProtocolError::Malformed("short stats".into()));
+                }
+                Ok(BrokerToClient::Stats {
+                    published: buf.get_u64_le(),
+                    forwarded: buf.get_u64_le(),
+                    delivered: buf.get_u64_le(),
+                    errors: buf.get_u64_le(),
+                    subscriptions: buf.get_u64_le(),
+                })
+            }
+            tag => Err(ProtocolError::Malformed(format!(
+                "unknown broker-to-client tag {tag:#x}"
+            ))),
+        }
+    }
+}
+
+impl BrokerToBroker {
+    /// Encodes into a length-prefixed frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            BrokerToBroker::Hello { broker } => {
+                b.put_u8(B2B_HELLO);
+                b.put_u32_le(broker.raw());
+            }
+            BrokerToBroker::Forward { tree, event } => {
+                b.put_u8(B2B_FORWARD);
+                b.put_u32_le(tree.index() as u32);
+                wire::put_event(&mut b, event);
+            }
+            BrokerToBroker::SubAdd {
+                schema,
+                subscription,
+            } => {
+                b.put_u8(B2B_SUBADD);
+                b.put_u32_le(schema.raw());
+                wire::put_subscription(&mut b, subscription);
+            }
+            BrokerToBroker::SubRemove { id } => {
+                b.put_u8(B2B_SUBREMOVE);
+                b.put_u32_le(id.raw());
+            }
+        }
+        frame(b)
+    }
+
+    /// Decodes a frame payload (without the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncation, unknown tags, or schema
+    /// violations.
+    pub fn decode(mut payload: Bytes, registry: &SchemaRegistry) -> Result<Self, ProtocolError> {
+        let buf = &mut payload;
+        if buf.remaining() < 1 {
+            return Err(ProtocolError::Malformed("empty payload".into()));
+        }
+        match buf.get_u8() {
+            B2B_HELLO => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short broker hello".into()));
+                }
+                Ok(BrokerToBroker::Hello {
+                    broker: BrokerId::new(buf.get_u32_le()),
+                })
+            }
+            B2B_FORWARD => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short forward".into()));
+                }
+                let tree = tree_from_raw(buf.get_u32_le());
+                let event = wire::get_event(buf, registry)?;
+                Ok(BrokerToBroker::Forward { tree, event })
+            }
+            B2B_SUBADD => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short subadd".into()));
+                }
+                let schema_id = SchemaId::new(buf.get_u32_le());
+                let schema = registry.get(schema_id).ok_or_else(|| {
+                    ProtocolError::Malformed(format!("unknown schema {schema_id}"))
+                })?;
+                let subscription = wire::get_subscription(buf, schema)?;
+                Ok(BrokerToBroker::SubAdd {
+                    schema: schema_id,
+                    subscription,
+                })
+            }
+            B2B_SUBREMOVE => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed("short subremove".into()));
+                }
+                Ok(BrokerToBroker::SubRemove {
+                    id: SubscriptionId::new(buf.get_u32_le()),
+                })
+            }
+            tag => Err(ProtocolError::Malformed(format!(
+                "unknown broker-to-broker tag {tag:#x}"
+            ))),
+        }
+    }
+}
+
+/// Rebuilds a [`TreeId`] from its wire form. Tree ids are indices into the
+/// shared spanning forest, which every broker derives identically from the
+/// static topology.
+pub(crate) fn tree_from_raw(raw: u32) -> TreeId {
+    TreeId::from_index(raw as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkcast_types::{EventSchema, SubscriberId, Value, ValueKind};
+
+    fn registry() -> SchemaRegistry {
+        let mut r = SchemaRegistry::new();
+        r.register(
+            EventSchema::builder("trades")
+                .attribute("issue", ValueKind::Str)
+                .attribute("volume", ValueKind::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        r
+    }
+
+    fn strip(frame: Bytes) -> Bytes {
+        assert!(frame.len() >= 4);
+        let mut f = frame;
+        let len = f.get_u32_le() as usize;
+        assert_eq!(len, f.remaining());
+        f
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        let reg = registry();
+        let schema = reg.get(SchemaId::new(0)).unwrap();
+        let event = Event::from_values(schema, [Value::str("IBM"), Value::Int(5)]).unwrap();
+        let messages = [
+            ClientToBroker::Hello {
+                client: ClientId::new(3),
+                resume_from: 42,
+            },
+            ClientToBroker::Subscribe {
+                schema: SchemaId::new(0),
+                expression: "volume > 100".into(),
+            },
+            ClientToBroker::Unsubscribe {
+                id: SubscriptionId::new(9),
+            },
+            ClientToBroker::Publish { event },
+            ClientToBroker::Ack { seq: 7 },
+            ClientToBroker::StatsRequest,
+        ];
+        for m in messages {
+            let back = ClientToBroker::decode(strip(m.encode()), &reg).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn broker_to_client_messages_roundtrip() {
+        let reg = registry();
+        let schema = reg.get(SchemaId::new(0)).unwrap();
+        let event = Event::from_values(schema, [Value::str("HP"), Value::Int(1)]).unwrap();
+        let messages = [
+            BrokerToClient::Welcome {
+                client: ClientId::new(1),
+                resume_from: 10,
+            },
+            BrokerToClient::Deliver { seq: 11, event },
+            BrokerToClient::SubAck {
+                id: SubscriptionId::new(2),
+            },
+            BrokerToClient::UnsubAck {
+                id: SubscriptionId::new(2),
+            },
+            BrokerToClient::Error {
+                message: "no such schema".into(),
+            },
+            BrokerToClient::Stats {
+                published: 1,
+                forwarded: 2,
+                delivered: 3,
+                errors: 4,
+                subscriptions: 5,
+            },
+        ];
+        for m in messages {
+            let back = BrokerToClient::decode(strip(m.encode()), &reg).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn broker_to_broker_subscription_roundtrips() {
+        let reg = registry();
+        let schema = reg.get(SchemaId::new(0)).unwrap();
+        let sub = Subscription::new(
+            SubscriptionId::new(5),
+            SubscriberId::new(BrokerId::new(1), ClientId::new(2)),
+            linkcast_types::parse_predicate(schema, "volume > 10").unwrap(),
+        );
+        let m = BrokerToBroker::SubAdd {
+            schema: SchemaId::new(0),
+            subscription: sub,
+        };
+        let back = BrokerToBroker::decode(strip(m.encode()), &reg).unwrap();
+        assert_eq!(back, m);
+
+        let hello = BrokerToBroker::Hello {
+            broker: BrokerId::new(7),
+        };
+        assert_eq!(
+            BrokerToBroker::decode(strip(hello.encode()), &reg).unwrap(),
+            hello
+        );
+        let rm = BrokerToBroker::SubRemove {
+            id: SubscriptionId::new(5),
+        };
+        assert_eq!(
+            BrokerToBroker::decode(strip(rm.encode()), &reg).unwrap(),
+            rm
+        );
+
+        let event = Event::from_values(schema, [Value::str("X"), Value::Int(2)]).unwrap();
+        let fwd = BrokerToBroker::Forward {
+            tree: TreeId::from_index(2),
+            event,
+        };
+        assert_eq!(
+            BrokerToBroker::decode(strip(fwd.encode()), &reg).unwrap(),
+            fwd
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let reg = registry();
+        assert!(ClientToBroker::decode(Bytes::new(), &reg).is_err());
+        assert!(ClientToBroker::decode(Bytes::from_static(&[0xff]), &reg).is_err());
+        assert!(BrokerToClient::decode(Bytes::from_static(&[0x12, 1]), &reg).is_err());
+        assert!(BrokerToBroker::decode(Bytes::from_static(&[0x23]), &reg).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! The TCP transport: acceptor and framed readers.
+
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+
+use crate::broker::Command;
+use crate::outbox::{ConnId, Outbox, Sink};
+use crate::protocol::MAX_FRAME;
+
+/// Spawns the accept loop. The listener must already be non-blocking; the
+/// loop polls it so it can observe the shutdown flag.
+pub(crate) fn spawn_acceptor(
+    listener: TcpListener,
+    cmd_tx: Sender<Command>,
+    outbox: Arc<Outbox>,
+    next_conn: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("acceptor".into())
+        .spawn(move || {
+            while !shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nodelay(true).is_err() {
+                            continue;
+                        }
+                        let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+                        match stream.try_clone() {
+                            Ok(reader) => {
+                                outbox.register(conn, Sink::Tcp(stream));
+                                spawn_reader(reader, conn, cmd_tx.clone(), Arc::clone(&shutdown));
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })?;
+    Ok(())
+}
+
+/// Spawns a framed reader for one connection: reads `[u32 LE length]`
+/// frames and forwards payloads to the engine. EOF or error reports a
+/// disconnect.
+pub(crate) fn spawn_reader(
+    stream: TcpStream,
+    conn: ConnId,
+    cmd_tx: Sender<Command>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = std::thread::Builder::new()
+        .name(format!("reader-{conn}"))
+        .spawn(move || {
+            // Periodic timeouts let the thread observe shutdown.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut stream = stream;
+            loop {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match read_frame(&mut stream) {
+                    Ok(Some(payload)) => {
+                        if cmd_tx.send(Command::Frame(conn, payload)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => continue, // timeout between frames
+                    Err(_) => {
+                        let _ = cmd_tx.send(Command::Disconnected(conn));
+                        return;
+                    }
+                }
+            }
+        });
+}
+
+/// Reads one `[u32 LE length][payload]` frame. `Ok(None)` means the read
+/// timed out *between* frames (safe to retry); timeouts mid-frame keep
+/// blocking until the frame completes or the peer dies.
+pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Bytes>> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(stream, &mut header, true)? {
+        ReadOutcome::TimedOutClean => return Ok(None),
+        ReadOutcome::Done => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::other(format!(
+            "frame of {len} bytes exceeds limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(stream, &mut payload, false)? {
+        ReadOutcome::Done => Ok(Some(Bytes::from(payload))),
+        ReadOutcome::TimedOutClean => unreachable!("mid-frame timeouts retry"),
+    }
+}
+
+enum ReadOutcome {
+    Done,
+    /// Timed out before the first byte (only when `clean_timeout` allowed).
+    TimedOutClean,
+}
+
+fn read_exact_or_eof(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    clean_timeout: bool,
+) -> std::io::Result<ReadOutcome> {
+    let mut read = 0;
+    while read < buf.len() {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed the connection",
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if read == 0 && clean_timeout {
+                    return Ok(ReadOutcome::TimedOutClean);
+                }
+                // Mid-frame: keep waiting for the rest.
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}

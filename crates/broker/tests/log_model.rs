@@ -1,0 +1,111 @@
+//! Model-based property test for the per-client event log: an arbitrary
+//! interleaving of appends, acks, garbage collections, bound enforcements,
+//! and replays must agree with a trivial reference model.
+
+use linkcast_broker::EventLog;
+use linkcast_types::{Event, EventSchema, Value, ValueKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append(i64),
+    Ack(u64),
+    Collect,
+    EnforceBound(usize),
+    Replay(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<i64>().prop_map(Op::Append),
+        2 => (0u64..40).prop_map(Op::Ack),
+        1 => Just(Op::Collect),
+        1 => (1usize..20).prop_map(Op::EnforceBound),
+        2 => (0u64..40).prop_map(Op::Replay),
+    ]
+}
+
+/// Reference model: the full append history plus a retention floor.
+struct Model {
+    history: Vec<i64>,
+    /// Sequence numbers `<= floor` can no longer be replayed (acked &
+    /// collected, or dropped by a bound).
+    floor: u64,
+    acked: u64,
+    lost: u64,
+}
+
+fn schema() -> EventSchema {
+    EventSchema::builder("m")
+        .attribute("x", ValueKind::Int)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn log_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let schema = schema();
+        let mut log = EventLog::new();
+        let mut model = Model { history: Vec::new(), floor: 0, acked: 0, lost: 0 };
+
+        for op in ops {
+            match op {
+                Op::Append(x) => {
+                    let event = Event::from_values(&schema, [Value::Int(x)]).unwrap();
+                    let seq = log.append(event);
+                    model.history.push(x);
+                    prop_assert_eq!(seq as usize, model.history.len(), "contiguous seqs");
+                }
+                Op::Ack(seq) => {
+                    log.ack(seq);
+                    // Monotonic, clamped to what exists.
+                    model.acked = model.acked.max(seq.min(model.history.len() as u64));
+                }
+                Op::Collect => {
+                    log.collect();
+                    model.floor = model.floor.max(model.acked);
+                }
+                Op::EnforceBound(bound) => {
+                    log.enforce_bound(bound);
+                    let len = model.history.len() as u64;
+                    if len - model.floor > bound as u64 {
+                        // The log reclaims the acknowledged prefix first
+                        // (free), then drops unacknowledged entries
+                        // (lost), then treats the floor as acknowledged.
+                        model.floor = model.floor.max(model.acked);
+                        let target = len.saturating_sub(bound as u64);
+                        if target > model.floor {
+                            model.lost += target - model.floor;
+                            model.floor = target;
+                        }
+                        model.acked = model.acked.max(model.floor);
+                    }
+                }
+                Op::Replay(from) => {
+                    let got: Vec<(u64, i64)> = log
+                        .replay_after(from)
+                        .map(|(seq, e)| (seq, e.value(0).unwrap().as_int().unwrap()))
+                        .collect();
+                    // The model can only replay entries above both the
+                    // requested point and the retention floor.
+                    let start = from.max(model.floor);
+                    let expected: Vec<(u64, i64)> = (start..model.history.len() as u64)
+                        .map(|i| (i + 1, model.history[i as usize]))
+                        .collect();
+                    prop_assert_eq!(got, expected, "replay after {}", from);
+                }
+            }
+            prop_assert_eq!(log.last_seq() as usize, model.history.len());
+            prop_assert_eq!(log.acked(), model.acked);
+            prop_assert_eq!(log.lost(), model.lost);
+            prop_assert_eq!(
+                log.len() as u64,
+                model.history.len() as u64 - model.floor,
+                "retained entries"
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Randomized soak test: a stream of subscribe / unsubscribe / publish /
+//! crash / reconnect operations against a live TCP broker, checked against
+//! an exact oracle of per-client delivery logs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{BrokerConfig, BrokerNode, Client};
+use linkcast_types::{
+    ClientId, Event, EventSchema, Predicate, SchemaId, SchemaRegistry, SubscriptionId, Value,
+    ValueKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SUBSCRIBERS: usize = 3;
+const BANDS: i64 = 6;
+
+struct OracleSub {
+    id: SubscriptionId,
+    predicate: Predicate,
+}
+
+/// The oracle's view of one subscriber.
+struct OracleClient {
+    subs: Vec<OracleSub>,
+    /// Events the broker must have logged for this client, in order.
+    expected_log: Vec<i64>,
+    /// How many of those the live connection has consumed (and acked).
+    consumed: usize,
+    connection: Option<Client>,
+}
+
+fn schema() -> EventSchema {
+    EventSchema::builder("soak")
+        .attribute("band", ValueKind::Int)
+        .attribute("n", ValueKind::Int)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn randomized_operations_match_the_oracle() {
+    let mut net = NetworkBuilder::new();
+    let b0 = net.add_broker();
+    let client_ids = net.add_clients(b0, SUBSCRIBERS + 1).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let mut registry = SchemaRegistry::new();
+    registry.register(schema()).unwrap();
+    let registry = Arc::new(registry);
+    let node =
+        BrokerNode::start(BrokerConfig::localhost(b0, fabric, Arc::clone(&registry))).unwrap();
+    let space = SchemaId::new(0);
+    let event_schema = registry.get(space).unwrap().clone();
+
+    let connect = |id: ClientId, resume: u64| -> Client {
+        Client::connect(node.addr(), id, resume, Arc::clone(&registry)).unwrap()
+    };
+    let mut publisher = connect(client_ids[SUBSCRIBERS], 0);
+    let mut oracle: HashMap<ClientId, OracleClient> = client_ids[..SUBSCRIBERS]
+        .iter()
+        .map(|&id| {
+            (
+                id,
+                OracleClient {
+                    subs: Vec::new(),
+                    expected_log: Vec::new(),
+                    consumed: 0,
+                    connection: Some(connect(id, 0)),
+                },
+            )
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut next_event = 0i64;
+    for op in 0..300 {
+        let client_id = client_ids[rng.random_range(0..SUBSCRIBERS)];
+        match rng.random_range(0..100) {
+            // Subscribe to a random band (reconnecting first if crashed).
+            0..=24 => {
+                let state = oracle.get_mut(&client_id).unwrap();
+                if state.connection.is_none() {
+                    continue; // only live clients can subscribe
+                }
+                let band = rng.random_range(0..BANDS);
+                let expr = format!("band = {band}");
+                let id = state
+                    .connection
+                    .as_mut()
+                    .unwrap()
+                    .subscribe(space, &expr)
+                    .unwrap();
+                let predicate = linkcast_types::parse_predicate(&event_schema, &expr).unwrap();
+                state.subs.push(OracleSub { id, predicate });
+            }
+            // Unsubscribe one of the client's subscriptions.
+            25..=34 => {
+                let state = oracle.get_mut(&client_id).unwrap();
+                if state.connection.is_none() || state.subs.is_empty() {
+                    continue;
+                }
+                let idx = rng.random_range(0..state.subs.len());
+                let sub = state.subs.remove(idx);
+                state
+                    .connection
+                    .as_mut()
+                    .unwrap()
+                    .unsubscribe(sub.id)
+                    .unwrap();
+            }
+            // Crash a subscriber (its log keeps accumulating).
+            35..=42 => {
+                let state = oracle.get_mut(&client_id).unwrap();
+                state.connection = None;
+            }
+            // Reconnect a crashed subscriber and drain the replay.
+            43..=55 => {
+                let state = oracle.get_mut(&client_id).unwrap();
+                if state.connection.is_some() {
+                    continue;
+                }
+                let mut conn = connect(client_id, state.consumed as u64);
+                // Replay everything logged while away.
+                while state.consumed < state.expected_log.len() {
+                    let (seq, event) = conn.recv(Duration::from_secs(5)).unwrap_or_else(|e| {
+                        panic!(
+                            "op {op}: {client_id} expected replay of {} more, got {e}",
+                            state.expected_log.len() - state.consumed
+                        )
+                    });
+                    assert_eq!(seq as usize, state.consumed + 1, "op {op}");
+                    assert_eq!(
+                        event.value_by_name("n"),
+                        Some(&Value::Int(state.expected_log[state.consumed])),
+                        "op {op}"
+                    );
+                    state.consumed += 1;
+                }
+                assert!(
+                    conn.recv(Duration::from_millis(100)).is_err(),
+                    "op {op}: over-replay"
+                );
+                state.connection = Some(conn);
+            }
+            // Publish an event into a random band.
+            _ => {
+                let band = rng.random_range(0..BANDS);
+                let n = next_event;
+                next_event += 1;
+                let event =
+                    Event::from_values(&event_schema, [Value::Int(band), Value::Int(n)]).unwrap();
+                publisher.publish(&event).unwrap();
+                for state in oracle.values_mut() {
+                    if state.subs.iter().any(|s| s.predicate.matches(&event)) {
+                        state.expected_log.push(n);
+                    }
+                }
+                // Drain connected subscribers that should receive it.
+                for state in oracle.values_mut() {
+                    let Some(conn) = state.connection.as_mut() else {
+                        continue;
+                    };
+                    while state.consumed < state.expected_log.len() {
+                        let (seq, event) = conn.recv(Duration::from_secs(5)).unwrap();
+                        assert_eq!(seq as usize, state.consumed + 1, "op {op}");
+                        assert_eq!(
+                            event.value_by_name("n"),
+                            Some(&Value::Int(state.expected_log[state.consumed])),
+                            "op {op}"
+                        );
+                        state.consumed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Final drain: every subscriber (reconnected if needed) ends exactly
+    // caught up, with nothing extra.
+    for (&client_id, state) in oracle.iter_mut() {
+        let mut conn = match state.connection.take() {
+            Some(c) => c,
+            None => connect(client_id, state.consumed as u64),
+        };
+        while state.consumed < state.expected_log.len() {
+            let (_, event) = conn.recv(Duration::from_secs(5)).unwrap();
+            assert_eq!(
+                event.value_by_name("n"),
+                Some(&Value::Int(state.expected_log[state.consumed]))
+            );
+            state.consumed += 1;
+        }
+        assert!(conn.recv(Duration::from_millis(100)).is_err());
+    }
+    assert!(node.stats().published >= 1);
+}

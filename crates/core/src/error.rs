@@ -1,0 +1,80 @@
+//! Errors produced by the link-matching layer.
+
+use std::fmt;
+
+use linkcast_matching::MatcherError;
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Errors from topology construction, routing setup, and subscription
+/// management.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The broker network is structurally invalid.
+    Topology(String),
+    /// A matcher rejected a subscription or configuration.
+    Matcher(MatcherError),
+    /// A schema/event/predicate error from the data model.
+    Types(linkcast_types::Error),
+    /// An id referred to an unknown entity.
+    Unknown(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Topology(msg) => write!(f, "topology error: {msg}"),
+            CoreError::Matcher(e) => write!(f, "{e}"),
+            CoreError::Types(e) => write!(f, "{e}"),
+            CoreError::Unknown(msg) => write!(f, "unknown entity: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Matcher(e) => Some(e),
+            CoreError::Types(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatcherError> for CoreError {
+    fn from(e: MatcherError) -> Self {
+        CoreError::Matcher(e)
+    }
+}
+
+impl From<linkcast_types::Error> for CoreError {
+    fn from(e: linkcast_types::Error) -> Self {
+        CoreError::Types(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::Topology("loop".into());
+        assert_eq!(e.to_string(), "topology error: loop");
+        assert!(e.source().is_none());
+
+        let e = CoreError::from(MatcherError::InvalidOptions("x".into()));
+        assert!(e.source().is_some());
+
+        let e = CoreError::from(linkcast_types::Error::UnknownAttribute("a".into()));
+        assert!(e.to_string().contains("unknown attribute"));
+        assert!(e.source().is_some());
+
+        assert!(CoreError::Unknown("tree T9".into())
+            .to_string()
+            .contains("tree T9"));
+    }
+}

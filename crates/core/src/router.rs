@@ -1,0 +1,302 @@
+//! Whole-network content routing: the link-matching protocol driven
+//! hop-by-hop over a broker network.
+
+use std::sync::Arc;
+
+use linkcast_matching::{MatchStats, PstOptions};
+use linkcast_types::{
+    BrokerId, ClientId, Event, EventSchema, LinkId, Predicate, SubscriberId, Subscription,
+    SubscriptionId,
+};
+
+use crate::{
+    BrokerNetwork, CoreError, LinkMatchEngine, LinkSpace, LinkTarget, Result, SpanningForest,
+    TreeId,
+};
+
+/// The static routing substrate shared by every protocol implementation:
+/// the broker network plus its spanning forest.
+#[derive(Debug)]
+pub struct RoutingFabric {
+    network: BrokerNetwork,
+    forest: SpanningForest,
+}
+
+impl RoutingFabric {
+    /// Builds the fabric with spanning trees rooted at the given
+    /// publisher-hosting brokers.
+    ///
+    /// # Errors
+    ///
+    /// Any topology error from [`SpanningForest::compute`].
+    pub fn new(network: BrokerNetwork, publisher_brokers: &[BrokerId]) -> Result<Arc<Self>> {
+        let forest = SpanningForest::compute(&network, publisher_brokers)?;
+        Ok(Arc::new(RoutingFabric { network, forest }))
+    }
+
+    /// Builds the fabric assuming any broker may host publishers.
+    ///
+    /// # Errors
+    ///
+    /// Any topology error from [`SpanningForest::compute_all`].
+    pub fn new_all_roots(network: BrokerNetwork) -> Result<Arc<Self>> {
+        let forest = SpanningForest::compute_all(&network)?;
+        Ok(Arc::new(RoutingFabric { network, forest }))
+    }
+
+    /// The broker network.
+    pub fn network(&self) -> &BrokerNetwork {
+        &self.network
+    }
+
+    /// The spanning forest.
+    pub fn forest(&self) -> &SpanningForest {
+        &self.forest
+    }
+
+    /// The spanning tree used by publishers at `broker`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unknown`] if no tree was computed for `broker`.
+    pub fn tree_for(&self, broker: BrokerId) -> Result<TreeId> {
+        self.forest
+            .tree_for_root(broker)
+            .ok_or_else(|| CoreError::Unknown(format!("no spanning tree rooted at {broker}")))
+    }
+}
+
+/// Per-broker cost record inside a [`Delivery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// The broker that processed the event.
+    pub broker: BrokerId,
+    /// Distance (broker hops) from the publishing broker.
+    pub hops: u32,
+    /// Matching steps spent at this broker.
+    pub steps: u64,
+}
+
+/// The outcome of publishing one event through a routing protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Delivery {
+    /// Clients that received the event, sorted and deduplicated.
+    pub recipients: Vec<ClientId>,
+    /// Event copies sent over broker-to-broker links.
+    pub broker_messages: u64,
+    /// Event copies delivered over broker-to-client links.
+    pub client_messages: u64,
+    /// Matching steps summed over all brokers that processed the event.
+    pub total_steps: u64,
+    /// Per-broker processing record, in processing order.
+    pub per_hop: Vec<HopRecord>,
+    /// Greatest broker-hop distance the event traveled.
+    pub max_hops: u32,
+    /// Destination-list entries carried in message headers (the match-first
+    /// baseline's overhead; zero for link matching and flooding).
+    pub payload_units: u64,
+}
+
+impl Delivery {
+    pub(crate) fn record_hop(&mut self, broker: BrokerId, hops: u32, steps: u64) {
+        self.total_steps += steps;
+        self.max_hops = self.max_hops.max(hops);
+        self.per_hop.push(HopRecord {
+            broker,
+            hops,
+            steps,
+        });
+    }
+
+    pub(crate) fn finish(mut self) -> Self {
+        self.recipients.sort_unstable();
+        self.recipients.dedup();
+        self
+    }
+}
+
+/// A content-based event-distribution protocol over a broker network.
+///
+/// Implemented by [`ContentRouter`] (link matching) and the two baselines
+/// ([`FloodingRouter`](crate::FloodingRouter),
+/// [`MatchFirstRouter`](crate::MatchFirstRouter)); the simulator and the
+/// tests are generic over this trait.
+pub trait EventRouter {
+    /// Registers a subscription for `client`, assigning an id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unknown`] for unknown clients, plus matcher errors.
+    fn subscribe(&mut self, client: ClientId, predicate: Predicate) -> Result<SubscriptionId>;
+
+    /// Removes a subscription; returns whether it existed.
+    fn unsubscribe(&mut self, id: SubscriptionId) -> bool;
+
+    /// Publishes an event from a publisher attached to `broker`, propagating
+    /// it hop-by-hop and returning the delivery record.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unknown`] if `broker` has no spanning tree.
+    fn publish(&self, broker: BrokerId, event: &Event) -> Result<Delivery>;
+
+    /// Number of active subscriptions.
+    fn subscription_count(&self) -> usize;
+}
+
+/// The paper's protocol: link matching at every hop (§3).
+///
+/// Every broker holds the full subscription set in an annotated PST; each
+/// event is matched just enough at each hop to decide which links carry it.
+/// At most one copy crosses any link, no destination lists are attached,
+/// and clients receive exactly the events they subscribed to.
+#[derive(Debug)]
+pub struct ContentRouter {
+    fabric: Arc<RoutingFabric>,
+    engines: Vec<LinkMatchEngine>,
+    next_subscription: u32,
+}
+
+impl ContentRouter {
+    /// Creates a router: one [`LinkMatchEngine`] per broker.
+    ///
+    /// # Errors
+    ///
+    /// Any engine construction error.
+    pub fn new(
+        fabric: Arc<RoutingFabric>,
+        schema: EventSchema,
+        options: PstOptions,
+    ) -> Result<Self> {
+        let mut engines = Vec::with_capacity(fabric.network().broker_count());
+        for broker in fabric.network().brokers() {
+            let space = LinkSpace::build(fabric.network(), fabric.forest(), broker);
+            engines.push(LinkMatchEngine::new(
+                broker,
+                schema.clone(),
+                options.clone(),
+                space,
+            )?);
+        }
+        Ok(ContentRouter {
+            fabric,
+            engines,
+            next_subscription: 0,
+        })
+    }
+
+    /// The shared routing fabric.
+    pub fn fabric(&self) -> &Arc<RoutingFabric> {
+        &self.fabric
+    }
+
+    /// The engine of one broker (e.g. for inspecting annotations or
+    /// measuring per-broker matching cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broker` is out of range.
+    pub fn engine(&self, broker: BrokerId) -> &LinkMatchEngine {
+        &self.engines[broker.index()]
+    }
+
+    /// Runs §2 centralized matching at `broker` (the non-trit algorithm) —
+    /// the comparison series of Chart 2.
+    pub fn centralized_match(
+        &self,
+        broker: BrokerId,
+        event: &Event,
+        stats: &mut MatchStats,
+    ) -> Vec<SubscriptionId> {
+        self.engines[broker.index()].match_subscriptions(event, stats)
+    }
+
+    /// One hop of the protocol: the links `broker` forwards `event` on for
+    /// spanning tree `tree`. Used by the discrete-event simulator and the
+    /// broker prototype, which drive propagation themselves.
+    pub fn route_at(
+        &self,
+        broker: BrokerId,
+        event: &Event,
+        tree: TreeId,
+        stats: &mut MatchStats,
+    ) -> Vec<LinkId> {
+        self.engines[broker.index()].match_links(event, tree, stats)
+    }
+}
+
+impl EventRouter for ContentRouter {
+    fn subscribe(&mut self, client: ClientId, predicate: Predicate) -> Result<SubscriptionId> {
+        let home = self
+            .fabric
+            .network()
+            .home_broker(client)
+            .ok_or_else(|| CoreError::Unknown(format!("client {client}")))?;
+        let id = SubscriptionId::new(self.next_subscription);
+        let subscription = Subscription::new(id, SubscriberId::new(home, client), predicate);
+        // "Each broker in the network has a copy of all the subscriptions."
+        for engine in &mut self.engines {
+            engine.subscribe(subscription.clone())?;
+        }
+        self.next_subscription += 1;
+        Ok(id)
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let mut removed = false;
+        for engine in &mut self.engines {
+            removed |= engine.unsubscribe(id);
+        }
+        removed
+    }
+
+    fn publish(&self, broker: BrokerId, event: &Event) -> Result<Delivery> {
+        let tree = self.fabric.tree_for(broker)?;
+        let network = self.fabric.network();
+        let mut delivery = Delivery::default();
+        // Hop-by-hop propagation along the spanning tree.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((broker, 0u32));
+        while let Some((at, hops)) = queue.pop_front() {
+            let mut stats = MatchStats::new();
+            let links = self.engines[at.index()].match_links(event, tree, &mut stats);
+            delivery.record_hop(at, hops, stats.steps);
+            for link in links {
+                match network.link_target(at, link) {
+                    LinkTarget::Broker(next) => {
+                        delivery.broker_messages += 1;
+                        queue.push_back((next, hops + 1));
+                    }
+                    LinkTarget::Client(client) => {
+                        delivery.client_messages += 1;
+                        delivery.recipients.push(client);
+                    }
+                }
+            }
+        }
+        Ok(delivery.finish())
+    }
+
+    fn subscription_count(&self) -> usize {
+        self.engines
+            .first()
+            .map_or(0, LinkMatchEngine::subscription_count)
+    }
+}
+
+/// Helper shared by routers and tests: which links of `broker` lead to its
+/// children in `tree` (the flooding protocol forwards on all of them).
+pub(crate) fn child_links(
+    network: &BrokerNetwork,
+    tree: &crate::SpanningTree,
+    broker: BrokerId,
+) -> Vec<LinkId> {
+    tree.children(broker)
+        .iter()
+        .map(|child| {
+            network
+                .link_to_broker(broker, *child)
+                .expect("tree edges are network links")
+        })
+        .collect()
+}

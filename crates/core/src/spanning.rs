@@ -1,0 +1,562 @@
+//! Spanning trees for event distribution, and the per-broker link spaces
+//! (including footnote 1's "virtual links") that trit vectors index.
+
+use std::collections::HashMap;
+
+use linkcast_types::{BrokerId, ClientId, LinkId, Trit, TritVec};
+
+use crate::{BrokerNetwork, CoreError, Result};
+
+/// Identifies a spanning tree within a [`SpanningForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TreeId(pub(crate) u32);
+
+impl TreeId {
+    /// Raw index of the tree in its forest.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a tree id from an index previously obtained via
+    /// [`TreeId::index`] (e.g. carried over the wire between brokers that
+    /// derive identical forests from the shared static topology). The index
+    /// is *not* validated here; [`SpanningForest::tree`] returns `None` for
+    /// out-of-range ids.
+    pub const fn from_index(index: usize) -> Self {
+        TreeId(index as u32)
+    }
+}
+
+impl std::fmt::Display for TreeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One spanning tree over the broker graph: the shortest-path tree rooted at
+/// a publisher-hosting broker ("we assume that events always follow the
+/// shortest path", §3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanningTree {
+    root: BrokerId,
+    parent: Vec<Option<BrokerId>>,
+    children: Vec<Vec<BrokerId>>,
+    /// Euler-tour interval per broker for O(1) descendant tests.
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+}
+
+impl SpanningTree {
+    /// Builds the shortest-path tree rooted at `root`.
+    fn shortest_path_tree(network: &BrokerNetwork, root: BrokerId) -> Self {
+        let (_, parent) = network.shortest_paths(root);
+        let n = network.broker_count();
+        let mut children: Vec<Vec<BrokerId>> = vec![Vec::new(); n];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(BrokerId::new(i as u32));
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut timer = 0u32;
+        let mut stack = vec![(root, false)];
+        while let Some((b, done)) = stack.pop() {
+            if done {
+                tout[b.index()] = timer;
+                timer += 1;
+                continue;
+            }
+            tin[b.index()] = timer;
+            timer += 1;
+            stack.push((b, true));
+            for &c in &children[b.index()] {
+                stack.push((c, false));
+            }
+        }
+        SpanningTree {
+            root,
+            parent,
+            children,
+            tin,
+            tout,
+        }
+    }
+
+    /// The tree's root (the publisher-hosting broker it serves).
+    pub fn root(&self) -> BrokerId {
+        self.root
+    }
+
+    /// The parent of `broker` in the tree (`None` for the root).
+    pub fn parent(&self, broker: BrokerId) -> Option<BrokerId> {
+        self.parent[broker.index()]
+    }
+
+    /// The children of `broker` in the tree.
+    pub fn children(&self, broker: BrokerId) -> &[BrokerId] {
+        &self.children[broker.index()]
+    }
+
+    /// Whether `descendant` lies in the subtree rooted at `ancestor`
+    /// (inclusive).
+    pub fn is_descendant(&self, descendant: BrokerId, ancestor: BrokerId) -> bool {
+        self.tin[ancestor.index()] <= self.tin[descendant.index()]
+            && self.tout[descendant.index()] <= self.tout[ancestor.index()]
+    }
+
+    /// The brokers on the unique tree path from `from` down to its
+    /// descendant `to`, inclusive of both ends; `None` if `to` is not in
+    /// `from`'s subtree.
+    ///
+    /// Used to attribute per-hop matching costs to a delivery (Chart 2's
+    /// "sum of the times for all the partial matches at intermediate
+    /// brokers along the way from publisher to subscriber").
+    pub fn path_down(&self, from: BrokerId, to: BrokerId) -> Option<Vec<BrokerId>> {
+        if !self.is_descendant(to, from) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = self.parent(cur).expect("descendants have parent chains");
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The child of `broker` whose subtree contains `target`, if `target`
+    /// is a strict descendant of `broker`.
+    pub fn child_toward(&self, broker: BrokerId, target: BrokerId) -> Option<BrokerId> {
+        if target == broker || !self.is_descendant(target, broker) {
+            return None;
+        }
+        // Walk up from the target until just below `broker`.
+        let mut cur = target;
+        loop {
+            let p = self.parent(cur)?;
+            if p == broker {
+                return Some(cur);
+            }
+            cur = p;
+        }
+    }
+}
+
+/// The set of spanning trees in use: one per publisher-hosting broker,
+/// deduplicated ("there will be a relatively small set of different spanning
+/// trees", §3.2).
+#[derive(Debug, Clone)]
+pub struct SpanningForest {
+    trees: Vec<SpanningTree>,
+    by_root: HashMap<BrokerId, TreeId>,
+}
+
+impl SpanningForest {
+    /// Computes trees rooted at each of `roots` (brokers that host
+    /// publishers), sharing structurally identical trees.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Topology`] if `roots` is empty or contains an unknown
+    /// broker.
+    pub fn compute(network: &BrokerNetwork, roots: &[BrokerId]) -> Result<Self> {
+        if roots.is_empty() {
+            return Err(CoreError::Topology(
+                "at least one publisher-hosting broker is required".into(),
+            ));
+        }
+        let mut forest = SpanningForest {
+            trees: Vec::new(),
+            by_root: HashMap::new(),
+        };
+        for &root in roots {
+            if root.index() >= network.broker_count() {
+                return Err(CoreError::Topology(format!("unknown root broker {root}")));
+            }
+            if forest.by_root.contains_key(&root) {
+                continue;
+            }
+            let tree = SpanningTree::shortest_path_tree(network, root);
+            // Dedup: trees with identical parent structure are the same
+            // distribution tree regardless of root label.
+            let id = match forest.trees.iter().position(|t| t.parent == tree.parent) {
+                Some(i) => TreeId(i as u32),
+                None => {
+                    forest.trees.push(tree);
+                    TreeId((forest.trees.len() - 1) as u32)
+                }
+            };
+            forest.by_root.insert(root, id);
+        }
+        Ok(forest)
+    }
+
+    /// Computes trees for every broker (any broker may host a publisher).
+    ///
+    /// # Errors
+    ///
+    /// See [`SpanningForest::compute`].
+    pub fn compute_all(network: &BrokerNetwork) -> Result<Self> {
+        let roots: Vec<BrokerId> = network.brokers().collect();
+        Self::compute(network, &roots)
+    }
+
+    /// Number of distinct trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty (never true for a built forest).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The tree used by publishers attached to `root`, if computed.
+    pub fn tree_for_root(&self, root: BrokerId) -> Option<TreeId> {
+        self.by_root.get(&root).copied()
+    }
+
+    /// Looks up a tree by id.
+    pub fn tree(&self, id: TreeId) -> Option<&SpanningTree> {
+        self.trees.get(id.index())
+    }
+
+    /// Iterates over `(id, tree)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, &SpanningTree)> {
+        self.trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TreeId(i as u32), t))
+    }
+}
+
+/// The trit-vector index space of one broker: its physical links crossed
+/// with the *virtual-link classes* of footnote 1.
+///
+/// Each spanning tree induces, at this broker, a mapping from downstream
+/// destinations (clients) to the outgoing link that reaches them. Trees with
+/// identical mappings share a **class**; the trit vector has one position
+/// per `(class, link)` pair, so a single annotated PST serves every tree
+/// soundly even when trees route the same destination over different links
+/// (the situation footnote 1 resolves by "splitting the link into two or
+/// more 'virtual' links"). On tree-like networks all trees share one class
+/// and the vector is exactly one trit per physical link, as in the paper's
+/// figures.
+#[derive(Debug, Clone)]
+pub struct LinkSpace {
+    broker: BrokerId,
+    n_links: usize,
+    /// `class_of[tree.index()]` = class index.
+    class_of: Vec<usize>,
+    /// Per class: downstream destination → link.
+    mappings: Vec<HashMap<ClientId, LinkId>>,
+    /// Per tree: the initialization mask of §3.2 (width = classes × links).
+    init_masks: Vec<TritVec>,
+}
+
+impl LinkSpace {
+    /// Builds the link space of `broker` for all trees in `forest`.
+    pub fn build(network: &BrokerNetwork, forest: &SpanningForest, broker: BrokerId) -> Self {
+        let n_links = network.link_count(broker);
+        let mut mappings: Vec<HashMap<ClientId, LinkId>> = Vec::new();
+        let mut class_of = Vec::with_capacity(forest.len());
+        for (_, tree) in forest.iter() {
+            let mapping = Self::full_mapping(network, tree, broker);
+            let class = match mappings.iter().position(|m| *m == mapping) {
+                Some(i) => i,
+                None => {
+                    mappings.push(mapping);
+                    mappings.len() - 1
+                }
+            };
+            class_of.push(class);
+        }
+        let width = mappings.len() * n_links;
+        let init_masks = forest
+            .iter()
+            .map(|(id, tree)| {
+                // §3.2: the trit at link l is Maybe "if at least one of the
+                // destinations routable via l is a descendant of the broker
+                // in the spanning tree; and No" otherwise.
+                let class = class_of[id.index()];
+                let mut mask = TritVec::no(width);
+                for (client, link) in &mappings[class] {
+                    let home = network.home_broker(*client).expect("client exists");
+                    if home == broker || tree.is_descendant(home, broker) {
+                        mask.set(class * n_links + link.index(), Trit::Maybe);
+                    }
+                }
+                mask
+            })
+            .collect();
+        LinkSpace {
+            broker,
+            n_links,
+            class_of,
+            mappings,
+            init_masks,
+        }
+    }
+
+    /// The next-hop link from `broker` toward every destination along the
+    /// unique tree path (downstream destinations map to a child link,
+    /// upstream ones to the parent link, local clients to their client
+    /// link). This is the broker's "routing table mapping each possible
+    /// destination to the link which is the next hop" of §3.2, specialized
+    /// to one tree; trees with identical tables share a virtual-link class.
+    fn full_mapping(
+        network: &BrokerNetwork,
+        tree: &SpanningTree,
+        broker: BrokerId,
+    ) -> HashMap<ClientId, LinkId> {
+        let mut mapping = HashMap::new();
+        for client in network.clients() {
+            let home = network.home_broker(client).expect("client exists");
+            let link = if home == broker {
+                network
+                    .link_to_client(broker, client)
+                    .expect("local client has a link")
+            } else if let Some(child) = tree.child_toward(broker, home) {
+                network
+                    .link_to_broker(broker, child)
+                    .expect("tree edges are network links")
+            } else {
+                let parent = tree
+                    .parent(broker)
+                    .expect("non-descendant destinations lie through the parent");
+                network
+                    .link_to_broker(broker, parent)
+                    .expect("tree edges are network links")
+            };
+            mapping.insert(client, link);
+        }
+        mapping
+    }
+
+    /// The broker this space belongs to.
+    pub fn broker(&self) -> BrokerId {
+        self.broker
+    }
+
+    /// Number of physical links.
+    pub fn link_count(&self) -> usize {
+        self.n_links
+    }
+
+    /// Number of virtual-link classes (1 on tree-like networks).
+    pub fn class_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Width of trit vectors over this space (`classes × links`).
+    pub fn width(&self) -> usize {
+        self.mappings.len() * self.n_links
+    }
+
+    /// The initialization mask for events distributed along `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not part of the forest this space was built
+    /// from.
+    pub fn init_mask(&self, tree: TreeId) -> &TritVec {
+        &self.init_masks[tree.index()]
+    }
+
+    /// The virtual-link class `tree` belongs to.
+    pub fn class(&self, tree: TreeId) -> usize {
+        self.class_of[tree.index()]
+    }
+
+    /// The trit position of `(class, link)`.
+    pub fn position(&self, class: usize, link: LinkId) -> usize {
+        class * self.n_links + link.index()
+    }
+
+    /// Annotates a subscriber's leaf trit vector: `Yes` at each
+    /// `(class, link)` position that reaches `client` downstream, `No`
+    /// elsewhere. Returns an all-`No` vector for destinations never
+    /// downstream of this broker.
+    pub fn leaf_vector(&self, client: ClientId) -> TritVec {
+        let mut v = TritVec::no(self.width());
+        for (class, mapping) in self.mappings.iter().enumerate() {
+            if let Some(link) = mapping.get(&client) {
+                v.set(self.position(class, *link), Trit::Yes);
+            }
+        }
+        v
+    }
+
+    /// Decodes a fully refined mask into the physical links to forward on
+    /// (positions outside `tree`'s class are never `Yes` because the
+    /// initialization mask starts them at `No`).
+    pub fn links_to_send(&self, mask: &TritVec) -> Vec<LinkId> {
+        let mut out: Vec<LinkId> = mask
+            .yes_indices()
+            .map(|p| LinkId::new((p % self.n_links) as u32))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    /// B0 - B1 - B2, with B1 - B3 hanging off; clients one per broker.
+    fn star() -> (BrokerNetwork, Vec<BrokerId>, Vec<ClientId>) {
+        let mut b = NetworkBuilder::new();
+        let ids = b.add_brokers(4);
+        b.connect(ids[0], ids[1], 10.0).unwrap();
+        b.connect(ids[1], ids[2], 10.0).unwrap();
+        b.connect(ids[1], ids[3], 10.0).unwrap();
+        let clients = ids.iter().map(|&i| b.add_client(i).unwrap()).collect();
+        let net = b.build().unwrap();
+        (net, ids, clients)
+    }
+
+    #[test]
+    fn tree_structure_on_star() {
+        let (net, ids, _) = star();
+        let forest = SpanningForest::compute(&net, &[ids[0]]).unwrap();
+        let tree = forest.tree(TreeId(0)).unwrap();
+        assert_eq!(tree.root(), ids[0]);
+        assert_eq!(tree.parent(ids[0]), None);
+        assert_eq!(tree.parent(ids[1]), Some(ids[0]));
+        assert_eq!(tree.parent(ids[2]), Some(ids[1]));
+        assert_eq!(tree.children(ids[1]), &[ids[2], ids[3]]);
+        assert!(tree.is_descendant(ids[3], ids[1]));
+        assert!(tree.is_descendant(ids[1], ids[1]));
+        assert!(!tree.is_descendant(ids[0], ids[1]));
+        assert_eq!(tree.child_toward(ids[0], ids[2]), Some(ids[1]));
+        assert_eq!(tree.child_toward(ids[1], ids[3]), Some(ids[3]));
+        assert_eq!(tree.child_toward(ids[1], ids[0]), None);
+        assert_eq!(tree.child_toward(ids[1], ids[1]), None);
+        assert_eq!(
+            tree.path_down(ids[0], ids[2]),
+            Some(vec![ids[0], ids[1], ids[2]])
+        );
+        assert_eq!(tree.path_down(ids[0], ids[0]), Some(vec![ids[0]]));
+        assert_eq!(tree.path_down(ids[1], ids[0]), None);
+    }
+
+    #[test]
+    fn forest_dedups_identical_trees() {
+        // On a tree-shaped network every root yields the same undirected
+        // tree, but parent orientation differs per root, so trees are
+        // distinct; on a single-broker network they collapse.
+        let mut b = NetworkBuilder::new();
+        let b0 = b.add_broker();
+        b.add_client(b0).unwrap();
+        let net = b.build().unwrap();
+        let forest = SpanningForest::compute(&net, &[b0, b0]).unwrap();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest.tree_for_root(b0), Some(TreeId(0)));
+        assert!(!forest.is_empty());
+    }
+
+    #[test]
+    fn forest_rejects_bad_roots() {
+        let (net, _, _) = star();
+        assert!(SpanningForest::compute(&net, &[]).is_err());
+        assert!(SpanningForest::compute(&net, &[BrokerId::new(9)]).is_err());
+    }
+
+    #[test]
+    fn link_space_on_tree_network_has_one_class() {
+        let (net, ids, clients) = star();
+        let forest = SpanningForest::compute_all(&net).unwrap();
+        let space = LinkSpace::build(&net, &forest, ids[1]);
+        assert_eq!(space.class_count(), 1);
+        assert_eq!(space.link_count(), 4); // B0, B2, B3, local client
+        assert_eq!(space.width(), 4);
+
+        // Local client: Yes on its client link.
+        let local = space.leaf_vector(clients[1]);
+        let client_link = net.link_to_client(ids[1], clients[1]).unwrap();
+        assert_eq!(
+            local.yes_indices().collect::<Vec<_>>(),
+            vec![client_link.index()]
+        );
+
+        // Remote client at B2: Yes on the link toward B2.
+        let remote = space.leaf_vector(clients[2]);
+        let link = net.link_to_broker(ids[1], ids[2]).unwrap();
+        assert_eq!(remote.yes_indices().collect::<Vec<_>>(), vec![link.index()]);
+    }
+
+    #[test]
+    fn init_mask_excludes_upstream_links() {
+        let (net, ids, _) = star();
+        let forest = SpanningForest::compute(&net, &[ids[0]]).unwrap();
+        let tree = forest.tree_for_root(ids[0]).unwrap();
+        let space = LinkSpace::build(&net, &forest, ids[1]);
+        let mask = space.init_mask(tree);
+        // From B1 on the tree rooted at B0: downstream = B2, B3, local
+        // client; upstream = B0.
+        let up = net.link_to_broker(ids[1], ids[0]).unwrap();
+        assert_eq!(mask.get(up.index()), Trit::No);
+        assert_eq!(mask.count_maybe(), 3);
+    }
+
+    #[test]
+    fn leaf_broker_mask_covers_only_local_clients() {
+        let (net, ids, _) = star();
+        let forest = SpanningForest::compute(&net, &[ids[0]]).unwrap();
+        let tree = forest.tree_for_root(ids[0]).unwrap();
+        let space = LinkSpace::build(&net, &forest, ids[2]);
+        let mask = space.init_mask(tree);
+        assert_eq!(mask.count_maybe(), 1, "only the local client is downstream");
+    }
+
+    #[test]
+    fn cyclic_topology_can_need_multiple_classes() {
+        // Square B0-B1-B2-B3-B0 with unit delays: the tree rooted at B0
+        // reaches B2's client via B1 (tie-break), while the tree rooted at
+        // B2 makes B2 the root (client local, no forwarding). From B1's
+        // perspective the mapping for B2's client differs across trees:
+        // downstream in tree(B0), absent in tree(B2).
+        let mut b = NetworkBuilder::new();
+        let ids = b.add_brokers(4);
+        b.connect(ids[0], ids[1], 10.0).unwrap();
+        b.connect(ids[1], ids[2], 10.0).unwrap();
+        b.connect(ids[2], ids[3], 10.0).unwrap();
+        b.connect(ids[3], ids[0], 10.0).unwrap();
+        for &id in &ids {
+            b.add_client(id).unwrap();
+        }
+        let net = b.build().unwrap();
+        let forest = SpanningForest::compute_all(&net).unwrap();
+        assert!(forest.len() >= 2);
+        let space = LinkSpace::build(&net, &forest, ids[1]);
+        assert!(
+            space.class_count() >= 2,
+            "cyclic topology should split virtual-link classes, got {}",
+            space.class_count()
+        );
+        assert_eq!(space.width(), space.class_count() * space.link_count());
+    }
+
+    #[test]
+    fn links_to_send_maps_positions_to_physical_links() {
+        let (net, ids, clients) = star();
+        let forest = SpanningForest::compute_all(&net).unwrap();
+        let space = LinkSpace::build(&net, &forest, ids[1]);
+        let leaf = space.leaf_vector(clients[3]);
+        let links = space.links_to_send(&leaf);
+        assert_eq!(links, vec![net.link_to_broker(ids[1], ids[3]).unwrap()]);
+    }
+
+    #[test]
+    fn tree_id_display() {
+        assert_eq!(TreeId(3).to_string(), "T3");
+    }
+}

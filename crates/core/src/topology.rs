@@ -1,0 +1,483 @@
+//! The broker network: brokers, inter-broker links, and attached clients.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use linkcast_types::{BrokerId, ClientId, LinkId};
+
+use crate::{CoreError, Result};
+
+/// What an outgoing link of a broker leads to: a neighboring broker or a
+/// locally attached client (paper Fig. 3: "neighbors may be brokers or
+/// clients").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkTarget {
+    /// A neighboring broker.
+    Broker(BrokerId),
+    /// A locally attached client.
+    Client(ClientId),
+}
+
+impl fmt::Display for LinkTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkTarget::Broker(b) => write!(f, "{b}"),
+            LinkTarget::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BrokerNode {
+    /// Neighboring brokers and the one-way delay of the link, in
+    /// milliseconds, sorted by neighbor id.
+    neighbors: Vec<(BrokerId, f64)>,
+    /// Locally attached clients, sorted.
+    clients: Vec<ClientId>,
+}
+
+/// An immutable broker-network topology.
+///
+/// Built with [`NetworkBuilder`]; validated to be connected, with every
+/// client attached to exactly one broker. Per broker, outgoing links are
+/// numbered `0..`: first the broker links (by neighbor id), then the client
+/// links (by client id) — this is the link order trit vectors use.
+///
+/// # Example
+///
+/// ```
+/// use linkcast::NetworkBuilder;
+///
+/// # fn main() -> Result<(), linkcast::CoreError> {
+/// let mut b = NetworkBuilder::new();
+/// let b0 = b.add_broker();
+/// let b1 = b.add_broker();
+/// b.connect(b0, b1, 10.0)?;
+/// let alice = b.add_client(b0)?;
+/// let network = b.build()?;
+/// assert_eq!(network.broker_count(), 2);
+/// assert_eq!(network.home_broker(alice), Some(b0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BrokerNetwork {
+    brokers: Vec<BrokerNode>,
+    client_home: Vec<BrokerId>,
+}
+
+impl BrokerNetwork {
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Number of clients across all brokers.
+    pub fn client_count(&self) -> usize {
+        self.client_home.len()
+    }
+
+    /// Iterates over all broker ids.
+    pub fn brokers(&self) -> impl Iterator<Item = BrokerId> {
+        (0..self.brokers.len() as u32).map(BrokerId::new)
+    }
+
+    /// Iterates over all client ids.
+    pub fn clients(&self) -> impl Iterator<Item = ClientId> {
+        (0..self.client_home.len() as u32).map(ClientId::new)
+    }
+
+    /// The broker a client is attached to, if the client exists.
+    pub fn home_broker(&self, client: ClientId) -> Option<BrokerId> {
+        self.client_home.get(client.index()).copied()
+    }
+
+    /// The clients attached to `broker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broker` is out of range.
+    pub fn clients_of(&self, broker: BrokerId) -> &[ClientId] {
+        &self.brokers[broker.index()].clients
+    }
+
+    /// The neighboring brokers of `broker` with link delays (ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broker` is out of range.
+    pub fn neighbors(&self, broker: BrokerId) -> &[(BrokerId, f64)] {
+        &self.brokers[broker.index()].neighbors
+    }
+
+    /// Number of outgoing links (broker links + client links) of `broker`.
+    pub fn link_count(&self, broker: BrokerId) -> usize {
+        let node = &self.brokers[broker.index()];
+        node.neighbors.len() + node.clients.len()
+    }
+
+    /// The target of link `link` of `broker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link index is out of range.
+    pub fn link_target(&self, broker: BrokerId, link: LinkId) -> LinkTarget {
+        let node = &self.brokers[broker.index()];
+        let i = link.index();
+        if i < node.neighbors.len() {
+            LinkTarget::Broker(node.neighbors[i].0)
+        } else {
+            LinkTarget::Client(node.clients[i - node.neighbors.len()])
+        }
+    }
+
+    /// The link of `broker` leading to a neighboring broker, if adjacent.
+    pub fn link_to_broker(&self, broker: BrokerId, neighbor: BrokerId) -> Option<LinkId> {
+        let node = &self.brokers[broker.index()];
+        node.neighbors
+            .binary_search_by(|(n, _)| n.cmp(&neighbor))
+            .ok()
+            .map(|i| LinkId::new(i as u32))
+    }
+
+    /// The link of `broker` leading to a locally attached client, if local.
+    pub fn link_to_client(&self, broker: BrokerId, client: ClientId) -> Option<LinkId> {
+        let node = &self.brokers[broker.index()];
+        node.clients
+            .binary_search(&client)
+            .ok()
+            .map(|i| LinkId::new((node.neighbors.len() + i) as u32))
+    }
+
+    /// The one-way delay (ms) of the link between two adjacent brokers.
+    pub fn delay(&self, a: BrokerId, b: BrokerId) -> Option<f64> {
+        let node = &self.brokers[a.index()];
+        node.neighbors
+            .binary_search_by(|(n, _)| n.cmp(&b))
+            .ok()
+            .map(|i| node.neighbors[i].1)
+    }
+
+    /// Renders the topology in Graphviz `dot` syntax: brokers as circles
+    /// with client counts, links labeled with one-way delays.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            String::from("graph topology {\n  layout=neato;\n  node [fontname=\"monospace\"];\n");
+        for broker in self.brokers() {
+            let clients = self.clients_of(broker).len();
+            let _ = writeln!(
+                out,
+                "  \"{broker}\" [shape=circle, label=\"{broker}\\n{clients} clients\"];"
+            );
+        }
+        for a in self.brokers() {
+            for &(b, delay) in self.neighbors(a) {
+                if a < b {
+                    let _ = writeln!(out, "  \"{a}\" -- \"{b}\" [label=\"{delay} ms\"];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Shortest-path distances (total delay, ms) from `source` to every
+    /// broker, and the first hop toward each (Dijkstra; ties broken toward
+    /// the lower-numbered neighbor for determinism).
+    ///
+    /// Returns `(distance, parent)` vectors indexed by broker.
+    pub fn shortest_paths(&self, source: BrokerId) -> (Vec<f64>, Vec<Option<BrokerId>>) {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry(f64, BrokerId);
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance, then on broker id.
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .unwrap_or(Ordering::Equal)
+                    .then(other.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.brokers.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<BrokerId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[source.index()] = 0.0;
+        heap.push(Entry(0.0, source));
+        while let Some(Entry(d, b)) = heap.pop() {
+            if d > dist[b.index()] {
+                continue;
+            }
+            for &(next, w) in &self.brokers[b.index()].neighbors {
+                let nd = d + w;
+                let cur = dist[next.index()];
+                // Deterministic tie-break: prefer the lower-id parent.
+                let better = nd < cur || (nd == cur && parent[next.index()].is_some_and(|p| b < p));
+                if better {
+                    dist[next.index()] = nd;
+                    parent[next.index()] = Some(b);
+                    heap.push(Entry(nd, next));
+                }
+            }
+        }
+        (dist, parent)
+    }
+}
+
+/// Incrementally builds a [`BrokerNetwork`].
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    brokers: Vec<BrokerNode>,
+    client_home: Vec<BrokerId>,
+    edges: HashMap<(BrokerId, BrokerId), f64>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a broker, returning its id.
+    pub fn add_broker(&mut self) -> BrokerId {
+        self.brokers.push(BrokerNode {
+            neighbors: Vec::new(),
+            clients: Vec::new(),
+        });
+        BrokerId::new((self.brokers.len() - 1) as u32)
+    }
+
+    /// Adds `count` brokers, returning their ids.
+    pub fn add_brokers(&mut self, count: usize) -> Vec<BrokerId> {
+        (0..count).map(|_| self.add_broker()).collect()
+    }
+
+    /// Connects two brokers with a bidirectional link of the given one-way
+    /// delay in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Topology`] if either broker is unknown, the brokers are
+    /// equal, the delay is not positive and finite, or the link already
+    /// exists.
+    pub fn connect(&mut self, a: BrokerId, b: BrokerId, delay_ms: f64) -> Result<()> {
+        if a == b {
+            return Err(CoreError::Topology(format!("self-link on {a}")));
+        }
+        if a.index() >= self.brokers.len() || b.index() >= self.brokers.len() {
+            return Err(CoreError::Topology(format!("unknown broker in {a}-{b}")));
+        }
+        if !(delay_ms.is_finite() && delay_ms > 0.0) {
+            return Err(CoreError::Topology(format!(
+                "link {a}-{b} has invalid delay {delay_ms}"
+            )));
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if self.edges.insert(key, delay_ms).is_some() {
+            return Err(CoreError::Topology(format!("duplicate link {a}-{b}")));
+        }
+        Ok(())
+    }
+
+    /// Attaches a new client to `broker`, returning the client id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Topology`] if the broker is unknown.
+    pub fn add_client(&mut self, broker: BrokerId) -> Result<ClientId> {
+        if broker.index() >= self.brokers.len() {
+            return Err(CoreError::Topology(format!("unknown broker {broker}")));
+        }
+        let id = ClientId::new(self.client_home.len() as u32);
+        self.client_home.push(broker);
+        self.brokers[broker.index()].clients.push(id);
+        Ok(id)
+    }
+
+    /// Attaches `count` clients to `broker`.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkBuilder::add_client`].
+    pub fn add_clients(&mut self, broker: BrokerId, count: usize) -> Result<Vec<ClientId>> {
+        (0..count).map(|_| self.add_client(broker)).collect()
+    }
+
+    /// Finalizes and validates the network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Topology`] if there are no brokers or the broker graph
+    /// is not connected.
+    pub fn build(mut self) -> Result<BrokerNetwork> {
+        if self.brokers.is_empty() {
+            return Err(CoreError::Topology("network has no brokers".into()));
+        }
+        for (&(a, b), &delay) in &self.edges {
+            self.brokers[a.index()].neighbors.push((b, delay));
+            self.brokers[b.index()].neighbors.push((a, delay));
+        }
+        for node in &mut self.brokers {
+            node.neighbors.sort_by_key(|(n, _)| *n);
+            node.clients.sort_unstable();
+        }
+        let network = BrokerNetwork {
+            brokers: self.brokers,
+            client_home: self.client_home,
+        };
+        // Connectivity check from broker 0.
+        let (dist, _) = network.shortest_paths(BrokerId::new(0));
+        if let Some(unreachable) = dist.iter().position(|d| !d.is_finite()) {
+            return Err(CoreError::Topology(format!(
+                "broker B{unreachable} is unreachable from B0"
+            )));
+        }
+        Ok(network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-broker line: B0 - B1 - B2 - B3, one client each.
+    fn line() -> (BrokerNetwork, Vec<ClientId>) {
+        let mut b = NetworkBuilder::new();
+        let ids = b.add_brokers(4);
+        b.connect(ids[0], ids[1], 10.0).unwrap();
+        b.connect(ids[1], ids[2], 10.0).unwrap();
+        b.connect(ids[2], ids[3], 10.0).unwrap();
+        let clients = ids.iter().map(|&id| b.add_client(id).unwrap()).collect();
+        (b.build().unwrap(), clients)
+    }
+
+    #[test]
+    fn builder_assigns_ids_and_homes() {
+        let (net, clients) = line();
+        assert_eq!(net.broker_count(), 4);
+        assert_eq!(net.client_count(), 4);
+        assert_eq!(net.home_broker(clients[2]), Some(BrokerId::new(2)));
+        assert_eq!(net.home_broker(ClientId::new(99)), None);
+        assert_eq!(net.clients_of(BrokerId::new(1)), &[clients[1]]);
+        assert_eq!(net.brokers().count(), 4);
+        assert_eq!(net.clients().count(), 4);
+    }
+
+    #[test]
+    fn link_numbering_is_brokers_then_clients() {
+        let (net, clients) = line();
+        let b1 = BrokerId::new(1);
+        // B1 has neighbors B0, B2 then client c1.
+        assert_eq!(net.link_count(b1), 3);
+        assert_eq!(
+            net.link_target(b1, LinkId::new(0)),
+            LinkTarget::Broker(BrokerId::new(0))
+        );
+        assert_eq!(
+            net.link_target(b1, LinkId::new(1)),
+            LinkTarget::Broker(BrokerId::new(2))
+        );
+        assert_eq!(
+            net.link_target(b1, LinkId::new(2)),
+            LinkTarget::Client(clients[1])
+        );
+        assert_eq!(
+            net.link_to_broker(b1, BrokerId::new(2)),
+            Some(LinkId::new(1))
+        );
+        assert_eq!(net.link_to_broker(b1, BrokerId::new(3)), None);
+        assert_eq!(net.link_to_client(b1, clients[1]), Some(LinkId::new(2)));
+        assert_eq!(net.link_to_client(b1, clients[0]), None);
+        assert_eq!(net.delay(b1, BrokerId::new(2)), Some(10.0));
+        assert_eq!(net.delay(b1, BrokerId::new(3)), None);
+    }
+
+    #[test]
+    fn shortest_paths_on_line() {
+        let (net, _) = line();
+        let (dist, parent) = net.shortest_paths(BrokerId::new(0));
+        assert_eq!(dist, vec![0.0, 10.0, 20.0, 30.0]);
+        assert_eq!(parent[3], Some(BrokerId::new(2)));
+        assert_eq!(parent[0], None);
+    }
+
+    #[test]
+    fn shortest_paths_prefer_cheap_routes() {
+        // Triangle with one expensive edge: B0-B2 direct costs 50, via B1
+        // costs 20.
+        let mut b = NetworkBuilder::new();
+        let ids = b.add_brokers(3);
+        b.connect(ids[0], ids[1], 10.0).unwrap();
+        b.connect(ids[1], ids[2], 10.0).unwrap();
+        b.connect(ids[0], ids[2], 50.0).unwrap();
+        let net = b.build().unwrap();
+        let (dist, parent) = net.shortest_paths(ids[0]);
+        assert_eq!(dist[2], 20.0);
+        assert_eq!(parent[2], Some(ids[1]));
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = NetworkBuilder::new();
+        let b0 = b.add_broker();
+        let b1 = b.add_broker();
+        assert!(b.connect(b0, b0, 1.0).is_err());
+        assert!(b.connect(b0, BrokerId::new(9), 1.0).is_err());
+        assert!(b.connect(b0, b1, 0.0).is_err());
+        assert!(b.connect(b0, b1, f64::NAN).is_err());
+        b.connect(b0, b1, 1.0).unwrap();
+        assert!(b.connect(b1, b0, 2.0).is_err(), "duplicate link");
+        assert!(b.add_client(BrokerId::new(9)).is_err());
+        assert!(NetworkBuilder::new().build().is_err(), "empty network");
+    }
+
+    #[test]
+    fn disconnected_networks_are_rejected() {
+        let mut b = NetworkBuilder::new();
+        let _b0 = b.add_broker();
+        let _b1 = b.add_broker();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, CoreError::Topology(_)));
+    }
+
+    #[test]
+    fn single_broker_network_is_fine() {
+        let mut b = NetworkBuilder::new();
+        let b0 = b.add_broker();
+        let c = b.add_client(b0).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.link_count(b0), 1);
+        assert_eq!(net.link_target(b0, LinkId::new(0)), LinkTarget::Client(c));
+    }
+
+    #[test]
+    fn to_dot_renders_the_graph() {
+        let (net, _) = line();
+        let dot = net.to_dot();
+        assert!(dot.starts_with("graph topology {"), "{dot}");
+        assert!(dot.contains("\"B0\" -- \"B1\""), "{dot}");
+        assert!(dot.contains("10 ms"), "{dot}");
+        assert!(dot.contains("1 clients"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+        // Each undirected link appears exactly once.
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn link_target_display() {
+        assert_eq!(LinkTarget::Broker(BrokerId::new(2)).to_string(), "B2");
+        assert_eq!(LinkTarget::Client(ClientId::new(3)).to_string(), "C3");
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-threaded PST matching.
+//!
+//! The parallel search tree is named for its *conceptually* parallel
+//! subsearches ("we initiate parallel subsearches at each successor node",
+//! §2); the paper's implementation runs them sequentially. On modern
+//! multi-core hardware the concept can be taken literally: the frontier
+//! below the root is partitioned across scoped worker threads, each running
+//! the ordinary sequential search on its share.
+//!
+//! Worthwhile only when single-event latency matters more than throughput
+//! and the tree is large — for small trees the fork/join overhead dominates
+//! (the `matching` Criterion bench quantifies the break-even).
+
+use crossbeam::thread;
+use linkcast_types::{Event, SubscriptionId};
+
+use crate::pst::{NodeId, Pst};
+use crate::MatchStats;
+
+impl Pst {
+    /// Like [`Matcher::matches`](crate::Matcher::matches), but fans the
+    /// top-level subsearches out over up to `threads` scoped worker
+    /// threads. Results and statistics are identical to the sequential
+    /// search (stats are summed across workers).
+    ///
+    /// Falls back to the sequential path when `threads <= 1` or the
+    /// frontier is too small to split.
+    pub fn matches_parallel(
+        &self,
+        event: &Event,
+        threads: usize,
+        stats: &mut MatchStats,
+    ) -> Vec<SubscriptionId> {
+        // Build the frontier: the children the sequential search would
+        // visit from the root (plus the root's own bookkeeping).
+        let Some(root) = self.root_for_event(event) else {
+            stats.events += 1;
+            return Vec::new();
+        };
+        let frontier = self.match_frontier(root, event, stats);
+        if threads <= 1 || frontier.len() < 2 {
+            // Not worth splitting: finish sequentially from the frontier.
+            let mut out = Vec::new();
+            for node in frontier {
+                out.extend(self.match_from(node, event, stats));
+            }
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+
+        let workers = threads.min(frontier.len());
+        let chunks: Vec<Vec<NodeId>> = {
+            let mut chunks: Vec<Vec<NodeId>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, node) in frontier.into_iter().enumerate() {
+                chunks[i % workers].push(node);
+            }
+            chunks
+        };
+        let results = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut local_stats = MatchStats::new();
+                        let mut out = Vec::new();
+                        for node in chunk {
+                            out.extend(self.match_from(node, event, &mut local_stats));
+                        }
+                        (out, local_stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("matching workers do not panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scoped matching threads do not panic");
+
+        let mut out = Vec::new();
+        for (ids, local_stats) in results {
+            out.extend(ids);
+            stats.steps += local_stats.steps;
+            stats.comparisons += local_stats.comparisons;
+            stats.leaf_hits += local_stats.leaf_hits;
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matcher, PstOptions};
+    use linkcast_types::{
+        AttrTest, BrokerId, ClientId, EventSchema, Predicate, SubscriberId, Subscription, Value,
+        ValueKind,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn schema() -> EventSchema {
+        let mut b = EventSchema::builder("par");
+        for i in 0..5 {
+            b = b.attribute_with_domain(format!("a{i}"), ValueKind::Int, (0..4).map(Value::Int));
+        }
+        b.build().unwrap()
+    }
+
+    fn random_pst(rng: &mut StdRng, subs: u32, factoring: usize) -> Pst {
+        let schema = schema();
+        let mut pst = Pst::new(
+            schema.clone(),
+            PstOptions::default().with_factoring(factoring),
+        )
+        .unwrap();
+        for i in 0..subs {
+            let tests: Vec<AttrTest> = (0..5)
+                .map(|_| {
+                    if rng.random_bool(0.5) {
+                        AttrTest::Eq(Value::Int(rng.random_range(0..4)))
+                    } else {
+                        AttrTest::Any
+                    }
+                })
+                .collect();
+            pst.insert(Subscription::new(
+                SubscriptionId::new(i),
+                SubscriberId::new(BrokerId::new(0), ClientId::new(i)),
+                Predicate::from_tests(&schema, tests).unwrap(),
+            ))
+            .unwrap();
+        }
+        pst
+    }
+
+    #[test]
+    fn parallel_matches_equal_sequential_matches() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for factoring in [0usize, 1] {
+            let pst = random_pst(&mut rng, 500, factoring);
+            let schema = schema();
+            for _ in 0..100 {
+                let event = linkcast_types::Event::from_values(
+                    &schema,
+                    (0..5).map(|_| Value::Int(rng.random_range(0..4))),
+                )
+                .unwrap();
+                let sequential = pst.matches(&event);
+                for threads in [0, 1, 2, 4, 16] {
+                    let mut stats = MatchStats::new();
+                    let parallel = pst.matches_parallel(&event, threads, &mut stats);
+                    assert_eq!(parallel, sequential, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_step_counts_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let pst = random_pst(&mut rng, 800, 0);
+        let schema = schema();
+        let event = linkcast_types::Event::from_values(
+            &schema,
+            (0..5).map(|_| Value::Int(rng.random_range(0..4))),
+        )
+        .unwrap();
+        let mut seq_stats = MatchStats::new();
+        pst.matches_with_stats(&event, &mut seq_stats);
+        let mut par_stats = MatchStats::new();
+        pst.matches_parallel(&event, 4, &mut par_stats);
+        assert_eq!(par_stats.steps, seq_stats.steps, "same nodes visited");
+        assert_eq!(par_stats.leaf_hits, seq_stats.leaf_hits);
+    }
+
+    #[test]
+    fn empty_tree_and_missing_factor_key() {
+        let schema = schema();
+        let pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+        let event =
+            linkcast_types::Event::from_values(&schema, (0..5).map(|_| Value::Int(0))).unwrap();
+        let mut stats = MatchStats::new();
+        assert!(pst.matches_parallel(&event, 4, &mut stats).is_empty());
+        assert_eq!(stats.events, 1);
+    }
+}

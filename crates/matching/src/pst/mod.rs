@@ -1,0 +1,577 @@
+//! The parallel search tree (PST) of §2.
+//!
+//! Subscriptions are organized into a tree in which the nodes at depth *d*
+//! test the *d*-th attribute (in a configurable order); branches are labeled
+//! with attribute tests (values, ranges, or `*` for don't-care) and each
+//! subscription corresponds to one root-to-leaf path. Matching follows all
+//! satisfied branches in parallel, sharing the cost of common predicate
+//! prefixes across subscriptions.
+//!
+//! The module also implements the paper's §2.1 optimizations:
+//!
+//! 1. **Factoring** — the leading attributes of the test order can be
+//!    *factored out*: a separate subtree is kept per combination of their
+//!    values, turning the first tests into a hash lookup. Subscriptions
+//!    with `*` on a factored attribute are replicated into every value's
+//!    subtree (space for time), which is why factored attributes must
+//!    declare finite domains.
+//! 2. **Trivial test elimination** — chains of nodes whose only child is a
+//!    `*` branch are skipped over during matching.
+//! 3. **Attribute ordering** — the heuristic that "performance seems to be
+//!    better if the attributes near the root are chosen to have the fewest
+//!    number of subscriptions labeled with a `*`" is available as
+//!    [`OrderPolicy::FewestStarsFirst`].
+
+mod mutate;
+mod options;
+mod traverse;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::HashMap;
+
+use linkcast_types::{AttrTest, Event, EventSchema, Subscription, SubscriptionId, Value};
+
+use crate::{MatchStats, Matcher, MatcherError};
+
+pub use options::{OrderPolicy, PstOptions};
+
+/// Identifies a node within a [`Pst`]'s arena.
+///
+/// Node ids are stable across unrelated mutations, which lets the
+/// link-matching layer keep per-node annotations in a side table keyed by
+/// `NodeId`. Ids of removed nodes may be reused by later insertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw arena index, for indexing side tables sized by
+    /// [`Pst::arena_size`].
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Position in the test order; `order.len()` marks a leaf.
+    pub(crate) level: u16,
+    /// Equality branches, sorted by value for binary search.
+    pub(crate) eq_edges: Vec<(Value, NodeId)>,
+    /// Non-equality (range) branches, scanned linearly.
+    pub(crate) range_edges: Vec<(AttrTest, NodeId)>,
+    /// The `*` (don't-care) branch.
+    pub(crate) star: Option<NodeId>,
+    /// Subscriptions parked at this leaf (empty on interior nodes).
+    pub(crate) subs: Vec<SubscriptionId>,
+    /// Trivial-test-elimination shortcut: set on nodes whose only outgoing
+    /// edge is `*` (and which hold no subscriptions) to the deepest node
+    /// the whole `*`-chain leads to.
+    pub(crate) skip: Option<NodeId>,
+}
+
+impl Node {
+    fn new(level: u16) -> Self {
+        Node {
+            level,
+            eq_edges: Vec::new(),
+            range_edges: Vec::new(),
+            star: None,
+            subs: Vec::new(),
+            skip: None,
+        }
+    }
+
+    pub(crate) fn is_trivial(&self) -> bool {
+        self.eq_edges.is_empty()
+            && self.range_edges.is_empty()
+            && self.star.is_some()
+            && self.subs.is_empty()
+    }
+
+    fn is_dead(&self) -> bool {
+        self.eq_edges.is_empty()
+            && self.range_edges.is_empty()
+            && self.star.is_none()
+            && self.subs.is_empty()
+    }
+}
+
+/// Key of a factored subtree: the values of the factored attributes, in
+/// factoring order.
+pub(crate) type FactorKey = Box<[Value]>;
+
+/// The parallel search tree matcher.
+///
+/// See the crate-level documentation for the structure, and
+/// [`PstOptions`] for the available optimizations. The read-only node
+/// accessors ([`Pst::roots`], [`Pst::node`]) exist so the link-matching
+/// layer can annotate the tree without owning it.
+#[derive(Debug, Clone)]
+pub struct Pst {
+    schema: EventSchema,
+    options: PstOptions,
+    /// Attribute indices tested at each tree level (factored attributes
+    /// excluded).
+    order: Vec<usize>,
+    /// Attribute indices handled by factor-key lookup, in key order.
+    factored: Vec<usize>,
+    roots: HashMap<FactorKey, NodeId>,
+    nodes: Vec<Option<Node>>,
+    free: Vec<u32>,
+    subscriptions: HashMap<SubscriptionId, Subscription>,
+}
+
+/// Side effects of an insert or remove, for callers (the link-matching
+/// annotator) that maintain per-node state.
+#[derive(Debug, Clone, Default)]
+pub struct MutationReport {
+    /// Root-to-leaf paths whose nodes' subtrees changed — one per factored
+    /// subtree the subscription touches. Re-annotating exactly these nodes,
+    /// bottom-up, restores annotation consistency.
+    pub paths: Vec<Vec<NodeId>>,
+    /// Nodes freed by the mutation; side tables should drop their entries.
+    pub freed: Vec<NodeId>,
+}
+
+impl Pst {
+    /// Creates an empty tree for `schema` with the given options.
+    ///
+    /// # Errors
+    ///
+    /// [`MatcherError::InvalidOptions`] if the options are inconsistent with
+    /// the schema (bad explicit order, factoring beyond arity, factoring an
+    /// attribute without a declared domain).
+    pub fn new(schema: EventSchema, options: PstOptions) -> Result<Self, MatcherError> {
+        let full_order = options.resolve_order(&schema, None)?;
+        Self::with_order(schema, options, full_order)
+    }
+
+    /// Builds a tree from an initial subscription set. With
+    /// [`OrderPolicy::FewestStarsFirst`], the attribute order is derived
+    /// from this set's don't-care statistics.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Pst::new`] or from inserting a subscription.
+    pub fn build(
+        schema: EventSchema,
+        subscriptions: impl IntoIterator<Item = Subscription>,
+        options: PstOptions,
+    ) -> Result<Self, MatcherError> {
+        let subs: Vec<Subscription> = subscriptions.into_iter().collect();
+        let full_order = options.resolve_order(&schema, Some(&subs))?;
+        let mut pst = Self::with_order(schema, options, full_order)?;
+        for sub in subs {
+            pst.insert(sub)?;
+        }
+        Ok(pst)
+    }
+
+    fn with_order(
+        schema: EventSchema,
+        options: PstOptions,
+        full_order: Vec<usize>,
+    ) -> Result<Self, MatcherError> {
+        let factoring = options.factoring;
+        let factored: Vec<usize> = full_order[..factoring].to_vec();
+        let order: Vec<usize> = full_order[factoring..].to_vec();
+        for &attr in &factored {
+            if schema.attribute(attr).and_then(|a| a.domain()).is_none() {
+                return Err(MatcherError::InvalidOptions(format!(
+                    "attribute `{}` is factored but declares no finite domain",
+                    schema
+                        .attribute(attr)
+                        .map(|a| a.name().to_string())
+                        .unwrap_or_else(|| attr.to_string())
+                )));
+            }
+        }
+        Ok(Pst {
+            schema,
+            options,
+            order,
+            factored,
+            roots: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            subscriptions: HashMap::new(),
+        })
+    }
+
+    /// The schema this tree serves.
+    pub fn schema(&self) -> &EventSchema {
+        &self.schema
+    }
+
+    /// The options the tree was built with.
+    pub fn options(&self) -> &PstOptions {
+        &self.options
+    }
+
+    /// Attribute indices tested at each level, root to leaf (factored
+    /// attributes excluded).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Attribute indices handled by factor-key lookup.
+    pub fn factored(&self) -> &[usize] {
+        &self.factored
+    }
+
+    /// Tree depth: number of levels below each factored root (equal to
+    /// `order().len()`; leaves live at this level).
+    pub fn depth(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Upper bound (exclusive) of raw node indices ever allocated; side
+    /// tables indexed by [`NodeId::index`] should have this length.
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Iterates over the factored subtree roots and their keys. With
+    /// `factoring = 0` there is at most one root, under the empty key.
+    pub fn roots(&self) -> impl Iterator<Item = (&[Value], NodeId)> {
+        self.roots.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// A read-only view of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live node.
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        NodeRef {
+            pst: self,
+            node: self.node_inner(id),
+        }
+    }
+
+    pub(crate) fn node_inner(&self, id: NodeId) -> &Node {
+        self.nodes[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {id} is not live"))
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node {id} is not live"))
+    }
+
+    fn alloc(&mut self, level: u16) -> NodeId {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Some(Node::new(level));
+            NodeId(idx)
+        } else {
+            self.nodes.push(Some(Node::new(level)));
+            NodeId((self.nodes.len() - 1) as u32)
+        }
+    }
+
+    fn dealloc(&mut self, id: NodeId) {
+        debug_assert!(self.nodes[id.index()].is_some(), "double free of {id}");
+        self.nodes[id.index()] = None;
+        self.free.push(id.0);
+    }
+
+    /// All live node ids in post-order (children before parents), across
+    /// all factored subtrees — the order in which a full re-annotation must
+    /// visit nodes.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.node_count());
+        let mut stack: Vec<(NodeId, bool)> = self.roots.values().map(|r| (*r, false)).collect();
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                out.push(id);
+                continue;
+            }
+            stack.push((id, true));
+            let node = self.node_inner(id);
+            for (_, child) in &node.eq_edges {
+                stack.push((*child, false));
+            }
+            for (_, child) in &node.range_edges {
+                stack.push((*child, false));
+            }
+            if let Some(star) = node.star {
+                stack.push((star, false));
+            }
+        }
+        out
+    }
+
+    /// The root of the subtree an event's factored values select, if any.
+    pub fn root_for_event(&self, event: &Event) -> Option<NodeId> {
+        if self.factored.is_empty() {
+            return self.roots.get(&[] as &[Value]).copied();
+        }
+        let key: FactorKey = self
+            .factored
+            .iter()
+            .map(|&attr| event.values()[attr].clone())
+            .collect();
+        self.roots.get(&key).copied()
+    }
+
+    /// Iterates over all registered subscriptions (arbitrary order).
+    pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
+        self.subscriptions.values()
+    }
+}
+
+impl Matcher for Pst {
+    fn insert(&mut self, subscription: Subscription) -> Result<(), MatcherError> {
+        self.insert_reported(subscription).map(|_| ())
+    }
+
+    fn remove(&mut self, id: SubscriptionId) -> bool {
+        self.remove_reported(id).is_some()
+    }
+
+    fn matches_with_stats(&self, event: &Event, stats: &mut MatchStats) -> Vec<SubscriptionId> {
+        self.match_collect(event, stats)
+    }
+
+    fn len(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.subscriptions.get(&id)
+    }
+}
+
+/// Read-only view of a PST node, used by the link-matching annotator and
+/// match-time search.
+#[derive(Clone, Copy)]
+pub struct NodeRef<'a> {
+    pst: &'a Pst,
+    node: &'a Node,
+}
+
+impl<'a> NodeRef<'a> {
+    /// The tree level of this node (see [`Pst::order`]); leaves are at
+    /// [`Pst::depth`].
+    pub fn level(&self) -> usize {
+        self.node.level as usize
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level() == self.pst.depth()
+    }
+
+    /// The schema attribute tested at this node, if not a leaf.
+    pub fn attribute(&self) -> Option<usize> {
+        self.pst.order.get(self.level()).copied()
+    }
+
+    /// Equality branches (value label, child), sorted by value.
+    pub fn eq_edges(&self) -> &'a [(Value, NodeId)] {
+        &self.node.eq_edges
+    }
+
+    /// Range branches (test label, child).
+    pub fn range_edges(&self) -> &'a [(AttrTest, NodeId)] {
+        &self.node.range_edges
+    }
+
+    /// The `*` branch, if present.
+    pub fn star(&self) -> Option<NodeId> {
+        self.node.star
+    }
+
+    /// Child reached by the equality branch labeled `value`, if any.
+    pub fn eq_child(&self, value: &Value) -> Option<NodeId> {
+        self.node
+            .eq_edges
+            .binary_search_by(|(v, _)| v.cmp(value))
+            .ok()
+            .map(|i| self.node.eq_edges[i].1)
+    }
+
+    /// Subscriptions parked at this leaf (empty for interior nodes).
+    pub fn subscription_ids(&self) -> &'a [SubscriptionId] {
+        &self.node.subs
+    }
+
+    /// All children: equality, range, then `*`.
+    pub fn children(&self) -> impl Iterator<Item = NodeId> + 'a {
+        let node = self.node;
+        node.eq_edges
+            .iter()
+            .map(|(_, c)| *c)
+            .chain(node.range_edges.iter().map(|(_, c)| *c))
+            .chain(node.star)
+    }
+}
+
+impl std::fmt::Debug for NodeRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRef")
+            .field("level", &self.node.level)
+            .field("eq_edges", &self.node.eq_edges.len())
+            .field("range_edges", &self.node.range_edges.len())
+            .field("star", &self.node.star.is_some())
+            .field("subs", &self.node.subs)
+            .finish()
+    }
+}
+
+impl Pst {
+    /// Verifies the tree's structural invariants, returning a description
+    /// of the first violation found. Used by the property-test suites;
+    /// `O(nodes)`.
+    ///
+    /// Checked invariants:
+    /// 1. equality edges are sorted by value and duplicate-free;
+    /// 2. every child's level is its parent's level + 1;
+    /// 3. subscriptions appear only at leaves, sorted and duplicate-free,
+    ///    and every listed id is registered;
+    /// 4. no node is dead (childless, subscription-less) — mutation prunes
+    ///    them;
+    /// 5. skip pointers are set exactly on trivial nodes and point to the
+    ///    end of their `*`-chain;
+    /// 6. every live arena slot is reachable from exactly one parent (the
+    ///    structure is a forest of trees, not a DAG).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = vec![0u32; self.nodes.len()];
+        for (_, root) in self.roots() {
+            seen[root.index()] += 1;
+        }
+        let order = self.postorder();
+        for &id in &order {
+            let node = self.node_inner(id);
+            // (1) sorted, unique equality edges.
+            for pair in node.eq_edges.windows(2) {
+                if pair[0].0 >= pair[1].0 {
+                    return Err(format!("{id}: equality edges out of order"));
+                }
+            }
+            // (2) level discipline; count parents.
+            for child in self.node(id).children() {
+                let child_level = self.node_inner(child).level;
+                if child_level != node.level + 1 {
+                    return Err(format!(
+                        "{id} (level {}) has child {child} at level {child_level}",
+                        node.level
+                    ));
+                }
+                seen[child.index()] += 1;
+            }
+            // (3) subscriptions only at leaves.
+            let is_leaf = node.level as usize == self.depth();
+            if !is_leaf && !node.subs.is_empty() {
+                return Err(format!("interior node {id} holds subscriptions"));
+            }
+            for pair in node.subs.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("{id}: leaf subscriptions out of order"));
+                }
+            }
+            for sub in &node.subs {
+                if !self.subscriptions.contains_key(sub) {
+                    return Err(format!("{id} lists unregistered subscription {sub}"));
+                }
+            }
+            // (4) no dead nodes.
+            if node.is_dead() {
+                return Err(format!("dead node {id} was not pruned"));
+            }
+            // (5) skip pointers.
+            match (node.is_trivial(), node.skip) {
+                (false, Some(target)) => {
+                    return Err(format!("non-trivial {id} has skip -> {target}"))
+                }
+                (true, None) => return Err(format!("trivial node {id} lacks a skip")),
+                (true, Some(target)) => {
+                    let star = node.star.expect("trivial nodes have a star child");
+                    let expect = self.node_inner(star).skip.unwrap_or(star);
+                    if target != expect {
+                        return Err(format!("{id} skips to {target}, expected {expect}"));
+                    }
+                }
+                (false, None) => {}
+            }
+        }
+        // (6) single-parent reachability over live slots.
+        for (idx, slot) in self.nodes.iter().enumerate() {
+            let count = seen[idx];
+            if slot.is_some() && count != 1 {
+                return Err(format!("node n{idx} has {count} parents/roots"));
+            }
+            if slot.is_none() && count != 0 {
+                return Err(format!("freed slot n{idx} is still referenced"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A structural summary of a [`Pst`], for debugging and capacity planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PstSummary {
+    /// Live nodes.
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Registered subscriptions.
+    pub subscriptions: usize,
+    /// Leaf entries across the tree (≥ `subscriptions` under factoring,
+    /// which replicates; ≤ when identical predicates share a leaf).
+    pub leaf_entries: usize,
+    /// Equality branches.
+    pub eq_edges: usize,
+    /// Range branches.
+    pub range_edges: usize,
+    /// `*` branches.
+    pub star_edges: usize,
+    /// Nodes a trivial-test-elimination skip bypasses.
+    pub trivial_nodes: usize,
+    /// Factored subtrees (1 when factoring is off and the tree is
+    /// non-empty).
+    pub subtrees: usize,
+}
+
+impl Pst {
+    /// Computes a structural summary in one arena pass.
+    pub fn summary(&self) -> PstSummary {
+        let mut s = PstSummary {
+            subscriptions: self.subscriptions.len(),
+            subtrees: self.roots.len(),
+            ..PstSummary::default()
+        };
+        for slot in self.nodes.iter().flatten() {
+            s.nodes += 1;
+            if slot.level as usize == self.depth() {
+                s.leaves += 1;
+                s.leaf_entries += slot.subs.len();
+            }
+            s.eq_edges += slot.eq_edges.len();
+            s.range_edges += slot.range_edges.len();
+            s.star_edges += usize::from(slot.star.is_some());
+            s.trivial_nodes += usize::from(slot.is_trivial());
+        }
+        s
+    }
+}

@@ -1,0 +1,256 @@
+//! PST insertion and removal.
+
+use linkcast_types::{AttrTest, Subscription, SubscriptionId, Value};
+
+use super::{FactorKey, MutationReport, NodeId, Pst};
+use crate::MatcherError;
+
+impl Pst {
+    /// Inserts a subscription, reporting the tree paths it created or
+    /// extended (one per factored subtree it was replicated into).
+    ///
+    /// # Errors
+    ///
+    /// [`MatcherError::DuplicateSubscription`] or
+    /// [`MatcherError::SchemaMismatch`].
+    pub fn insert_reported(
+        &mut self,
+        subscription: Subscription,
+    ) -> Result<MutationReport, MatcherError> {
+        if subscription.predicate().tests().len() != self.schema.arity() {
+            return Err(MatcherError::SchemaMismatch {
+                expected: self.schema.arity(),
+                actual: subscription.predicate().tests().len(),
+            });
+        }
+        let id = subscription.id();
+        if self.subscriptions.contains_key(&id) {
+            return Err(MatcherError::DuplicateSubscription(id));
+        }
+
+        let mut report = MutationReport::default();
+        for key in self.factor_keys(&subscription) {
+            let path = self.insert_path(key, &subscription);
+            self.recompute_skips(&path);
+            report.paths.push(path);
+        }
+        self.subscriptions.insert(id, subscription);
+        Ok(report)
+    }
+
+    /// Removes a subscription, reporting the surviving prefixes of its tree
+    /// paths and the nodes pruned away. Returns `None` if the id was not
+    /// registered.
+    pub fn remove_reported(&mut self, id: SubscriptionId) -> Option<MutationReport> {
+        let subscription = self.subscriptions.remove(&id)?;
+        let mut report = MutationReport::default();
+        for key in self.factor_keys(&subscription) {
+            let (path, freed) = self.remove_path(key, &subscription, id);
+            self.recompute_skips(&path);
+            report.paths.push(path);
+            report.freed.extend(freed);
+        }
+        Some(report)
+    }
+
+    /// The factor keys a subscription must be inserted under: the cartesian
+    /// product of, per factored attribute, the domain values its test
+    /// accepts (`*` replicates across the whole domain, per §2.1.1).
+    fn factor_keys(&self, subscription: &Subscription) -> Vec<FactorKey> {
+        if self.factored.is_empty() {
+            return vec![FactorKey::from([] as [Value; 0])];
+        }
+        let mut keys: Vec<Vec<Value>> = vec![Vec::with_capacity(self.factored.len())];
+        for &attr in &self.factored {
+            let test = &subscription.predicate().tests()[attr];
+            let candidates: Vec<Value> = match test {
+                AttrTest::Eq(v) => vec![v.clone()],
+                test => {
+                    let domain = self
+                        .schema
+                        .attribute(attr)
+                        .and_then(|a| a.domain())
+                        .expect("factored attributes have domains (checked at construction)");
+                    domain.iter().filter(|v| test.matches(v)).cloned().collect()
+                }
+            };
+            let mut next = Vec::with_capacity(keys.len() * candidates.len());
+            for key in &keys {
+                for value in &candidates {
+                    let mut k = key.clone();
+                    k.push(value.clone());
+                    next.push(k);
+                }
+            }
+            keys = next;
+        }
+        keys.into_iter().map(Into::into).collect()
+    }
+
+    /// Creates/extends the root-to-leaf path for `subscription` in the
+    /// subtree `key`, returning the full path.
+    fn insert_path(&mut self, key: FactorKey, subscription: &Subscription) -> Vec<NodeId> {
+        let depth = self.depth();
+        let root = match self.roots.get(&key) {
+            Some(&r) => r,
+            None => {
+                let r = self.alloc(0);
+                self.roots.insert(key, r);
+                r
+            }
+        };
+        let mut path = Vec::with_capacity(depth + 1);
+        path.push(root);
+        let mut current = root;
+        for level in 0..depth {
+            let attr = self.order[level];
+            let test = subscription.predicate().tests()[attr].clone();
+            let next_level = (level + 1) as u16;
+            let next = match test {
+                AttrTest::Any => match self.node_inner(current).star {
+                    Some(c) => c,
+                    None => {
+                        let c = self.alloc(next_level);
+                        self.node_mut(current).star = Some(c);
+                        c
+                    }
+                },
+                AttrTest::Eq(value) => {
+                    match self
+                        .node_inner(current)
+                        .eq_edges
+                        .binary_search_by(|(v, _)| v.cmp(&value))
+                    {
+                        Ok(i) => self.node_inner(current).eq_edges[i].1,
+                        Err(i) => {
+                            let c = self.alloc(next_level);
+                            self.node_mut(current).eq_edges.insert(i, (value, c));
+                            c
+                        }
+                    }
+                }
+                test => {
+                    let existing = self
+                        .node_inner(current)
+                        .range_edges
+                        .iter()
+                        .find(|(t, _)| *t == test)
+                        .map(|(_, c)| *c);
+                    match existing {
+                        Some(c) => c,
+                        None => {
+                            let c = self.alloc(next_level);
+                            self.node_mut(current).range_edges.push((test, c));
+                            c
+                        }
+                    }
+                }
+            };
+            path.push(next);
+            current = next;
+        }
+        let leaf = self.node_mut(current);
+        debug_assert_eq!(leaf.level as usize, depth);
+        if let Err(i) = leaf.subs.binary_search(&subscription.id()) {
+            leaf.subs.insert(i, subscription.id());
+        }
+        path
+    }
+
+    /// Removes `id` from the leaf its predicate leads to in subtree `key`,
+    /// pruning nodes left with no children and no subscriptions. Returns the
+    /// surviving path prefix and the freed nodes.
+    fn remove_path(
+        &mut self,
+        key: FactorKey,
+        subscription: &Subscription,
+        id: SubscriptionId,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        let Some(&root) = self.roots.get(&key) else {
+            return (Vec::new(), Vec::new());
+        };
+        let depth = self.depth();
+        // Descend, remembering which edge was taken at each step.
+        let mut path = vec![root];
+        let mut tests: Vec<AttrTest> = Vec::with_capacity(depth);
+        let mut current = root;
+        for level in 0..depth {
+            let attr = self.order[level];
+            let test = subscription.predicate().tests()[attr].clone();
+            let node = self.node_inner(current);
+            let next = match &test {
+                AttrTest::Any => node.star,
+                AttrTest::Eq(value) => node
+                    .eq_edges
+                    .binary_search_by(|(v, _)| v.cmp(value))
+                    .ok()
+                    .map(|i| node.eq_edges[i].1),
+                t => node
+                    .range_edges
+                    .iter()
+                    .find(|(label, _)| label == t)
+                    .map(|(_, c)| *c),
+            };
+            let Some(next) = next else {
+                // The subscription was never materialized under this key
+                // (defensive; insert and remove use the same key derivation).
+                return (Vec::new(), Vec::new());
+            };
+            tests.push(test);
+            path.push(next);
+            current = next;
+        }
+        let leaf = self.node_mut(current);
+        if let Ok(i) = leaf.subs.binary_search(&id) {
+            leaf.subs.remove(i);
+        }
+
+        // Prune dead nodes bottom-up.
+        let mut freed = Vec::new();
+        let mut cut = path.len();
+        for i in (0..path.len()).rev() {
+            let node_id = path[i];
+            if !self.node_inner(node_id).is_dead() {
+                break;
+            }
+            if i == 0 {
+                self.roots.remove(&key);
+            } else {
+                let parent = path[i - 1];
+                let test = &tests[i - 1];
+                let p = self.node_mut(parent);
+                match test {
+                    AttrTest::Any => p.star = None,
+                    AttrTest::Eq(value) => {
+                        if let Ok(j) = p.eq_edges.binary_search_by(|(v, _)| v.cmp(value)) {
+                            p.eq_edges.remove(j);
+                        }
+                    }
+                    t => p.range_edges.retain(|(label, _)| label != t),
+                }
+            }
+            self.dealloc(node_id);
+            freed.push(node_id);
+            cut = i;
+        }
+        path.truncate(cut);
+        (path, freed)
+    }
+
+    /// Recomputes trivial-test-elimination skip pointers for the (live)
+    /// nodes of `path`, bottom-up. A node whose only outgoing edge is `*`
+    /// (and which parks no subscriptions) skips to the deepest node its
+    /// `*`-chain reaches.
+    fn recompute_skips(&mut self, path: &[NodeId]) {
+        for &id in path.iter().rev() {
+            let node = self.node_inner(id);
+            let skip = if node.is_trivial() {
+                let star = node.star.expect("trivial nodes have a star child");
+                Some(self.node_inner(star).skip.unwrap_or(star))
+            } else {
+                None
+            };
+            self.node_mut(id).skip = skip;
+        }
+    }
+}

@@ -1,0 +1,624 @@
+use linkcast_types::{
+    parse_predicate, AttrTest, BrokerId, ClientId, Event, EventSchema, Predicate, SubscriberId,
+    Subscription, SubscriptionId, Value, ValueKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{MatchStats, Matcher, MatcherError, NaiveMatcher, OrderPolicy, Pst, PstOptions};
+
+/// Five integer attributes a1..a5, like paper Figure 2.
+fn figure2_schema() -> EventSchema {
+    let mut b = EventSchema::builder("fig2");
+    for name in ["a1", "a2", "a3", "a4", "a5"] {
+        b = b.attribute_with_domain(name, ValueKind::Int, (0..5).map(Value::Int));
+    }
+    b.build().unwrap()
+}
+
+fn subscriber(id: u32) -> SubscriberId {
+    SubscriberId::new(BrokerId::new(0), ClientId::new(id))
+}
+
+/// `tests[i] = Some(v)` means `a{i+1} = v`; `None` means `*`.
+fn int_sub(schema: &EventSchema, id: u32, tests: &[Option<i64>]) -> Subscription {
+    let tests = tests
+        .iter()
+        .map(|t| match t {
+            Some(v) => AttrTest::Eq(Value::Int(*v)),
+            None => AttrTest::Any,
+        })
+        .collect::<Vec<_>>();
+    Subscription::new(
+        SubscriptionId::new(id),
+        subscriber(id),
+        Predicate::from_tests(schema, tests).unwrap(),
+    )
+}
+
+fn int_event(schema: &EventSchema, values: &[i64]) -> Event {
+    Event::from_values(schema, values.iter().map(|v| Value::Int(*v))).unwrap()
+}
+
+fn ids(v: &[u32]) -> Vec<SubscriptionId> {
+    v.iter().map(|i| SubscriptionId::new(*i)).collect()
+}
+
+#[test]
+fn figure2_event_matches_four_predicates() {
+    // Mirrors the shape of paper Figure 2: the event <1,2,3,1,2> visits
+    // value and * branches in parallel and matches exactly four
+    // subscription predicates.
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    let subs: &[&[Option<i64>]] = &[
+        &[None, Some(2), None, Some(1), Some(2)],    // 0: matches
+        &[None, None, Some(3), None, None],          // 1: matches
+        &[Some(1), None, None, None, Some(2)],       // 2: matches
+        &[Some(1), Some(2), Some(3), None, None],    // 3: matches
+        &[Some(1), Some(2), Some(3), None, Some(3)], // 4: a5 differs
+        &[None, Some(1), None, None, None],          // 5: a2 differs
+        &[Some(2), None, None, None, None],          // 6: a1 differs
+    ];
+    for (i, tests) in subs.iter().enumerate() {
+        pst.insert(int_sub(&schema, i as u32, tests)).unwrap();
+    }
+    let event = int_event(&schema, &[1, 2, 3, 1, 2]);
+    assert_eq!(pst.matches(&event), ids(&[0, 1, 2, 3]));
+}
+
+#[test]
+fn empty_tree_matches_nothing() {
+    let schema = figure2_schema();
+    let pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    assert!(pst
+        .matches(&int_event(&schema, &[0, 0, 0, 0, 0]))
+        .is_empty());
+    assert_eq!(pst.len(), 0);
+    assert!(pst.is_empty());
+    assert_eq!(pst.node_count(), 0);
+}
+
+#[test]
+fn duplicate_predicates_share_a_leaf() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    let tests: &[Option<i64>] = &[Some(1), None, None, None, None];
+    pst.insert(int_sub(&schema, 0, tests)).unwrap();
+    let nodes_before = pst.node_count();
+    pst.insert(int_sub(&schema, 1, tests)).unwrap();
+    assert_eq!(pst.node_count(), nodes_before, "second path must be shared");
+    let event = int_event(&schema, &[1, 0, 0, 0, 0]);
+    assert_eq!(pst.matches(&event), ids(&[0, 1]));
+}
+
+#[test]
+fn insert_validates_duplicates_and_arity() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    pst.insert(int_sub(&schema, 0, &[None; 5])).unwrap();
+    assert!(matches!(
+        pst.insert(int_sub(&schema, 0, &[None; 5])),
+        Err(MatcherError::DuplicateSubscription(_))
+    ));
+    let other = EventSchema::builder("o")
+        .attribute("x", ValueKind::Int)
+        .build()
+        .unwrap();
+    let bad = Subscription::new(
+        SubscriptionId::new(9),
+        subscriber(9),
+        Predicate::match_all(&other),
+    );
+    assert!(matches!(
+        pst.insert(bad),
+        Err(MatcherError::SchemaMismatch { .. })
+    ));
+}
+
+#[test]
+fn removal_prunes_nodes_and_reports_freed() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    pst.insert(int_sub(&schema, 0, &[Some(1), Some(2), None, None, None]))
+        .unwrap();
+    pst.insert(int_sub(&schema, 1, &[Some(1), Some(3), None, None, None]))
+        .unwrap();
+    let before = pst.node_count();
+    let report = pst.remove_reported(SubscriptionId::new(1)).unwrap();
+    // The paths diverge after the a1=1 node: the a2=3 suffix (4 nodes) dies.
+    assert_eq!(report.freed.len(), 4);
+    assert_eq!(pst.node_count(), before - 4);
+    assert!(!pst.remove(SubscriptionId::new(1)));
+    let event = int_event(&schema, &[1, 2, 0, 0, 0]);
+    assert_eq!(pst.matches(&event), ids(&[0]));
+
+    // Removing the last subscription empties the arena entirely.
+    pst.remove(SubscriptionId::new(0));
+    assert_eq!(pst.node_count(), 0);
+    assert_eq!(pst.roots().count(), 0);
+}
+
+#[test]
+fn removed_node_ids_are_reused() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    pst.insert(int_sub(&schema, 0, &[Some(1), None, None, None, None]))
+        .unwrap();
+    let size = pst.arena_size();
+    pst.remove(SubscriptionId::new(0));
+    pst.insert(int_sub(&schema, 1, &[Some(2), None, None, None, None]))
+        .unwrap();
+    assert_eq!(pst.arena_size(), size, "freed ids must be recycled");
+}
+
+#[test]
+fn range_tests_branch_correctly() {
+    let schema = EventSchema::builder("trades")
+        .attribute("issue", ValueKind::Str)
+        .attribute("price", ValueKind::Dollar)
+        .attribute("volume", ValueKind::Int)
+        .build()
+        .unwrap();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    let sub = |id: u32, expr: &str| {
+        Subscription::new(
+            SubscriptionId::new(id),
+            subscriber(id),
+            parse_predicate(&schema, expr).unwrap(),
+        )
+    };
+    pst.insert(sub(0, r#"issue = "IBM" & price < 120.00 & volume > 1000"#))
+        .unwrap();
+    pst.insert(sub(1, r#"price between 100.00 and 130.00"#))
+        .unwrap();
+    pst.insert(sub(2, r#"issue = "IBM" & price >= 120.00"#))
+        .unwrap();
+
+    let ev = |issue: &str, cents: i64, volume: i64| {
+        Event::from_values(
+            &schema,
+            [Value::str(issue), Value::Dollar(cents), Value::Int(volume)],
+        )
+        .unwrap()
+    };
+    assert_eq!(pst.matches(&ev("IBM", 11950, 3000)), ids(&[0, 1]));
+    assert_eq!(pst.matches(&ev("IBM", 12000, 3000)), ids(&[1, 2]));
+    assert_eq!(pst.matches(&ev("HP", 10000, 1)), ids(&[1]));
+    assert_eq!(pst.matches(&ev("HP", 9999, 1)), ids(&[]));
+}
+
+#[test]
+fn identical_range_labels_share_an_edge() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    let range_sub = |id: u32, last: Option<i64>| {
+        let mut tests = vec![
+            AttrTest::Gt(Value::Int(2)),
+            AttrTest::Any,
+            AttrTest::Any,
+            AttrTest::Any,
+        ];
+        tests.push(match last {
+            Some(v) => AttrTest::Eq(Value::Int(v)),
+            None => AttrTest::Any,
+        });
+        Subscription::new(
+            SubscriptionId::new(id),
+            subscriber(id),
+            Predicate::from_tests(&schema, tests).unwrap(),
+        )
+    };
+    pst.insert(range_sub(0, Some(1))).unwrap();
+    let before = pst.node_count();
+    pst.insert(range_sub(1, Some(2))).unwrap();
+    // Shares the `a1 > 2` edge, the three `*` levels, and the a5 test
+    // node; only the new a5=2 leaf is added.
+    assert_eq!(pst.node_count(), before + 1);
+    assert_eq!(
+        pst.matches(&int_event(&schema, &[3, 0, 0, 0, 1])),
+        ids(&[0])
+    );
+    assert_eq!(
+        pst.matches(&int_event(&schema, &[3, 0, 0, 0, 2])),
+        ids(&[1])
+    );
+    assert_eq!(pst.matches(&int_event(&schema, &[2, 0, 0, 0, 1])), ids(&[]));
+}
+
+#[test]
+fn factoring_replicates_star_subscriptions() {
+    let schema = figure2_schema();
+    let options = PstOptions::default().with_factoring(1);
+    let mut pst = Pst::new(schema.clone(), options).unwrap();
+    // a1 = * → replicated into all five a1-value subtrees.
+    pst.insert(int_sub(&schema, 0, &[None, Some(2), None, None, None]))
+        .unwrap();
+    pst.insert(int_sub(&schema, 1, &[Some(1), Some(2), None, None, None]))
+        .unwrap();
+    assert_eq!(pst.roots().count(), 5);
+    for a1 in 0..5 {
+        let got = pst.matches(&int_event(&schema, &[a1, 2, 0, 0, 0]));
+        if a1 == 1 {
+            assert_eq!(got, ids(&[0, 1]));
+        } else {
+            assert_eq!(got, ids(&[0]));
+        }
+    }
+    // Removal cleans up every replica.
+    pst.remove(SubscriptionId::new(0));
+    pst.remove(SubscriptionId::new(1));
+    assert_eq!(pst.node_count(), 0);
+    assert_eq!(pst.roots().count(), 0);
+}
+
+#[test]
+fn factoring_requires_domains() {
+    let schema = EventSchema::builder("s")
+        .attribute("free", ValueKind::Str) // no domain
+        .attribute("b", ValueKind::Int)
+        .build()
+        .unwrap();
+    let err = Pst::new(schema, PstOptions::default().with_factoring(1)).unwrap_err();
+    assert!(matches!(err, MatcherError::InvalidOptions(_)));
+}
+
+#[test]
+fn factoring_with_range_test_selects_matching_domain_values() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default().with_factoring(1)).unwrap();
+    let tests = vec![
+        AttrTest::Ge(Value::Int(3)),
+        AttrTest::Any,
+        AttrTest::Any,
+        AttrTest::Any,
+        AttrTest::Any,
+    ];
+    pst.insert(Subscription::new(
+        SubscriptionId::new(0),
+        subscriber(0),
+        Predicate::from_tests(&schema, tests).unwrap(),
+    ))
+    .unwrap();
+    // Domain is 0..5, so the subscription lands in subtrees 3 and 4 only.
+    assert_eq!(pst.roots().count(), 2);
+    assert_eq!(
+        pst.matches(&int_event(&schema, &[3, 0, 0, 0, 0])),
+        ids(&[0])
+    );
+    assert_eq!(
+        pst.matches(&int_event(&schema, &[4, 0, 0, 0, 0])),
+        ids(&[0])
+    );
+    assert!(pst
+        .matches(&int_event(&schema, &[2, 0, 0, 0, 0]))
+        .is_empty());
+}
+
+#[test]
+fn trivial_test_elimination_reduces_steps_not_results() {
+    let schema = figure2_schema();
+    // Subscription caring only about a5 forces a *-chain through a1..a4.
+    let subs = vec![
+        int_sub(&schema, 0, &[None, None, None, None, Some(1)]),
+        int_sub(&schema, 1, &[None, None, None, None, Some(2)]),
+    ];
+    let plain = Pst::build(schema.clone(), subs.clone(), PstOptions::default()).unwrap();
+    let skipping = Pst::build(
+        schema.clone(),
+        subs,
+        PstOptions::default().with_trivial_test_elimination(true),
+    )
+    .unwrap();
+    let event = int_event(&schema, &[0, 0, 0, 0, 1]);
+    let mut s_plain = MatchStats::new();
+    let mut s_skip = MatchStats::new();
+    assert_eq!(
+        plain.matches_with_stats(&event, &mut s_plain),
+        skipping.matches_with_stats(&event, &mut s_skip)
+    );
+    // Plain visits the 4-node *-chain plus root and two leaves; the
+    // skipping tree jumps straight from the root's *-chain to the a5 test.
+    assert!(
+        s_skip.steps < s_plain.steps,
+        "expected fewer steps, got {} vs {}",
+        s_skip.steps,
+        s_plain.steps
+    );
+}
+
+#[test]
+fn skip_pointers_survive_mutation() {
+    let schema = figure2_schema();
+    let options = PstOptions::default().with_trivial_test_elimination(true);
+    let mut pst = Pst::new(schema.clone(), options).unwrap();
+    pst.insert(int_sub(&schema, 0, &[None, None, None, None, Some(1)]))
+        .unwrap();
+    // This insert branches at a3, invalidating the chain's skips above it.
+    pst.insert(int_sub(&schema, 1, &[None, None, Some(3), None, None]))
+        .unwrap();
+    assert_eq!(
+        pst.matches(&int_event(&schema, &[0, 0, 3, 0, 1])),
+        ids(&[0, 1])
+    );
+    assert_eq!(
+        pst.matches(&int_event(&schema, &[0, 0, 0, 0, 1])),
+        ids(&[0])
+    );
+    // Removing the brancher restores a pure chain; matching must still work.
+    pst.remove(SubscriptionId::new(1));
+    assert_eq!(
+        pst.matches(&int_event(&schema, &[0, 0, 3, 0, 1])),
+        ids(&[0])
+    );
+}
+
+#[test]
+fn explicit_order_changes_tree_shape_not_semantics() {
+    let schema = figure2_schema();
+    let subs = vec![
+        int_sub(&schema, 0, &[Some(1), None, None, None, Some(2)]),
+        int_sub(&schema, 1, &[None, Some(2), Some(3), None, None]),
+        int_sub(&schema, 2, &[None, None, None, Some(1), None]),
+    ];
+    let forward = Pst::build(schema.clone(), subs.clone(), PstOptions::default()).unwrap();
+    let reversed = Pst::build(
+        schema.clone(),
+        subs,
+        PstOptions::default().with_order(OrderPolicy::Explicit(vec![4, 3, 2, 1, 0])),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..100 {
+        let vals: Vec<i64> = (0..5).map(|_| rng.random_range(0..5)).collect();
+        let event = int_event(&schema, &vals);
+        assert_eq!(forward.matches(&event), reversed.matches(&event));
+    }
+}
+
+#[test]
+fn fewest_stars_first_order_reduces_steps_on_skewed_workload() {
+    let schema = figure2_schema();
+    let mut rng = StdRng::seed_from_u64(1);
+    // a5 is always constrained, a1..a4 almost never: the heuristic should
+    // put a5 at the root where it immediately splits the tree.
+    let mut subs = Vec::new();
+    for i in 0..200u32 {
+        let mut tests: Vec<Option<i64>> = (0..4)
+            .map(|_| {
+                if rng.random_bool(0.05) {
+                    Some(rng.random_range(0..5))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        tests.push(Some(rng.random_range(0..5)));
+        subs.push(int_sub(&schema, i, &tests));
+    }
+    let schema_order = Pst::build(schema.clone(), subs.clone(), PstOptions::default()).unwrap();
+    let heuristic = Pst::build(
+        schema.clone(),
+        subs,
+        PstOptions::default().with_order(OrderPolicy::FewestStarsFirst),
+    )
+    .unwrap();
+    assert_eq!(heuristic.order()[0], 4, "a5 should be tested first");
+
+    let mut steps_schema = MatchStats::new();
+    let mut steps_heuristic = MatchStats::new();
+    for _ in 0..100 {
+        let vals: Vec<i64> = (0..5).map(|_| rng.random_range(0..5)).collect();
+        let event = int_event(&schema, &vals);
+        let a = schema_order.matches_with_stats(&event, &mut steps_schema);
+        let b = heuristic.matches_with_stats(&event, &mut steps_heuristic);
+        assert_eq!(a, b);
+    }
+    assert!(
+        steps_heuristic.steps < steps_schema.steps,
+        "heuristic {} should beat schema order {}",
+        steps_heuristic.steps,
+        steps_schema.steps
+    );
+}
+
+#[test]
+fn matches_agree_with_naive_on_random_workloads() {
+    let schema = figure2_schema();
+    let mut rng = StdRng::seed_from_u64(99);
+    for (factoring, skip) in [(0, false), (0, true), (2, false), (2, true)] {
+        let options = PstOptions::default()
+            .with_factoring(factoring)
+            .with_trivial_test_elimination(skip)
+            .with_order(OrderPolicy::FewestStarsFirst);
+        let mut subs = Vec::new();
+        for i in 0..400u32 {
+            let tests: Vec<Option<i64>> = (0..5)
+                .map(|_| {
+                    if rng.random_bool(0.5) {
+                        Some(rng.random_range(0..5))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            subs.push(int_sub(&schema, i, &tests));
+        }
+        let mut pst = Pst::build(schema.clone(), subs.clone(), options).unwrap();
+        let mut naive = NaiveMatcher::new(schema.clone());
+        for s in subs {
+            naive.insert(s).unwrap();
+        }
+        // Interleave removals to exercise pruning.
+        for i in (0..400u32).step_by(7) {
+            assert!(pst.remove(SubscriptionId::new(i)));
+            assert!(naive.remove(SubscriptionId::new(i)));
+        }
+        for _ in 0..200 {
+            let vals: Vec<i64> = (0..5).map(|_| rng.random_range(0..5)).collect();
+            let event = int_event(&schema, &vals);
+            assert_eq!(
+                pst.matches(&event),
+                naive.matches(&event),
+                "factoring={factoring} skip={skip}"
+            );
+        }
+    }
+}
+
+#[test]
+fn postorder_visits_children_before_parents() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    for i in 0..20u32 {
+        let tests: Vec<Option<i64>> = (0..5).map(|j| Some(((i + j) % 5) as i64)).collect();
+        pst.insert(int_sub(&schema, i, &tests)).unwrap();
+    }
+    let order = pst.postorder();
+    assert_eq!(order.len(), pst.node_count());
+    let position: std::collections::HashMap<_, _> =
+        order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    for &id in &order {
+        for child in pst.node(id).children() {
+            assert!(
+                position[&child] < position[&id],
+                "child {child} must precede parent {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn node_refs_expose_structure() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    pst.insert(int_sub(&schema, 0, &[Some(1), None, None, None, None]))
+        .unwrap();
+    let (key, root) = pst.roots().next().unwrap();
+    assert!(key.is_empty());
+    let root_ref = pst.node(root);
+    assert_eq!(root_ref.level(), 0);
+    assert_eq!(root_ref.attribute(), Some(0));
+    assert!(!root_ref.is_leaf());
+    assert_eq!(root_ref.eq_edges().len(), 1);
+    assert!(root_ref.range_edges().is_empty());
+    assert!(root_ref.star().is_none());
+    assert_eq!(
+        root_ref.eq_child(&Value::Int(1)),
+        Some(root_ref.eq_edges()[0].1)
+    );
+    assert_eq!(root_ref.eq_child(&Value::Int(2)), None);
+
+    // Walk to the leaf.
+    let mut id = root;
+    while !pst.node(id).is_leaf() {
+        id = pst.node(id).children().next().unwrap();
+    }
+    let leaf = pst.node(id);
+    assert_eq!(leaf.level(), 5);
+    assert_eq!(leaf.attribute(), None);
+    assert_eq!(leaf.subscription_ids(), &[SubscriptionId::new(0)]);
+    assert!(format!("{:?}", leaf).contains("level"));
+}
+
+#[test]
+fn match_all_subscription_reaches_every_event() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    pst.insert(Subscription::new(
+        SubscriptionId::new(0),
+        subscriber(0),
+        Predicate::match_all(&schema),
+    ))
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..20 {
+        let vals: Vec<i64> = (0..5).map(|_| rng.random_range(0..5)).collect();
+        assert_eq!(pst.matches(&int_event(&schema, &vals)), ids(&[0]));
+    }
+}
+
+#[test]
+fn steps_grow_sublinearly_in_subscriptions() {
+    // The paper's analytical result: PST matching cost grows less than
+    // linearly with the subscription count. Verify the trend on a random
+    // workload: 10× the subscriptions must cost well under 10× the steps.
+    let schema = figure2_schema();
+    let mut rng = StdRng::seed_from_u64(11);
+    let make_subs = |n: u32, rng: &mut StdRng| -> Vec<Subscription> {
+        (0..n)
+            .map(|i| {
+                let tests: Vec<Option<i64>> = (0..5)
+                    .map(|_| {
+                        if rng.random_bool(0.7) {
+                            Some(rng.random_range(0..5))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                int_sub(&schema, i, &tests)
+            })
+            .collect()
+    };
+    let small = Pst::build(
+        schema.clone(),
+        make_subs(100, &mut rng),
+        PstOptions::default(),
+    )
+    .unwrap();
+    let large = Pst::build(
+        schema.clone(),
+        make_subs(1000, &mut rng),
+        PstOptions::default(),
+    )
+    .unwrap();
+    let mut s_small = MatchStats::new();
+    let mut s_large = MatchStats::new();
+    for _ in 0..200 {
+        let vals: Vec<i64> = (0..5).map(|_| rng.random_range(0..5)).collect();
+        let event = int_event(&schema, &vals);
+        small.matches_with_stats(&event, &mut s_small);
+        large.matches_with_stats(&event, &mut s_large);
+    }
+    let ratio = s_large.steps as f64 / s_small.steps as f64;
+    assert!(
+        ratio < 6.0,
+        "10x subscriptions should cost well under 10x steps, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn summary_reports_structure() {
+    let schema = figure2_schema();
+    let mut pst = Pst::new(schema.clone(), PstOptions::default()).unwrap();
+    assert_eq!(pst.summary(), crate::PstSummary::default());
+
+    pst.insert(int_sub(&schema, 0, &[Some(1), None, None, None, Some(2)]))
+        .unwrap();
+    pst.insert(int_sub(&schema, 1, &[Some(1), None, None, None, Some(3)]))
+        .unwrap();
+    let s = pst.summary();
+    assert_eq!(s.subscriptions, 2);
+    assert_eq!(s.subtrees, 1);
+    assert_eq!(s.leaves, 2);
+    assert_eq!(s.leaf_entries, 2);
+    // Shared path: root --1--> n --*--> n --*--> n --*--> a5-test, then two
+    // value leaves.
+    assert_eq!(s.nodes, 7);
+    assert_eq!(s.eq_edges, 3); // a1=1, a5=2, a5=3
+    assert_eq!(s.star_edges, 3);
+    assert_eq!(s.range_edges, 0);
+    assert_eq!(s.trivial_nodes, 3, "the *-chain between a1 and a5");
+
+    // Factoring replicates a starred subscription across subtrees.
+    let options = PstOptions::default().with_factoring(1);
+    let mut factored = Pst::new(schema.clone(), options).unwrap();
+    factored
+        .insert(int_sub(&schema, 0, &[None, Some(2), None, None, None]))
+        .unwrap();
+    let s = factored.summary();
+    assert_eq!(s.subscriptions, 1);
+    assert_eq!(s.subtrees, 5);
+    assert_eq!(s.leaf_entries, 5, "one replica per a1 value");
+}

@@ -1,0 +1,158 @@
+//! Simulation configuration.
+
+/// The broker service-time model: how long one event occupies a broker's
+/// processor.
+///
+/// The paper's model charges an event for "waiting at an incoming broker
+/// queue, getting matched, and being sent (software latency of the
+/// communication stack)". The matched portion scales with matching steps
+/// ("we estimate that a time efficient implementation can execute a matching
+/// step in the order of a few microseconds").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-message cost (receive + dispatch), µs.
+    pub base_us: f64,
+    /// Cost per matching step, µs.
+    pub step_us: f64,
+    /// Cost per outgoing copy (communication-stack software latency), µs.
+    pub send_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            base_us: 50.0,
+            step_us: 3.0,
+            send_us: 20.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Service time for a message that took `steps` matching steps and
+    /// produced `copies` outgoing copies, in µs.
+    pub fn service_us(&self, steps: u64, copies: usize) -> f64 {
+        self.base_us + self.step_us * steps as f64 + self.send_us * copies as f64
+    }
+}
+
+/// How publishers space their events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Poisson arrivals (the paper's §4.1 default).
+    Poisson,
+    /// Bursty arrivals (§6 future work): trains of `burst_size` events
+    /// `intra_gap_s` apart, idle between trains, same long-run mean rate.
+    Bursty {
+        /// Events per burst.
+        burst_size: u32,
+        /// Gap between events inside a burst, seconds.
+        intra_gap_s: f64,
+    },
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Aggregate publish rate across all publishers, events/second.
+    pub publish_rate: f64,
+    /// Number of events to publish ("The number of events published is
+    /// 500" for Chart 1, 1000 for Chart 2).
+    pub events: usize,
+    /// Broker service-time model.
+    pub costs: CostModel,
+    /// Hop delay from a publishing client to its broker and from a broker
+    /// to a subscribing client, ms (1 ms in Figure 6).
+    pub client_hop_ms: f64,
+    /// Delay after the last publication before the backlog probe, simulated
+    /// seconds. Zero (the default) samples queues the instant publishing
+    /// stops — the paper's criterion is a queue "growing at a rate higher
+    /// than the broker processor can handle" *while* events flow.
+    pub drain_s: f64,
+    /// Input-queue depth at one broker beyond which the broker counts as
+    /// overloaded — the queue "growing at a rate higher than the broker
+    /// processor can handle" shows up as depth proportional to the run
+    /// length, while stable queues stay shallow.
+    pub overload_backlog: usize,
+    /// RNG seed for arrival times.
+    pub seed: u64,
+    /// Arrival process shape.
+    pub arrivals: ArrivalKind,
+    /// Record every published `(broker, event)` pair in the report —
+    /// memory-proportional to the event count; used by validation tests
+    /// that replay the run against a reference router.
+    pub record_events: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            publish_rate: 10.0,
+            events: 500,
+            costs: CostModel::default(),
+            client_hop_ms: 1.0,
+            drain_s: 0.0,
+            overload_backlog: 30,
+            seed: 1,
+            arrivals: ArrivalKind::Poisson,
+            record_events: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the aggregate publish rate.
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.publish_rate = rate;
+        self
+    }
+
+    /// Sets the number of published events.
+    #[must_use]
+    pub fn with_events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the arrival process shape.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalKind) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_adds_up() {
+        let m = CostModel {
+            base_us: 10.0,
+            step_us: 2.0,
+            send_us: 5.0,
+        };
+        assert_eq!(m.service_us(0, 0), 10.0);
+        assert_eq!(m.service_us(4, 3), 10.0 + 8.0 + 15.0);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = SimConfig::default()
+            .with_rate(123.0)
+            .with_events(99)
+            .with_seed(7);
+        assert_eq!(c.publish_rate, 123.0);
+        assert_eq!(c.events, 99);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! Protocol adapters: one simulator, multiple routing protocols.
+
+use linkcast::{ContentRouter, FloodingRouter, RoutingFabric, TreeId};
+use linkcast_matching::MatchStats;
+use linkcast_types::{BrokerId, Event, LinkId};
+
+/// A routing protocol as the simulator sees it: given an event at a broker,
+/// which outgoing links get a copy?
+pub trait SimProtocol {
+    /// Routes one hop, updating matching statistics.
+    fn route(
+        &self,
+        broker: BrokerId,
+        event: &Event,
+        tree: TreeId,
+        stats: &mut MatchStats,
+    ) -> Vec<LinkId>;
+
+    /// The shared routing fabric (topology + spanning trees).
+    fn fabric(&self) -> &std::sync::Arc<RoutingFabric>;
+
+    /// Protocol name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's link-matching protocol, backed by a [`ContentRouter`].
+#[derive(Debug)]
+pub struct LinkMatchingSim(pub ContentRouter);
+
+impl SimProtocol for LinkMatchingSim {
+    fn route(
+        &self,
+        broker: BrokerId,
+        event: &Event,
+        tree: TreeId,
+        stats: &mut MatchStats,
+    ) -> Vec<LinkId> {
+        self.0.route_at(broker, event, tree, stats)
+    }
+
+    fn fabric(&self) -> &std::sync::Arc<RoutingFabric> {
+        self.0.fabric()
+    }
+
+    fn name(&self) -> &'static str {
+        "link-matching"
+    }
+}
+
+/// The flooding baseline, backed by a [`FloodingRouter`].
+#[derive(Debug)]
+pub struct FloodingSim {
+    router: FloodingRouter,
+    fabric: std::sync::Arc<RoutingFabric>,
+}
+
+impl FloodingSim {
+    /// Wraps a flooding router (the fabric handle is kept alongside because
+    /// the router does not expose it).
+    pub fn new(router: FloodingRouter, fabric: std::sync::Arc<RoutingFabric>) -> Self {
+        FloodingSim { router, fabric }
+    }
+}
+
+impl SimProtocol for FloodingSim {
+    fn route(
+        &self,
+        broker: BrokerId,
+        event: &Event,
+        tree: TreeId,
+        stats: &mut MatchStats,
+    ) -> Vec<LinkId> {
+        self.router.route_at(broker, event, tree, stats)
+    }
+
+    fn fabric(&self) -> &std::sync::Arc<RoutingFabric> {
+        &self.fabric
+    }
+
+    fn name(&self) -> &'static str {
+        "flooding"
+    }
+}

@@ -1,0 +1,117 @@
+//! Saturation-rate search: the measurement behind Chart 1.
+
+use linkcast_workload::EventGenerator;
+
+use crate::{Publisher, SimConfig, SimProtocol, Simulation};
+
+/// One point of Chart 1: the highest sustainable publish rate for a
+/// subscription count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationPoint {
+    /// Number of subscriptions active in the network.
+    pub subscriptions: usize,
+    /// Highest aggregate publish rate (events/second) at which no broker
+    /// overloads.
+    pub rate: f64,
+}
+
+/// Finds the saturation publish rate by bisection: the highest aggregate
+/// rate (events/second, within `rel_tolerance`) at which no broker's input
+/// queue is still backed up after the drain period.
+///
+/// `lo` must be sustainable and `hi` unsustainable — the function widens
+/// `hi` (doubling, up to 16×) if the initial `hi` turns out sustainable,
+/// and returns `lo` immediately if even `lo` overloads.
+pub fn find_saturation_rate<P: SimProtocol>(
+    protocol: &P,
+    publishers: &[Publisher],
+    generator: &EventGenerator,
+    base: &SimConfig,
+    mut lo: f64,
+    mut hi: f64,
+    rel_tolerance: f64,
+) -> f64 {
+    let overloaded = |rate: f64| -> bool {
+        let config = base.clone().with_rate(rate);
+        Simulation::new(protocol, publishers.to_vec(), generator, config)
+            .run()
+            .is_overloaded()
+    };
+    if overloaded(lo) {
+        return lo;
+    }
+    let mut widen = 0;
+    while !overloaded(hi) {
+        lo = hi;
+        hi *= 2.0;
+        widen += 1;
+        if widen >= 4 {
+            // Even 16× the suggested ceiling is sustainable; report it.
+            return lo;
+        }
+    }
+    while (hi - lo) / lo > rel_tolerance {
+        let mid = (lo + hi) / 2.0;
+        if overloaded(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkMatchingSim;
+    use linkcast::{ContentRouter, EventRouter, NetworkBuilder, RoutingFabric};
+    use linkcast_matching::PstOptions;
+    use linkcast_types::{AttrTest, BrokerId, Predicate};
+    use linkcast_workload::WorkloadConfig;
+
+    #[test]
+    fn saturation_is_bracketed_and_monotone_in_cost() {
+        // Two brokers, one subscriber interested in everything: every event
+        // costs one broker-to-broker hop and one delivery.
+        let mut b = NetworkBuilder::new();
+        let brokers = b.add_brokers(2);
+        b.connect(brokers[0], brokers[1], 5.0).unwrap();
+        let client = b.add_client(brokers[1]).unwrap();
+        let fabric = RoutingFabric::new_all_roots(b.build().unwrap()).unwrap();
+
+        let mut wconfig = WorkloadConfig::chart1();
+        wconfig.attributes = 3;
+        wconfig.values_per_attribute = 3;
+        wconfig.factoring_levels = 0;
+        let schema = wconfig.schema();
+        let mut router =
+            ContentRouter::new(fabric.clone(), schema.clone(), PstOptions::default()).unwrap();
+        router
+            .subscribe(
+                client,
+                Predicate::from_tests(&schema, vec![AttrTest::Any; 3]).unwrap(),
+            )
+            .unwrap();
+        let protocol = LinkMatchingSim(router);
+        let generator = EventGenerator::new(&wconfig, 1);
+        let publishers = vec![Publisher {
+            broker: BrokerId::new(0),
+            region: 0,
+        }];
+        let base = SimConfig::default().with_events(300);
+        let rate = find_saturation_rate(
+            &protocol,
+            &publishers,
+            &generator,
+            &base,
+            50.0,
+            100_000.0,
+            0.1,
+        );
+        // Service time is roughly base + steps + one send ≈ 100 µs, so the
+        // saturation rate should be in the thousands per second.
+        assert!(rate > 1_000.0, "rate {rate}");
+        assert!(rate < 50_000.0, "rate {rate}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Predicate covering (subsumption).
+//!
+//! The paper's related work discusses SIENA, whose routing optimization
+//! rests on the *covering* relation between subscriptions: `P1` covers `P2`
+//! when every event matching `P2` also matches `P1`. Link matching does not
+//! need covering (every broker holds every subscription), but the relation
+//! is independently useful — e.g. warning a client that a new subscription
+//! is redundant, or compacting a subscription set before shipping it.
+//!
+//! The implementation here is *sound but not complete* for string-ordered
+//! comparisons: it never claims `covers` when it does not hold, and for the
+//! integer/dollar tests the paper's workloads use it is exact up to the
+//! granularity of the value space (open bounds on integers are normalized
+//! through their closed forms where possible).
+
+use crate::{AttrTest, Predicate, Value};
+
+impl AttrTest {
+    /// Whether every value satisfying `other` also satisfies `self`.
+    ///
+    /// Sound (never a false positive). Complete for `Any`/`Eq` everywhere
+    /// and for ordered comparisons between same-kind operands; adjacent
+    /// integer bounds (e.g. `< 5` vs `<= 4`) are treated as distinct, which
+    /// only makes the check more conservative.
+    ///
+    /// ```
+    /// use linkcast_types::{AttrTest, Value};
+    ///
+    /// let loose = AttrTest::Lt(Value::Int(100));
+    /// let tight = AttrTest::Lt(Value::Int(10));
+    /// assert!(loose.covers(&tight));
+    /// assert!(!tight.covers(&loose));
+    /// assert!(AttrTest::Any.covers(&loose));
+    /// ```
+    pub fn covers(&self, other: &AttrTest) -> bool {
+        use AttrTest::{Any, Between, Eq, Ge, Gt, Le, Lt};
+        // Normalize Between to a (lo, hi) inclusive pair for bound logic.
+        match (self, other) {
+            (Any, _) => true,
+            (_, Any) => false,
+            (Eq(a), Eq(b)) => a == b,
+            // A non-Any, non-Eq test covers an equality iff the value
+            // passes it.
+            (s, Eq(b)) => s.matches(b),
+            // Eq covers only Eq (handled above) — a range admits more than
+            // one value in general; stay conservative.
+            (Eq(_), _) => false,
+            (Lt(a), Lt(b)) => same_kind(a, b) && b <= a,
+            (Lt(a), Le(b)) => same_kind(a, b) && b < a,
+            (Le(a), Le(b)) => same_kind(a, b) && b <= a,
+            (Le(a), Lt(b)) => same_kind(a, b) && b <= a, // x < b ⇒ x ≤ a when b ≤ a... see below
+            (Gt(a), Gt(b)) => same_kind(a, b) && b >= a,
+            (Gt(a), Ge(b)) => same_kind(a, b) && b > a,
+            (Ge(a), Ge(b)) => same_kind(a, b) && b >= a,
+            (Ge(a), Gt(b)) => same_kind(a, b) && b >= a,
+            (Between(lo, hi), Between(lo2, hi2)) => same_kind(lo, lo2) && lo <= lo2 && hi2 <= hi,
+            (Between(lo, hi), Le(b)) | (Between(lo, hi), Lt(b)) => {
+                // (-∞, b] ⊆ [lo, hi] requires an unbounded low end: never.
+                let _ = (lo, hi, b);
+                false
+            }
+            (Between(lo, hi), Ge(b)) | (Between(lo, hi), Gt(b)) => {
+                let _ = (lo, hi, b);
+                false
+            }
+            (Le(a), Between(lo, hi)) => same_kind(a, lo) && hi <= a && lo <= hi,
+            (Lt(a), Between(lo, hi)) => same_kind(a, lo) && hi < a && lo <= hi,
+            (Ge(a), Between(lo, hi)) => same_kind(a, lo) && lo >= a && lo <= hi,
+            (Gt(a), Between(lo, hi)) => same_kind(a, lo) && lo > a && lo <= hi,
+            // Opposite-direction bounds never cover each other.
+            (Lt(_), Gt(_)) | (Lt(_), Ge(_)) | (Le(_), Gt(_)) | (Le(_), Ge(_)) => false,
+            (Gt(_), Lt(_)) | (Gt(_), Le(_)) | (Ge(_), Lt(_)) | (Ge(_), Le(_)) => false,
+        }
+    }
+}
+
+fn same_kind(a: &Value, b: &Value) -> bool {
+    a.kind() == b.kind()
+}
+
+impl Predicate {
+    /// Whether every event matching `other` also matches `self` — SIENA's
+    /// covering relation, decided attribute by attribute (both predicates
+    /// are conjunctions over the same schema).
+    ///
+    /// Sound but conservative: a `false` answer may still be a semantic
+    /// cover in edge cases involving mixed operator families; a `true`
+    /// answer is always correct.
+    ///
+    /// ```
+    /// use linkcast_types::{EventSchema, Predicate, Value, ValueKind};
+    ///
+    /// # fn main() -> Result<(), linkcast_types::Error> {
+    /// let schema = EventSchema::builder("trades")
+    ///     .attribute("issue", ValueKind::Str)
+    ///     .attribute("volume", ValueKind::Int)
+    ///     .build()?;
+    /// let broad = Predicate::builder(&schema)
+    ///     .gt("volume", Value::Int(100))?
+    ///     .build();
+    /// let narrow = Predicate::builder(&schema)
+    ///     .eq("issue", Value::str("IBM"))?
+    ///     .gt("volume", Value::Int(1000))?
+    ///     .build();
+    /// assert!(broad.covers(&narrow));
+    /// assert!(!narrow.covers(&broad));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn covers(&self, other: &Predicate) -> bool {
+        self.tests().len() == other.tests().len()
+            && self
+                .tests()
+                .iter()
+                .zip(other.tests())
+                .all(|(mine, theirs)| mine.covers(theirs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, EventSchema, ValueKind};
+
+    #[test]
+    fn any_covers_everything() {
+        for t in [
+            AttrTest::Any,
+            AttrTest::Eq(Value::Int(1)),
+            AttrTest::Lt(Value::Int(5)),
+            AttrTest::Between(Value::Int(1), Value::Int(3)),
+        ] {
+            assert!(AttrTest::Any.covers(&t), "{t:?}");
+        }
+        assert!(!AttrTest::Eq(Value::Int(1)).covers(&AttrTest::Any));
+    }
+
+    #[test]
+    fn equality_covering() {
+        let one = AttrTest::Eq(Value::Int(1));
+        assert!(one.covers(&AttrTest::Eq(Value::Int(1))));
+        assert!(!one.covers(&AttrTest::Eq(Value::Int(2))));
+        // A range covers an equality iff the value satisfies it.
+        assert!(AttrTest::Lt(Value::Int(5)).covers(&one));
+        assert!(!AttrTest::Gt(Value::Int(5)).covers(&one));
+        assert!(AttrTest::Between(Value::Int(0), Value::Int(2)).covers(&one));
+        // An equality never covers a range.
+        assert!(!one.covers(&AttrTest::Le(Value::Int(1))));
+    }
+
+    #[test]
+    fn bound_covering() {
+        use AttrTest::{Ge, Gt, Le, Lt};
+        assert!(Lt(Value::Int(10)).covers(&Lt(Value::Int(5))));
+        assert!(!Lt(Value::Int(5)).covers(&Lt(Value::Int(10))));
+        assert!(Lt(Value::Int(10)).covers(&Le(Value::Int(9))));
+        assert!(!Lt(Value::Int(10)).covers(&Le(Value::Int(10))));
+        assert!(Le(Value::Int(10)).covers(&Lt(Value::Int(10))));
+        assert!(Gt(Value::Int(5)).covers(&Gt(Value::Int(10))));
+        assert!(Gt(Value::Int(5)).covers(&Ge(Value::Int(6))));
+        assert!(!Gt(Value::Int(5)).covers(&Ge(Value::Int(5))));
+        assert!(Ge(Value::Int(5)).covers(&Gt(Value::Int(5))));
+        assert!(!Lt(Value::Int(10)).covers(&Gt(Value::Int(0))));
+    }
+
+    #[test]
+    fn between_covering() {
+        use AttrTest::{Between, Ge, Le, Lt};
+        let outer = Between(Value::Int(0), Value::Int(10));
+        let inner = Between(Value::Int(2), Value::Int(8));
+        assert!(outer.covers(&inner));
+        assert!(!inner.covers(&outer));
+        assert!(Le(Value::Int(10)).covers(&inner));
+        assert!(Lt(Value::Int(9)).covers(&inner));
+        assert!(!Lt(Value::Int(8)).covers(&inner));
+        assert!(Ge(Value::Int(2)).covers(&inner));
+        assert!(!outer.covers(&Le(Value::Int(5))), "unbounded below");
+    }
+
+    #[test]
+    fn cross_kind_never_covers() {
+        assert!(!AttrTest::Lt(Value::Int(5)).covers(&AttrTest::Lt(Value::Dollar(1))));
+        assert!(!AttrTest::Eq(Value::Int(0)).covers(&AttrTest::Eq(Value::Dollar(0))));
+    }
+
+    #[test]
+    fn predicate_covering_is_conjunction_wise() {
+        let schema = EventSchema::builder("trades")
+            .attribute("issue", ValueKind::Str)
+            .attribute("volume", ValueKind::Int)
+            .build()
+            .unwrap();
+        let broad = Predicate::builder(&schema)
+            .gt("volume", Value::Int(100))
+            .unwrap()
+            .build();
+        let narrow = Predicate::builder(&schema)
+            .eq("issue", Value::str("IBM"))
+            .unwrap()
+            .gt("volume", Value::Int(1000))
+            .unwrap()
+            .build();
+        assert!(broad.covers(&narrow));
+        assert!(!narrow.covers(&broad));
+        assert!(broad.covers(&broad), "covering is reflexive");
+        assert!(Predicate::match_all(&schema).covers(&narrow));
+    }
+
+    /// Semantic soundness: whenever `covers` says yes, every matching event
+    /// of the covered predicate matches the covering one.
+    #[test]
+    fn covering_is_semantically_sound_on_enumerable_domain() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let schema = EventSchema::builder("s")
+            .attribute_with_domain("a", ValueKind::Int, (0..6).map(Value::Int))
+            .attribute_with_domain("b", ValueKind::Int, (0..6).map(Value::Int))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let random_test = |rng: &mut StdRng| -> AttrTest {
+            match rng.random_range(0..6) {
+                0 => AttrTest::Any,
+                1 => AttrTest::Eq(Value::Int(rng.random_range(0..6))),
+                2 => AttrTest::Lt(Value::Int(rng.random_range(0..6))),
+                3 => AttrTest::Le(Value::Int(rng.random_range(0..6))),
+                4 => AttrTest::Ge(Value::Int(rng.random_range(0..6))),
+                _ => {
+                    let lo = rng.random_range(0..6);
+                    let hi = rng.random_range(lo..6);
+                    AttrTest::Between(Value::Int(lo), Value::Int(hi))
+                }
+            }
+        };
+        for _ in 0..500 {
+            let p1 = Predicate::from_tests(&schema, [random_test(&mut rng), random_test(&mut rng)])
+                .unwrap();
+            let p2 = Predicate::from_tests(&schema, [random_test(&mut rng), random_test(&mut rng)])
+                .unwrap();
+            if p1.covers(&p2) {
+                for a in 0..6 {
+                    for b in 0..6 {
+                        let e =
+                            Event::from_values(&schema, [Value::Int(a), Value::Int(b)]).unwrap();
+                        if p2.matches(&e) {
+                            assert!(p1.matches(&e), "{p1} claimed to cover {p2} but missed {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Published events.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Error, EventSchema, Result, Value};
+
+/// A published event: a tuple of values conforming to an [`EventSchema`].
+///
+/// Events are immutable and cheap to clone (the value tuple is shared), which
+/// matters because link matching fans each event out over many links.
+///
+/// # Example
+///
+/// ```
+/// use linkcast_types::{Event, EventSchema, Value, ValueKind};
+///
+/// # fn main() -> Result<(), linkcast_types::Error> {
+/// let schema = EventSchema::builder("trades")
+///     .attribute("issue", ValueKind::Str)
+///     .attribute("volume", ValueKind::Int)
+///     .build()?;
+/// let event = Event::builder(&schema)
+///     .set("issue", Value::str("IBM"))?
+///     .set("volume", Value::Int(2_500))?
+///     .build()?;
+/// assert_eq!(event.value_by_name("volume"), Some(&Value::Int(2_500)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    schema: EventSchema,
+    values: Arc<[Value]>,
+}
+
+impl Event {
+    /// Starts building an event against `schema`.
+    pub fn builder(schema: &EventSchema) -> EventBuilder {
+        EventBuilder {
+            schema: schema.clone(),
+            values: vec![None; schema.arity()],
+        }
+    }
+
+    /// Creates an event directly from a full tuple of values, in attribute
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingAttribute`] if the tuple is shorter than the schema,
+    /// [`Error::AttributeOutOfRange`] if longer, and
+    /// [`Error::SchemaMismatch`] if any value has the wrong kind.
+    pub fn from_values(
+        schema: &EventSchema,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Result<Self> {
+        let values: Vec<Value> = values.into_iter().collect();
+        if values.len() < schema.arity() {
+            let missing = schema.attribute(values.len()).expect("index in range");
+            return Err(Error::MissingAttribute(missing.name().to_string()));
+        }
+        if values.len() > schema.arity() {
+            return Err(Error::AttributeOutOfRange {
+                index: values.len() - 1,
+                arity: schema.arity(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            schema.check_value(i, v)?;
+        }
+        Ok(Event {
+            schema: schema.clone(),
+            values: values.into(),
+        })
+    }
+
+    /// The schema this event conforms to.
+    pub fn schema(&self) -> &EventSchema {
+        &self.schema
+    }
+
+    /// The value tuple, in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at attribute position `index`.
+    pub fn value(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// The value of the named attribute.
+    pub fn value_by_name(&self, name: &str) -> Option<&Value> {
+        self.schema
+            .attribute_index(name)
+            .and_then(|i| self.values.get(i))
+    }
+}
+
+impl fmt::Display for Event {
+    /// Renders as `trades<"IBM", 119.50, 3000>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<", self.schema.name())?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Incrementally builds an [`Event`]; every attribute must be assigned
+/// exactly once before [`build`](EventBuilder::build).
+#[derive(Debug, Clone)]
+pub struct EventBuilder {
+    schema: EventSchema,
+    values: Vec<Option<Value>>,
+}
+
+impl EventBuilder {
+    /// Assigns the named attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownAttribute`] if the name is not in the schema,
+    /// [`Error::SchemaMismatch`] if the value has the wrong kind.
+    pub fn set(mut self, name: &str, value: Value) -> Result<Self> {
+        let index = self
+            .schema
+            .attribute_index(name)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_string()))?;
+        self.schema.check_value(index, &value)?;
+        self.values[index] = Some(value);
+        Ok(self)
+    }
+
+    /// Assigns the attribute at position `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AttributeOutOfRange`] or [`Error::SchemaMismatch`].
+    pub fn set_index(mut self, index: usize, value: Value) -> Result<Self> {
+        self.schema.check_value(index, &value)?;
+        self.values[index] = Some(value);
+        Ok(self)
+    }
+
+    /// Finalizes the event.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingAttribute`] if any attribute was never assigned.
+    pub fn build(self) -> Result<Event> {
+        let mut out = Vec::with_capacity(self.values.len());
+        for (i, slot) in self.values.into_iter().enumerate() {
+            match slot {
+                Some(v) => out.push(v),
+                None => {
+                    let name = self.schema.attribute(i).expect("index in range").name();
+                    return Err(Error::MissingAttribute(name.to_string()));
+                }
+            }
+        }
+        Ok(Event {
+            schema: self.schema,
+            values: out.into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValueKind;
+
+    fn trades() -> EventSchema {
+        EventSchema::builder("trades")
+            .attribute("issue", ValueKind::Str)
+            .attribute("price", ValueKind::Dollar)
+            .attribute("volume", ValueKind::Int)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_by_name_and_index() {
+        let e = Event::builder(&trades())
+            .set("issue", Value::str("IBM"))
+            .unwrap()
+            .set_index(1, Value::dollar(119, 50))
+            .unwrap()
+            .set("volume", Value::Int(3000))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(e.value(0), Some(&Value::str("IBM")));
+        assert_eq!(e.value_by_name("price"), Some(&Value::Dollar(11950)));
+        assert_eq!(e.values().len(), 3);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_attribute() {
+        let err = Event::builder(&trades())
+            .set("nope", Value::Int(1))
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownAttribute(_)));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_kind() {
+        let err = Event::builder(&trades())
+            .set("volume", Value::str("many"))
+            .unwrap_err();
+        assert!(matches!(err, Error::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_requires_all_attributes() {
+        let err = Event::builder(&trades())
+            .set("issue", Value::str("IBM"))
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::MissingAttribute("price".to_string()));
+    }
+
+    #[test]
+    fn from_values_validates_length_and_kinds() {
+        let s = trades();
+        let ok = Event::from_values(&s, [Value::str("IBM"), Value::Dollar(100), Value::Int(1)]);
+        assert!(ok.is_ok());
+
+        let short = Event::from_values(&s, [Value::str("IBM")]);
+        assert!(matches!(short, Err(Error::MissingAttribute(_))));
+
+        let long = Event::from_values(
+            &s,
+            [
+                Value::str("IBM"),
+                Value::Dollar(100),
+                Value::Int(1),
+                Value::Int(2),
+            ],
+        );
+        assert!(matches!(long, Err(Error::AttributeOutOfRange { .. })));
+
+        let wrong = Event::from_values(&s, [Value::Int(1), Value::Dollar(100), Value::Int(1)]);
+        assert!(matches!(wrong, Err(Error::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn display_renders_tuple() {
+        let e = Event::from_values(
+            &trades(),
+            [Value::str("IBM"), Value::Dollar(11950), Value::Int(3000)],
+        )
+        .unwrap();
+        assert_eq!(e.to_string(), "trades<\"IBM\", 119.50, 3000>");
+    }
+
+    #[test]
+    fn clone_shares_values() {
+        let e = Event::from_values(
+            &trades(),
+            [Value::str("IBM"), Value::Dollar(1), Value::Int(1)],
+        )
+        .unwrap();
+        let f = e.clone();
+        assert_eq!(e, f);
+        assert!(Arc::ptr_eq(&e.values, &f.values));
+    }
+}

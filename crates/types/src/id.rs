@@ -1,0 +1,157 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! Every entity in the broker network — brokers, links, clients, schemas,
+//! subscriptions, events — is addressed by a small-integer id wrapped in a
+//! newtype so that the compiler keeps the different id spaces apart
+//! (guideline C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index behind this id.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as a `usize`, for indexing into vectors.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a broker node in the network.
+    BrokerId,
+    "B"
+);
+define_id!(
+    /// Identifies a client (publisher or subscriber) attached to a broker.
+    ClientId,
+    "C"
+);
+define_id!(
+    /// Identifies an outgoing link of a *specific* broker.
+    ///
+    /// Link ids are broker-local: `LinkId(0)` of broker 3 and `LinkId(0)` of
+    /// broker 7 are unrelated. A link leads either to a neighboring broker or
+    /// to a locally attached client.
+    LinkId,
+    "L"
+);
+define_id!(
+    /// Identifies an event schema (information space).
+    SchemaId,
+    "S"
+);
+define_id!(
+    /// Identifies a subscription within the system.
+    SubscriptionId,
+    "sub"
+);
+define_id!(
+    /// Identifies a published event (assigned by the publishing broker).
+    EventId,
+    "E"
+);
+
+/// Identifies the party that should receive matched events.
+///
+/// In the single-broker matching algorithm of §2 the subscriber is a client;
+/// in the distributed protocol of §3 each broker views remote subscribers
+/// through the client's *home broker*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriberId {
+    /// Home broker of the subscribing client.
+    pub broker: BrokerId,
+    /// The subscribing client.
+    pub client: ClientId,
+}
+
+impl SubscriberId {
+    /// Creates a subscriber id from a home broker and client.
+    pub const fn new(broker: BrokerId, client: ClientId) -> Self {
+        Self { broker, client }
+    }
+}
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.broker, self.client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BrokerId::new(3).to_string(), "B3");
+        assert_eq!(ClientId::new(0).to_string(), "C0");
+        assert_eq!(LinkId::new(7).to_string(), "L7");
+        assert_eq!(SchemaId::new(1).to_string(), "S1");
+        assert_eq!(SubscriptionId::new(42).to_string(), "sub42");
+        assert_eq!(EventId::new(9).to_string(), "E9");
+        assert_eq!(
+            SubscriberId::new(BrokerId::new(2), ClientId::new(5)).to_string(),
+            "B2/C5"
+        );
+    }
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = LinkId::new(11);
+        assert_eq!(id.raw(), 11);
+        assert_eq!(id.index(), 11);
+        assert_eq!(LinkId::from(u32::from(id)), id);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(BrokerId::new(1));
+        set.insert(BrokerId::new(1));
+        set.insert(BrokerId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(BrokerId::new(1) < BrokerId::new(2));
+    }
+
+    #[test]
+    fn subscriber_id_ordering_groups_by_broker() {
+        let a = SubscriberId::new(BrokerId::new(1), ClientId::new(9));
+        let b = SubscriberId::new(BrokerId::new(2), ClientId::new(0));
+        assert!(a < b);
+    }
+}

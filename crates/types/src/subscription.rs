@@ -1,0 +1,83 @@
+//! Subscriptions: a predicate registered by a subscriber.
+
+use std::fmt;
+
+use crate::{Predicate, SubscriberId, SubscriptionId};
+
+/// A registered subscription: *who* wants events satisfying *which*
+/// predicate.
+///
+/// A client "with potentially multiple subscriptions" (§4.1) registers one
+/// `Subscription` per predicate; the matching layer treats them
+/// independently.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Subscription {
+    id: SubscriptionId,
+    subscriber: SubscriberId,
+    predicate: Predicate,
+}
+
+impl Subscription {
+    /// Creates a subscription.
+    pub fn new(id: SubscriptionId, subscriber: SubscriberId, predicate: Predicate) -> Self {
+        Self {
+            id,
+            subscriber,
+            predicate,
+        }
+    }
+
+    /// The subscription's id.
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// The subscribing party.
+    pub fn subscriber(&self) -> SubscriberId {
+        self.subscriber
+    }
+
+    /// The content-based predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Consumes the subscription, returning its predicate.
+    pub fn into_predicate(self) -> Predicate {
+        self.predicate
+    }
+}
+
+impl fmt::Display for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} by {}: {}", self.id, self.subscriber, self.predicate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BrokerId, ClientId, EventSchema, Value, ValueKind};
+
+    #[test]
+    fn accessors_and_display() {
+        let schema = EventSchema::builder("s")
+            .attribute("a", ValueKind::Int)
+            .build()
+            .unwrap();
+        let pred = Predicate::builder(&schema)
+            .eq("a", Value::Int(1))
+            .unwrap()
+            .build();
+        let sub = Subscription::new(
+            SubscriptionId::new(7),
+            SubscriberId::new(BrokerId::new(2), ClientId::new(3)),
+            pred.clone(),
+        );
+        assert_eq!(sub.id(), SubscriptionId::new(7));
+        assert_eq!(sub.subscriber().broker, BrokerId::new(2));
+        assert_eq!(sub.predicate(), &pred);
+        assert_eq!(sub.to_string(), "sub7 by B2/C3: a0 = 1");
+        assert_eq!(sub.into_predicate(), pred);
+    }
+}

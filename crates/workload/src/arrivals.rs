@@ -1,0 +1,186 @@
+//! Event arrival processes.
+
+use rand::Rng;
+
+/// A source of inter-arrival gaps, in seconds.
+///
+/// The simulator advances a publisher's clock by successive gaps drawn from
+/// the process.
+pub trait ArrivalProcess {
+    /// Draws the gap until the next published event, in seconds.
+    fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64;
+
+    /// The long-run mean event rate, in events per second.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Poisson arrivals: independent exponential inter-arrival times with the
+/// given mean rate (paper §4.1: "Events arrive at the publishing brokers
+/// according to a Poisson distribution").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with `rate` events per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        PoissonProcess { rate }
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling of Exp(rate); 1-u avoids ln(0).
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.rate
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Bursty arrivals: trains of `burst_size` back-to-back events separated by
+/// idle gaps, at a chosen long-run mean rate.
+///
+/// The paper's future work (§6) asks "how our protocol performs with bursty
+/// message loads"; this process makes that experiment expressible (ablation
+/// A4 in `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyProcess {
+    mean_rate: f64,
+    burst_size: u32,
+    /// Gap between events inside a burst, seconds.
+    intra_gap: f64,
+    /// Remaining events in the current burst.
+    remaining: u32,
+}
+
+impl BurstyProcess {
+    /// Creates a bursty process with the given long-run `mean_rate`
+    /// (events/second), burst length, and intra-burst gap (seconds, must be
+    /// shorter than the mean inter-arrival time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are non-positive or the intra-burst gap is
+    /// too long to achieve the requested mean rate.
+    pub fn new(mean_rate: f64, burst_size: u32, intra_gap: f64) -> Self {
+        assert!(
+            mean_rate.is_finite() && mean_rate > 0.0,
+            "rate must be positive"
+        );
+        assert!(burst_size > 0, "bursts must contain at least one event");
+        assert!(intra_gap >= 0.0, "intra-burst gap must be non-negative");
+        let mean_gap = 1.0 / mean_rate;
+        assert!(
+            intra_gap < mean_gap || burst_size == 1,
+            "intra-burst gap {intra_gap}s cannot sustain mean rate {mean_rate}/s"
+        );
+        BurstyProcess {
+            mean_rate,
+            burst_size,
+            intra_gap,
+            remaining: 0,
+        }
+    }
+
+    /// Idle gap between bursts that preserves the mean rate.
+    fn inter_burst_gap(&self) -> f64 {
+        // One burst of b events occupies (b-1)*intra + gap seconds and must
+        // average b/mean_rate seconds.
+        let b = f64::from(self.burst_size);
+        b / self.mean_rate - (b - 1.0) * self.intra_gap
+    }
+}
+
+impl ArrivalProcess for BurstyProcess {
+    fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.remaining == 0 {
+            self.remaining = self.burst_size - 1;
+            // Jitter the idle gap ±20% so bursts from different publishers
+            // do not phase-lock.
+            let jitter = 0.8 + 0.4 * rng.random::<f64>();
+            self.inter_burst_gap() * jitter
+        } else {
+            self.remaining -= 1;
+            self.intra_gap
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.mean_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut p = PoissonProcess::new(50.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.02).abs() < 0.001, "mean gap {mean}");
+        assert_eq!(p.mean_rate(), 50.0);
+    }
+
+    #[test]
+    fn poisson_gaps_are_positive_and_memoryless_ish() {
+        let mut p = PoissonProcess::new(10.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let gaps: Vec<f64> = (0..10_000).map(|_| p.next_gap(&mut rng)).collect();
+        assert!(gaps.iter().all(|g| *g >= 0.0));
+        // Coefficient of variation of an exponential is 1.
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = PoissonProcess::new(0.0);
+    }
+
+    #[test]
+    fn bursty_preserves_mean_rate() {
+        let mut p = BurstyProcess::new(100.0, 10, 0.0001);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let rate = n as f64 / total;
+        assert!((rate - 100.0).abs() < 3.0, "rate {rate}");
+        assert_eq!(p.mean_rate(), 100.0);
+    }
+
+    #[test]
+    fn bursty_produces_trains() {
+        let mut p = BurstyProcess::new(100.0, 5, 0.0001);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _first = p.next_gap(&mut rng); // inter-burst gap
+        for _ in 0..4 {
+            assert_eq!(p.next_gap(&mut rng), 0.0001);
+        }
+        // Next draw starts a new burst: a long gap again.
+        assert!(p.next_gap(&mut rng) > 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sustain")]
+    fn bursty_rejects_infeasible_gap() {
+        let _ = BurstyProcess::new(100.0, 10, 0.02);
+    }
+}

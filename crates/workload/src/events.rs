@@ -1,0 +1,117 @@
+//! Random event generation.
+
+use linkcast_types::{Event, EventSchema, Value};
+use rand::Rng;
+
+use crate::{RegionValueMap, WorkloadConfig, Zipf};
+
+/// Generates random events: "Events are also generated randomly, with
+/// attribute values in a zipf distribution" (§4.1).
+///
+/// A publisher in a region draws values through the same region popularity
+/// map as subscribers, so regional subscribers see regionally popular
+/// events — the locality the link-matching protocol exploits.
+#[derive(Debug, Clone)]
+pub struct EventGenerator {
+    schema: EventSchema,
+    attributes: usize,
+    regions: RegionValueMap,
+    zipf: Zipf,
+}
+
+impl EventGenerator {
+    /// Creates a generator for `config`; `seed` must match the
+    /// [`SubscriptionGenerator`](crate::SubscriptionGenerator) seed for the
+    /// region maps to line up.
+    pub fn new(config: &WorkloadConfig, seed: u64) -> Self {
+        EventGenerator {
+            schema: config.schema(),
+            attributes: config.attributes,
+            regions: RegionValueMap::new(
+                config.regions,
+                config.attributes,
+                config.values_per_attribute,
+                config.locality,
+                seed,
+            ),
+            zipf: Zipf::new(config.values_per_attribute, config.zipf_exponent),
+        }
+    }
+
+    /// The schema events are generated against.
+    pub fn schema(&self) -> &EventSchema {
+        &self.schema
+    }
+
+    /// Generates one event published from `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, region: usize) -> Event {
+        let values = (0..self.attributes).map(|i| {
+            let rank = self.zipf.sample(rng);
+            Value::Int(self.regions.value(region, i, rank))
+        });
+        Event::from_values(&self.schema, values).expect("generated values fit the schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_fit_schema_and_domain() {
+        let config = WorkloadConfig::chart2();
+        let g = EventGenerator::new(&config, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let ev = g.generate(&mut rng, 2);
+            assert_eq!(ev.values().len(), 10);
+            for v in ev.values() {
+                let Value::Int(i) = v else {
+                    panic!("non-int value")
+                };
+                assert!((0..3).contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn regional_events_favor_regional_values() {
+        let config = WorkloadConfig::chart1();
+        let g = EventGenerator::new(&config, 7);
+        let regions = RegionValueMap::new(3, 10, 5, true, 7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head_hits = 0usize;
+        let n = 5_000;
+        for _ in 0..n {
+            let ev = g.generate(&mut rng, 1);
+            if ev.values()[0] == Value::Int(regions.value(1, 0, 0)) {
+                head_hits += 1;
+            }
+        }
+        let freq = head_hits as f64 / n as f64;
+        let z = Zipf::new(5, 1.0);
+        assert!(
+            (freq - z.probability(0)).abs() < 0.03,
+            "freq {freq:.3} should match zipf head {:.3}",
+            z.probability(0)
+        );
+    }
+
+    #[test]
+    fn same_seed_same_region_map() {
+        let config = WorkloadConfig::chart1();
+        let a = EventGenerator::new(&config, 3);
+        let b = EventGenerator::new(&config, 3);
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            assert_eq!(a.generate(&mut ra, 2), b.generate(&mut rb, 2));
+        }
+    }
+}

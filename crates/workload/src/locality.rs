@@ -1,0 +1,128 @@
+//! Locality of interest: per-region value-popularity orders.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Maps Zipf *ranks* to concrete attribute values differently per region.
+///
+/// The paper simulates "locality of interest" by giving subscribers within
+/// each subtree of the broker topology "similar distributions of interested
+/// values whereas subscriptions across from the other two subtrees have
+/// different distributions". Here every region permutes the value space:
+/// region 0 uses the identity (rank 0 → value 0, the most popular), and
+/// other regions use seeded shuffles, so the *shape* of the popularity
+/// distribution is identical but the popular values differ across regions.
+#[derive(Debug, Clone)]
+pub struct RegionValueMap {
+    /// `perms[region][attribute][rank] = value`.
+    perms: Vec<Vec<Vec<i64>>>,
+}
+
+impl RegionValueMap {
+    /// Builds the map for `regions` regions, `attributes` attributes, and
+    /// `values` values per attribute. With `locality = false` every region
+    /// uses the identity mapping (no locality). `seed` makes the
+    /// permutations reproducible.
+    pub fn new(
+        regions: usize,
+        attributes: usize,
+        values: usize,
+        locality: bool,
+        seed: u64,
+    ) -> Self {
+        let mut perms = Vec::with_capacity(regions);
+        for region in 0..regions {
+            let mut per_attr = Vec::with_capacity(attributes);
+            for attr in 0..attributes {
+                let mut p: Vec<i64> = (0..values as i64).collect();
+                if locality && region > 0 {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (region as u64) << 32 ^ attr as u64);
+                    p.shuffle(&mut rng);
+                }
+                per_attr.push(p);
+            }
+            perms.push(per_attr);
+        }
+        RegionValueMap { perms }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// The concrete value for Zipf rank `rank` of `attribute` in `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn value(&self, region: usize, attribute: usize, rank: usize) -> i64 {
+        self.perms[region][attribute][rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_zero_is_identity() {
+        let m = RegionValueMap::new(3, 4, 5, true, 42);
+        for attr in 0..4 {
+            for rank in 0..5 {
+                assert_eq!(m.value(0, attr, rank), rank as i64);
+            }
+        }
+        assert_eq!(m.regions(), 3);
+    }
+
+    #[test]
+    fn other_regions_are_permutations() {
+        let m = RegionValueMap::new(3, 4, 5, true, 42);
+        for region in 1..3 {
+            for attr in 0..4 {
+                let mut vals: Vec<i64> = (0..5).map(|r| m.value(region, attr, r)).collect();
+                vals.sort_unstable();
+                assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_makes_regions_differ() {
+        let m = RegionValueMap::new(3, 10, 5, true, 42);
+        let differs =
+            (0..10).any(|attr| (0..5).any(|r| m.value(0, attr, r) != m.value(1, attr, r)));
+        assert!(differs, "region 1 should not be the identity everywhere");
+    }
+
+    #[test]
+    fn without_locality_all_regions_agree() {
+        let m = RegionValueMap::new(3, 4, 5, false, 42);
+        for region in 0..3 {
+            for attr in 0..4 {
+                for rank in 0..5 {
+                    assert_eq!(m.value(region, attr, rank), rank as i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let a = RegionValueMap::new(3, 4, 5, true, 7);
+        let b = RegionValueMap::new(3, 4, 5, true, 7);
+        let c = RegionValueMap::new(3, 4, 5, true, 8);
+        for region in 0..3 {
+            for attr in 0..4 {
+                for rank in 0..5 {
+                    assert_eq!(a.value(region, attr, rank), b.value(region, attr, rank));
+                }
+            }
+        }
+        let differs = (0..10)
+            .any(|_| (0..4).any(|attr| (0..5).any(|r| a.value(2, attr, r) != c.value(2, attr, r))));
+        assert!(differs, "different seeds should shuffle differently");
+    }
+}

@@ -1,0 +1,231 @@
+//! Random subscription generation.
+
+use linkcast_types::{
+    AttrTest, EventSchema, Predicate, SubscriberId, Subscription, SubscriptionId, Value,
+};
+use rand::Rng;
+
+use crate::{RegionValueMap, WorkloadConfig, Zipf};
+
+/// Generates random subscriptions per the paper's §4.1 recipe:
+///
+/// - attribute `i` is non-`*` with probability `p₀ · decayⁱ` (Chart 1 uses
+///   `p₀ = 0.98`, `decay = 0.85`);
+/// - non-`*` attributes take equality tests whose values are drawn from a
+///   Zipf distribution;
+/// - the subscriber's *region* selects which concrete values are popular
+///   ("locality of interest").
+///
+/// # Example
+///
+/// ```
+/// use linkcast_workload::{SubscriptionGenerator, WorkloadConfig};
+/// use linkcast_types::{SubscriberId, BrokerId, ClientId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let config = WorkloadConfig::chart1();
+/// let mut generator = SubscriptionGenerator::new(&config, 42);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let sub = generator.generate(
+///     &mut rng,
+///     0, // region
+///     SubscriberId::new(BrokerId::new(3), ClientId::new(0)),
+/// );
+/// assert_eq!(sub.predicate().tests().len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubscriptionGenerator {
+    schema: EventSchema,
+    config: WorkloadConfig,
+    regions: RegionValueMap,
+    zipf: Zipf,
+    next_id: u32,
+}
+
+impl SubscriptionGenerator {
+    /// Creates a generator for `config`; `seed` fixes the region
+    /// permutations (not the per-subscription randomness, which comes from
+    /// the `rng` passed to [`generate`](Self::generate)).
+    pub fn new(config: &WorkloadConfig, seed: u64) -> Self {
+        let schema = config.schema();
+        let regions = RegionValueMap::new(
+            config.regions,
+            config.attributes,
+            config.values_per_attribute,
+            config.locality,
+            seed,
+        );
+        let zipf = Zipf::new(config.values_per_attribute, config.zipf_exponent);
+        SubscriptionGenerator {
+            schema,
+            config: config.clone(),
+            regions,
+            zipf,
+            next_id: 0,
+        }
+    }
+
+    /// The schema subscriptions are generated against.
+    pub fn schema(&self) -> &EventSchema {
+        &self.schema
+    }
+
+    /// Generates one subscription for a subscriber living in `region`.
+    ///
+    /// Subscription ids are assigned sequentially by this generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range for the configured region count.
+    pub fn generate<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        region: usize,
+        subscriber: SubscriberId,
+    ) -> Subscription {
+        let predicate = self.generate_predicate(rng, region);
+        let id = SubscriptionId::new(self.next_id);
+        self.next_id += 1;
+        Subscription::new(id, subscriber, predicate)
+    }
+
+    /// Generates just a predicate for `region` (used by tests and by callers
+    /// managing their own subscription ids).
+    pub fn generate_predicate<R: Rng + ?Sized>(&self, rng: &mut R, region: usize) -> Predicate {
+        assert!(
+            region < self.regions.regions(),
+            "region {region} out of range ({} regions)",
+            self.regions.regions()
+        );
+        let tests = (0..self.config.attributes)
+            .map(|i| {
+                if rng.random_bool(self.config.non_star_prob(i).clamp(0.0, 1.0)) {
+                    let rank = self.zipf.sample(rng);
+                    AttrTest::Eq(Value::Int(self.regions.value(region, i, rank)))
+                } else {
+                    AttrTest::Any
+                }
+            })
+            .collect::<Vec<_>>();
+        Predicate::from_tests(&self.schema, tests).expect("generated tests fit the schema")
+    }
+
+    /// Number of subscriptions generated so far.
+    pub fn generated(&self) -> u32 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkcast_types::{BrokerId, ClientId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn subscriber() -> SubscriberId {
+        SubscriberId::new(BrokerId::new(0), ClientId::new(0))
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let config = WorkloadConfig::chart1();
+        let mut g = SubscriptionGenerator::new(&config, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = g.generate(&mut rng, 0, subscriber());
+        let b = g.generate(&mut rng, 1, subscriber());
+        assert_eq!(a.id(), SubscriptionId::new(0));
+        assert_eq!(b.id(), SubscriptionId::new(1));
+        assert_eq!(g.generated(), 2);
+    }
+
+    #[test]
+    fn non_star_frequencies_decay_like_the_paper() {
+        let config = WorkloadConfig::chart1();
+        let g = SubscriptionGenerator::new(&config, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut non_star = vec![0usize; config.attributes];
+        for _ in 0..n {
+            let p = g.generate_predicate(&mut rng, 0);
+            for (i, t) in p.tests().iter().enumerate() {
+                if !t.is_wildcard() {
+                    non_star[i] += 1;
+                }
+            }
+        }
+        for (i, count) in non_star.iter().enumerate() {
+            let freq = *count as f64 / n as f64;
+            let expected = config.non_star_prob(i);
+            assert!(
+                (freq - expected).abs() < 0.02,
+                "attr {i}: freq {freq:.3} vs expected {expected:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_subscriptions_are_selective() {
+        // The paper reports ~0.1% average selectivity for the Chart 1
+        // parameters; sanity-check the order of magnitude.
+        use crate::EventGenerator;
+        let config = WorkloadConfig::chart1();
+        let sg = SubscriptionGenerator::new(&config, 1);
+        let eg = EventGenerator::new(&config, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let predicates: Vec<_> = (0..2_000)
+            .map(|_| sg.generate_predicate(&mut rng, 0))
+            .collect();
+        let mut matched = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let ev = eg.generate(&mut rng, 0);
+            matched += predicates.iter().filter(|p| p.matches(&ev)).count();
+        }
+        let selectivity = matched as f64 / (trials * predicates.len()) as f64;
+        assert!(
+            selectivity < 0.02,
+            "subscriptions should be very selective, got {selectivity:.4}"
+        );
+        assert!(
+            selectivity > 0.000_01,
+            "subscriptions should not be impossible, got {selectivity:.6}"
+        );
+    }
+
+    #[test]
+    fn values_follow_region_popularity() {
+        let mut config = WorkloadConfig::chart1();
+        config.first_non_star_prob = 1.0;
+        config.non_star_decay = 1.0;
+        let g = SubscriptionGenerator::new(&config, 9);
+        let mut rng = StdRng::seed_from_u64(5);
+        // In region 0 the most popular value of every attribute is 0.
+        let mut count0 = 0usize;
+        let n = 5_000;
+        for _ in 0..n {
+            let p = g.generate_predicate(&mut rng, 0);
+            if let AttrTest::Eq(Value::Int(v)) = &p.tests()[0] {
+                if *v == 0 {
+                    count0 += 1;
+                }
+            }
+        }
+        let freq = count0 as f64 / n as f64;
+        let z = Zipf::new(config.values_per_attribute, config.zipf_exponent);
+        assert!(
+            (freq - z.probability(0)).abs() < 0.03,
+            "freq {freq:.3} vs zipf head {:.3}",
+            z.probability(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_region_panics() {
+        let config = WorkloadConfig::chart1();
+        let g = SubscriptionGenerator::new(&config, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = g.generate_predicate(&mut rng, 99);
+    }
+}

@@ -1,0 +1,145 @@
+//! Zipf-distributed sampling.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n`: rank `k` has probability
+/// proportional to `1 / (k+1)^s`.
+///
+/// The paper generates both subscription values and event values "according
+/// to a zipf distribution". Sampling is by binary search over the
+/// precomputed CDF, `O(log n)` per draw.
+///
+/// # Example
+///
+/// ```
+/// use linkcast_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(5, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (it never is; kept for
+    /// container-convention completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decay() {
+        let z = Zipf::new(5, 1.0);
+        let total: f64 = (0..5).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for k in 1..5 {
+            assert!(z.probability(k) < z.probability(k - 1));
+        }
+        assert_eq!(z.len(), 5);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.probability(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_theory() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(12345);
+        let mut counts = [0usize; 5];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, count) in counts.iter().enumerate() {
+            let freq = *count as f64 / n as f64;
+            let p = z.probability(k);
+            assert!(
+                (freq - p).abs() < 0.01,
+                "rank {k}: freq {freq:.4} vs p {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(3, -1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Subscription audit: use the covering relation (SIENA-style, from the
+//! paper's related work) to find and compact redundant subscriptions
+//! before installing them into a matcher.
+//!
+//! Run with: `cargo run --example subscription_audit`
+
+use linkcast::matching::{compact_subscriptions, Matcher, Pst, PstOptions};
+use linkcast::types::{
+    parse_predicate, BrokerId, ClientId, EventSchema, SubscriberId, Subscription, SubscriptionId,
+    ValueKind,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = EventSchema::builder("trades")
+        .attribute("issue", ValueKind::Str)
+        .attribute("price", ValueKind::Dollar)
+        .attribute("volume", ValueKind::Int)
+        .build()?;
+
+    // A trading desk has accumulated subscriptions over time; several are
+    // subsumed by broader ones registered later.
+    let desk = SubscriberId::new(BrokerId::new(0), ClientId::new(0));
+    let expressions = [
+        r#"issue = "IBM" & price < 120.00 & volume > 1000"#, // narrow
+        r#"issue = "IBM" & price < 150.00"#,                 // covers the line above
+        r#"issue = "IBM""#,                                  // covers both above
+        r#"volume > 500000"#,                                // independent
+        r#"issue = "GE" & volume > 1000"#,                   // independent
+        r#"issue = "GE" & volume > 5000"#,                   // covered by the previous line
+    ];
+    let subscriptions: Vec<Subscription> = expressions
+        .iter()
+        .enumerate()
+        .map(|(i, expr)| {
+            Ok::<_, Box<dyn std::error::Error>>(Subscription::new(
+                SubscriptionId::new(i as u32),
+                desk,
+                parse_predicate(&schema, expr)?,
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+
+    println!("registered subscriptions:");
+    for (sub, expr) in subscriptions.iter().zip(&expressions) {
+        println!("  {}: {}", sub.id(), expr);
+    }
+
+    // Pairwise covering report.
+    println!("\ncovering relations found:");
+    for a in &subscriptions {
+        for b in &subscriptions {
+            if a.id() != b.id() && a.predicate().covers(b.predicate()) {
+                println!("  {} covers {}", a.id(), b.id());
+            }
+        }
+    }
+
+    // Compact and compare matcher sizes.
+    let (kept, dropped) = compact_subscriptions(subscriptions.clone());
+    println!("\ncompaction dropped {dropped:?}");
+
+    let full = Pst::build(schema.clone(), subscriptions, PstOptions::default())?;
+    let compacted = Pst::build(schema.clone(), kept, PstOptions::default())?;
+    println!(
+        "matcher size: {} nodes -> {} nodes ({} subscriptions -> {})",
+        full.node_count(),
+        compacted.node_count(),
+        full.len(),
+        compacted.len()
+    );
+    assert!(compacted.len() < full.len());
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! Integration test of the TCP broker prototype: a three-broker line with
+//! real sockets, real threads, and the full client/broker protocol.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{BrokerConfig, BrokerNode, Client};
+use linkcast_types::{
+    BrokerId, ClientId, Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind,
+};
+
+fn registry() -> Arc<SchemaRegistry> {
+    let mut r = SchemaRegistry::new();
+    r.register(
+        EventSchema::builder("trades")
+            .attribute("issue", ValueKind::Str)
+            .attribute("price", ValueKind::Dollar)
+            .attribute("volume", ValueKind::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    Arc::new(r)
+}
+
+struct Cluster {
+    nodes: Vec<BrokerNode>,
+    registry: Arc<SchemaRegistry>,
+    clients: Vec<ClientId>,
+}
+
+/// Starts B0 - B1 - B2 with two provisioned clients per broker and wires
+/// the broker links.
+fn start_cluster() -> Cluster {
+    let mut b = NetworkBuilder::new();
+    let brokers = b.add_brokers(3);
+    b.connect(brokers[0], brokers[1], 10.0).unwrap();
+    b.connect(brokers[1], brokers[2], 10.0).unwrap();
+    let mut clients = Vec::new();
+    for &broker in &brokers {
+        clients.extend(b.add_clients(broker, 2).unwrap());
+    }
+    let fabric = RoutingFabric::new_all_roots(b.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let nodes: Vec<BrokerNode> = brokers
+        .iter()
+        .map(|&id| {
+            BrokerNode::start(BrokerConfig::localhost(
+                id,
+                fabric.clone(),
+                Arc::clone(&registry),
+            ))
+            .unwrap()
+        })
+        .collect();
+    // Wire the topology: the higher-id side dials.
+    nodes[1]
+        .connect_to(BrokerId::new(0), nodes[0].addr())
+        .unwrap();
+    nodes[2]
+        .connect_to(BrokerId::new(1), nodes[1].addr())
+        .unwrap();
+    Cluster {
+        nodes,
+        registry,
+        clients,
+    }
+}
+
+/// Polls until every node reports `expected` subscriptions (control-plane
+/// flooding is asynchronous).
+fn await_subscriptions(cluster: &Cluster, expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if cluster
+            .nodes
+            .iter()
+            .all(|n| n.stats().subscriptions == expected)
+        {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "subscription flooding did not converge: {:?}",
+            cluster
+                .nodes
+                .iter()
+                .map(|n| n.stats().subscriptions)
+                .collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn trade(registry: &SchemaRegistry, issue: &str, cents: i64, volume: i64) -> Event {
+    let schema = registry.get_by_name("trades").unwrap();
+    Event::from_values(
+        schema,
+        [Value::str(issue), Value::Dollar(cents), Value::Int(volume)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn events_cross_the_wire_to_matching_subscribers_only() {
+    let cluster = start_cluster();
+    let schema_id = SchemaId::new(0);
+
+    // Client 4 lives at B2; client 0 at B0 publishes.
+    let mut subscriber = Client::connect(
+        cluster.nodes[2].addr(),
+        cluster.clients[4],
+        0,
+        Arc::clone(&cluster.registry),
+    )
+    .unwrap();
+    let mut bystander = Client::connect(
+        cluster.nodes[1].addr(),
+        cluster.clients[2],
+        0,
+        Arc::clone(&cluster.registry),
+    )
+    .unwrap();
+    let mut publisher = Client::connect(
+        cluster.nodes[0].addr(),
+        cluster.clients[0],
+        0,
+        Arc::clone(&cluster.registry),
+    )
+    .unwrap();
+
+    subscriber
+        .subscribe(schema_id, r#"issue = "IBM" & volume > 1000"#)
+        .unwrap();
+    bystander.subscribe(schema_id, r#"issue = "HP""#).unwrap();
+    await_subscriptions(&cluster, 2);
+
+    publisher
+        .publish(&trade(&cluster.registry, "IBM", 11950, 3000))
+        .unwrap();
+    publisher
+        .publish(&trade(&cluster.registry, "IBM", 11950, 10))
+        .unwrap(); // volume too low
+
+    let (seq, event) = subscriber.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(seq, 1);
+    assert_eq!(event.value_by_name("volume"), Some(&Value::Int(3000)));
+    // No second delivery for the low-volume trade.
+    assert!(subscriber.recv(Duration::from_millis(300)).is_err());
+    // The HP subscriber got nothing.
+    assert!(bystander.recv(Duration::from_millis(100)).is_err());
+
+    // Broker-level counters: B0 published 2, forwarded only the matching
+    // one; B2 delivered 1.
+    let s0 = cluster.nodes[0].stats();
+    assert_eq!(s0.published, 2);
+    assert_eq!(s0.forwarded, 1);
+    let s2 = cluster.nodes[2].stats();
+    assert_eq!(s2.delivered, 1);
+}
+
+#[test]
+fn subscriptions_work_from_any_broker_and_unsubscribe_propagates() {
+    let cluster = start_cluster();
+    let schema_id = SchemaId::new(0);
+
+    let mut sub_client = Client::connect(
+        cluster.nodes[0].addr(),
+        cluster.clients[0],
+        0,
+        Arc::clone(&cluster.registry),
+    )
+    .unwrap();
+    let mut pub_client = Client::connect(
+        cluster.nodes[2].addr(),
+        cluster.clients[5],
+        0,
+        Arc::clone(&cluster.registry),
+    )
+    .unwrap();
+
+    let id = sub_client.subscribe(schema_id, "volume > 0").unwrap();
+    await_subscriptions(&cluster, 1);
+
+    pub_client
+        .publish(&trade(&cluster.registry, "SUN", 100, 5))
+        .unwrap();
+    let (_, event) = sub_client.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(event.value_by_name("issue"), Some(&Value::str("SUN")));
+
+    sub_client.unsubscribe(id).unwrap();
+    await_subscriptions(&cluster, 0);
+    pub_client
+        .publish(&trade(&cluster.registry, "SUN", 100, 5))
+        .unwrap();
+    assert!(sub_client.recv(Duration::from_millis(300)).is_err());
+}
+
+#[test]
+fn bad_requests_get_error_frames() {
+    let cluster = start_cluster();
+    // Hello with a client homed elsewhere is rejected.
+    let err = Client::connect(
+        cluster.nodes[0].addr(),
+        cluster.clients[4], // homed at B2
+        0,
+        Arc::clone(&cluster.registry),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not homed"), "{err}");
+
+    // Subscribing to a nonexistent information space is rejected.
+    let mut client = Client::connect(
+        cluster.nodes[0].addr(),
+        cluster.clients[0],
+        0,
+        Arc::clone(&cluster.registry),
+    )
+    .unwrap();
+    let err = client
+        .subscribe(SchemaId::new(7), "volume > 0")
+        .unwrap_err();
+    assert!(err.to_string().contains("information space"), "{err}");
+    // And so is a garbled expression.
+    let err = client
+        .subscribe(SchemaId::new(0), "volume >>> 0")
+        .unwrap_err();
+    assert!(matches!(err, linkcast_broker::ClientError::Rejected(_)));
+}
+
+#[test]
+fn local_connections_bypass_tcp() {
+    let cluster = start_cluster();
+    let local = cluster.nodes[0].open_local();
+    local.send(&linkcast_broker::ClientToBroker::Hello {
+        client: cluster.clients[1],
+        resume_from: 0,
+    });
+    match local.recv(Duration::from_secs(2)).unwrap() {
+        linkcast_broker::BrokerToClient::Welcome { client, .. } => {
+            assert_eq!(client, cluster.clients[1]);
+        }
+        other => panic!("expected welcome, got {other:?}"),
+    }
+    local.send(&linkcast_broker::ClientToBroker::Subscribe {
+        schema: SchemaId::new(0),
+        expression: "volume > 0".into(),
+    });
+    match local.recv(Duration::from_secs(2)).unwrap() {
+        linkcast_broker::BrokerToClient::SubAck { .. } => {}
+        other => panic!("expected suback, got {other:?}"),
+    }
+    local.send(&linkcast_broker::ClientToBroker::Publish {
+        event: trade(&cluster.registry, "IBM", 1, 10),
+    });
+    match local.recv(Duration::from_secs(2)).unwrap() {
+        linkcast_broker::BrokerToClient::Deliver { seq, .. } => assert_eq!(seq, 1),
+        other => panic!("expected delivery, got {other:?}"),
+    }
+}

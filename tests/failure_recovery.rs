@@ -1,0 +1,206 @@
+//! Disconnection recovery: the paper's per-client event log in action.
+//!
+//! "Once a client re-connects after a failure, the client protocol object
+//! delivers the events received while the client was dis-connected. A
+//! garbage collector periodically cleans up the log." (§4.2)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{BrokerConfig, BrokerNode, Client};
+use linkcast_types::{Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind};
+
+fn registry() -> Arc<SchemaRegistry> {
+    let mut r = SchemaRegistry::new();
+    r.register(
+        EventSchema::builder("ticks")
+            .attribute("n", ValueKind::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    Arc::new(r)
+}
+
+fn tick(registry: &SchemaRegistry, n: i64) -> Event {
+    let schema = registry.get(SchemaId::new(0)).unwrap();
+    Event::from_values(schema, [Value::Int(n)]).unwrap()
+}
+
+/// One broker, two clients: a subscriber that crashes and a publisher.
+fn single_broker() -> (
+    BrokerNode,
+    Arc<SchemaRegistry>,
+    Vec<linkcast_types::ClientId>,
+) {
+    let mut b = NetworkBuilder::new();
+    let b0 = b.add_broker();
+    let clients = b.add_clients(b0, 2).unwrap();
+    let fabric = RoutingFabric::new_all_roots(b.build().unwrap()).unwrap();
+    let registry = registry();
+    let node =
+        BrokerNode::start(BrokerConfig::localhost(b0, fabric, Arc::clone(&registry))).unwrap();
+    (node, registry, clients)
+}
+
+fn await_stats(node: &BrokerNode, f: impl Fn(linkcast_broker::BrokerStats) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !f(node.stats()) {
+        assert!(
+            Instant::now() < deadline,
+            "stats never converged: {:?}",
+            node.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn missed_events_are_replayed_on_reconnect() {
+    let (node, registry, clients) = single_broker();
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    let mut publisher = Client::connect(node.addr(), clients[1], 0, Arc::clone(&registry)).unwrap();
+
+    // Receive one event live (acked), then crash.
+    publisher.publish(&tick(&registry, 1)).unwrap();
+    let (seq, _) = subscriber.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(seq, 1);
+    let resume_from = subscriber.last_seq();
+    drop(subscriber); // simulated crash
+
+    // Events published while the subscriber is away accumulate in its log.
+    for n in 2..=5 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+    await_stats(&node, |s| s.delivered >= 5);
+
+    // Reconnect, resuming after the last acked sequence number.
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], resume_from, Arc::clone(&registry)).unwrap();
+    let mut got = Vec::new();
+    for _ in 0..4 {
+        let (seq, event) = subscriber.recv(Duration::from_secs(5)).unwrap();
+        got.push((seq, event.value(0).cloned().unwrap()));
+    }
+    assert_eq!(
+        got,
+        vec![
+            (2, Value::Int(2)),
+            (3, Value::Int(3)),
+            (4, Value::Int(4)),
+            (5, Value::Int(5))
+        ]
+    );
+    // Nothing further.
+    assert!(subscriber.recv(Duration::from_millis(200)).is_err());
+}
+
+#[test]
+fn unacked_events_are_redelivered_at_least_once() {
+    let (node, registry, clients) = single_broker();
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    let mut publisher = Client::connect(node.addr(), clients[1], 0, Arc::clone(&registry)).unwrap();
+
+    publisher.publish(&tick(&registry, 7)).unwrap();
+    // Receive WITHOUT acking, then crash: the broker must keep the entry.
+    let (seq, _) = subscriber.recv_unacked(Duration::from_secs(5)).unwrap();
+    assert_eq!(seq, 1);
+    drop(subscriber);
+
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], 0, Arc::clone(&registry)).unwrap();
+    let (seq, event) = subscriber.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(seq, 1, "unacked event is replayed");
+    assert_eq!(event.value(0), Some(&Value::Int(7)));
+}
+
+#[test]
+fn acked_events_are_garbage_collected_and_not_replayed() {
+    let (node, registry, clients) = single_broker();
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    let mut publisher = Client::connect(node.addr(), clients[1], 0, Arc::clone(&registry)).unwrap();
+
+    for n in 1..=3 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+    for _ in 0..3 {
+        subscriber.recv(Duration::from_secs(5)).unwrap(); // auto-acks
+    }
+    let resume = subscriber.last_seq();
+    drop(subscriber);
+    // Give the GC a couple of cycles to trim the acked prefix.
+    std::thread::sleep(Duration::from_millis(600));
+
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], resume, Arc::clone(&registry)).unwrap();
+    assert!(
+        subscriber.recv(Duration::from_millis(300)).is_err(),
+        "acked events must not be replayed"
+    );
+}
+
+#[test]
+fn log_bound_drops_oldest_for_absent_clients() {
+    // A tight log bound: a client that never connects cannot hold
+    // unbounded broker memory.
+    let mut b = NetworkBuilder::new();
+    let b0 = b.add_broker();
+    let clients = b.add_clients(b0, 2).unwrap();
+    let fabric = RoutingFabric::new_all_roots(b.build().unwrap()).unwrap();
+    let registry = registry();
+    let mut config = BrokerConfig::localhost(b0, fabric, Arc::clone(&registry));
+    config.log_bound = 5;
+    config.gc_interval = Duration::from_millis(50);
+    let node = BrokerNode::start(config).unwrap();
+
+    // The "absent" subscriber connects just long enough to subscribe.
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    drop(subscriber);
+
+    let mut publisher = Client::connect(node.addr(), clients[1], 0, Arc::clone(&registry)).unwrap();
+    for n in 1..=20 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+    await_stats(&node, |s| s.delivered >= 20);
+    std::thread::sleep(Duration::from_millis(300)); // let GC enforce the bound
+
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], 0, Arc::clone(&registry)).unwrap();
+    let mut got = Vec::new();
+    while let Ok((seq, _)) = subscriber.recv(Duration::from_millis(300)) {
+        got.push(seq);
+    }
+    assert!(
+        got.len() <= 5,
+        "bounded log must retain at most 5 entries, got {got:?}"
+    );
+    assert_eq!(*got.last().unwrap(), 20, "newest entries are retained");
+}
+
+#[test]
+fn publisher_reconnect_is_seamless() {
+    let (node, registry, clients) = single_broker();
+    let mut subscriber =
+        Client::connect(node.addr(), clients[0], 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+
+    let mut publisher = Client::connect(node.addr(), clients[1], 0, Arc::clone(&registry)).unwrap();
+    publisher.publish(&tick(&registry, 1)).unwrap();
+    drop(publisher);
+    let mut publisher = Client::connect(node.addr(), clients[1], 0, Arc::clone(&registry)).unwrap();
+    publisher.publish(&tick(&registry, 2)).unwrap();
+
+    let (_, a) = subscriber.recv(Duration::from_secs(5)).unwrap();
+    let (_, b) = subscriber.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(a.value(0), Some(&Value::Int(1)));
+    assert_eq!(b.value(0), Some(&Value::Int(2)));
+}
