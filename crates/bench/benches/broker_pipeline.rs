@@ -1,0 +1,226 @@
+//! End-to-end bench of the pipelined broker dataflow: events/sec through a
+//! three-broker TCP chain (A - B - C) with several subscribers per broker
+//! and four information spaces. The "before" leg runs the seed dataflow
+//! (`BrokerConfig::seed_dataflow`: one event serialization and one write
+//! syscall per outgoing frame, matching inline on the engine thread); the
+//! "after" leg runs the pipelined dataflow (encode-once stitched frames,
+//! batched vectored writes, schema-sharded matching workers). Results are
+//! recorded as a baseline in `BENCH_broker_pipeline.json` at the
+//! repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{BrokerConfig, BrokerNode, Client};
+use linkcast_types::{ClientId, Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Information spaces; with `match_shards = 4` each gets its own worker.
+const SPACES: usize = 4;
+/// Subscriber clients per broker; each watches every space, so every event
+/// fans out to `BROKERS * SUBSCRIBERS_PER_BROKER` client links.
+const SUBSCRIBERS_PER_BROKER: usize = 6;
+/// Events published per measured batch, round-robin over the spaces.
+const BATCH: u64 = 200;
+/// Brokers in the chain.
+const BROKERS: u64 = 3;
+
+fn registry() -> Arc<SchemaRegistry> {
+    let mut r = SchemaRegistry::new();
+    for i in 0..SPACES {
+        r.register(
+            EventSchema::builder(format!("space{i}"))
+                .attribute("issue", ValueKind::Str)
+                .attribute("volume", ValueKind::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    Arc::new(r)
+}
+
+struct Cluster {
+    nodes: Vec<BrokerNode>,
+    publisher: Client,
+    /// Total events received across all subscriber threads.
+    delivered: Arc<AtomicU64>,
+    /// Deliveries already claimed by finished iterations.
+    claimed: u64,
+    stop: Arc<AtomicBool>,
+    receivers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Cluster {
+    fn start(seed_dataflow: bool, match_shards: usize, match_threads: usize) -> Cluster {
+        let registry = registry();
+        let mut net = NetworkBuilder::new();
+        let brokers: Vec<_> = (0..BROKERS).map(|_| net.add_broker()).collect();
+        for pair in brokers.windows(2) {
+            net.connect(pair[0], pair[1], 5.0).unwrap();
+        }
+        let publisher_id = net.add_client(brokers[0]).unwrap();
+        let mut subscriber_ids: Vec<(usize, ClientId)> = Vec::new();
+        for (i, &broker) in brokers.iter().enumerate() {
+            for _ in 0..SUBSCRIBERS_PER_BROKER {
+                subscriber_ids.push((i, net.add_client(broker).unwrap()));
+            }
+        }
+        let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+
+        let nodes: Vec<BrokerNode> = brokers
+            .iter()
+            .map(|&b| {
+                let mut config = BrokerConfig::localhost(b, fabric.clone(), Arc::clone(&registry));
+                config.seed_dataflow = seed_dataflow;
+                config.match_shards = match_shards;
+                config.match_threads = match_threads;
+                BrokerNode::start(config).unwrap()
+            })
+            .collect();
+        for (i, pair) in brokers.windows(2).enumerate() {
+            nodes[i].connect_to_persistent(pair[1], nodes[i + 1].addr());
+        }
+
+        // Every subscriber watches every space, so each event produces one
+        // Deliver frame per subscriber at every broker — the fan-out the
+        // dataflow changes target.
+        let mut clients: Vec<Client> = subscriber_ids
+            .iter()
+            .map(|&(i, id)| Client::connect(nodes[i].addr(), id, 0, Arc::clone(&registry)).unwrap())
+            .collect();
+        let mut total_subs = 0usize;
+        for client in &mut clients {
+            for space in 0..SPACES {
+                client
+                    .subscribe(SchemaId::new(space as u32), "volume >= 0")
+                    .unwrap();
+                total_subs += 1;
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for node in &nodes {
+            while node.stats().subscriptions < total_subs {
+                assert!(Instant::now() < deadline, "subscription flood stalled");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+
+        let delivered = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let receivers = clients
+            .into_iter()
+            .map(|mut client| {
+                let delivered = Arc::clone(&delivered);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    match client.recv(Duration::from_millis(100)) {
+                        Ok(_) => {
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) if stop.load(Ordering::Relaxed) => return,
+                        Err(_) => {}
+                    }
+                })
+            })
+            .collect();
+
+        let publisher =
+            Client::connect(nodes[0].addr(), publisher_id, 0, Arc::clone(&registry)).unwrap();
+        Cluster {
+            nodes,
+            publisher,
+            delivered,
+            claimed: 0,
+            stop,
+            receivers,
+        }
+    }
+
+    /// One measured batch: publish BATCH events from the chain head, then
+    /// wait until every subscriber at every broker has received its copy.
+    fn pump_batch(&mut self, registry: &SchemaRegistry) {
+        for i in 0..BATCH {
+            let schema = registry
+                .get(SchemaId::new((i as u32) % SPACES as u32))
+                .unwrap();
+            let event = Event::from_values(
+                schema,
+                [Value::str("IBM"), Value::Int(i64::try_from(i).unwrap())],
+            )
+            .unwrap();
+            self.publisher.publish(&event).unwrap();
+        }
+        self.claimed += BATCH * BROKERS * SUBSCRIBERS_PER_BROKER as u64;
+        while self.delivered.load(Ordering::Relaxed) < self.claimed {
+            std::thread::yield_now();
+        }
+    }
+
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.receivers {
+            handle.join().unwrap();
+        }
+        for node in self.nodes {
+            node.shutdown();
+        }
+    }
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let configs = [
+        // The seed dataflow: per-frame serialization, per-frame writes,
+        // inline matching.
+        ("seed_dataflow", true, 1usize, 1usize),
+        // The pipelined dataflow: encode-once, batched vectored writes,
+        // schema-sharded matching workers.
+        ("pipelined", false, 4, 2),
+    ];
+    let registry = registry();
+    let mut results = Vec::new();
+    for (name, seed, shards, threads) in configs {
+        let mut cluster = Cluster::start(seed, shards, threads);
+        let median = Cell::new(0.0f64);
+        let mut group = c.benchmark_group("broker_pipeline_chain");
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(800));
+        group.measurement_time(Duration::from_secs(4));
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_function(name, |b| {
+            b.iter(|| cluster.pump_batch(&registry));
+            median.set(b.median_ns());
+        });
+        group.finish();
+        cluster.shutdown();
+        let events_per_sec = BATCH as f64 / (median.get() * 1e-9);
+        results.push((name, seed, shards, threads, median.get(), events_per_sec));
+    }
+
+    let speedup = results[1].5 / results[0].5;
+    let configs_json: Vec<String> = results
+        .iter()
+        .map(|(name, seed, shards, threads, ns, eps)| {
+            format!(
+                "    {{ \"name\": \"{name}\", \"seed_dataflow\": {seed}, \"match_shards\": {shards}, \"match_threads\": {threads}, \"median_ns_per_batch\": {ns:.0}, \"events_per_sec\": {eps:.0} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"broker_pipeline\",\n  \"topology\": \"{BROKERS}-broker TCP chain, {SUBSCRIBERS_PER_BROKER} subscribers per broker, {SPACES} information spaces\",\n  \"batch_events\": {BATCH},\n  \"deliveries_per_event\": {},\n  \"configs\": [\n{}\n  ],\n  \"speedup_events_per_sec\": {speedup:.2}\n}}\n",
+        BROKERS * SUBSCRIBERS_PER_BROKER as u64,
+        configs_json.join(",\n"),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_broker_pipeline.json"
+    );
+    std::fs::write(path, &json).unwrap();
+    println!("{json}");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -12,13 +12,14 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use linkcast::{LinkTarget, RoutingFabric, TreeId};
 use linkcast_matching::{MatchStats, PstOptions};
 use linkcast_types::{
-    BrokerId, ClientId, Event, SchemaRegistry, SubscriberId, Subscription, SubscriptionId,
+    BrokerId, ClientId, Event, LinkId, SchemaRegistry, SubscriberId, Subscription, SubscriptionId,
 };
+use parking_lot::{Mutex, RwLock};
 
 use crate::engine::MatchingEngine;
 use crate::log::EventLog;
 use crate::outbox::{ConnId, Outbox, Sink};
-use crate::protocol::{BrokerToBroker, BrokerToClient, ClientToBroker};
+use crate::protocol::{self, BrokerToBroker, BrokerToClient, ClientToBroker};
 use crate::tcp;
 
 /// Configuration of one broker node.
@@ -45,6 +46,27 @@ pub struct BrokerConfig {
     /// collector reclaims it entirely. A client reconnecting later starts a
     /// fresh session (sequence numbers restart).
     pub client_ttl: Duration,
+    /// Number of matching-worker shards. With the default `1`, matching
+    /// runs inline on the engine thread and every operation is processed in
+    /// arrival order. With `N > 1`, events are matched on a pool of worker
+    /// threads sharded by information space (schema id modulo `N`):
+    /// same-space events keep their order, but an event may be matched
+    /// after a subscribe/unsubscribe that arrived behind it — a throughput
+    /// mode for publish-heavy workloads, not a different protocol.
+    pub match_shards: usize,
+    /// Threads for fanning one PST walk out during matching
+    /// (`Pst::matches_parallel`); `1` keeps the sequential trit search.
+    /// Large subscription trees benefit; small trees fall back to the
+    /// sequential path internally regardless of this setting.
+    pub match_threads: usize,
+    /// Reproduces the pre-pipeline dataflow for A/B measurement: every
+    /// outgoing `Forward`/`Deliver` frame re-serializes the event through
+    /// the protocol enums, and the outbox writes one frame per syscall
+    /// instead of draining queues with batched vectored writes. Protocol
+    /// behavior is identical — only the per-event cost changes. This is the
+    /// "before" leg of the `broker_pipeline` benchmark; leave it `false`
+    /// everywhere else.
+    pub seed_dataflow: bool,
 }
 
 impl BrokerConfig {
@@ -64,6 +86,9 @@ impl BrokerConfig {
             gc_interval: Duration::from_millis(250),
             log_bound: 4096,
             client_ttl: Duration::from_secs(3600),
+            match_shards: 1,
+            match_threads: 1,
+            seed_dataflow: false,
         }
     }
 }
@@ -81,6 +106,11 @@ pub struct BrokerStats {
     pub errors: u64,
     /// Currently registered subscriptions (network-wide view).
     pub subscriptions: usize,
+    /// Frames currently sitting in outgoing queues across all connections
+    /// (transport backpressure signal).
+    pub queued_frames: u64,
+    /// Bytes currently sitting in outgoing queues across all connections.
+    pub queued_bytes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -99,10 +129,29 @@ pub(crate) enum Command {
     DialedNeighbor(ConnId, BrokerId),
     /// A connection died (reader EOF/error or writer failure).
     Disconnected(ConnId),
+    /// A matching-worker shard finished routing an event; the engine thread
+    /// performs the dispatch (log appends and connection lookups stay
+    /// single-threaded).
+    Routed {
+        event: Event,
+        tree: TreeId,
+        /// The event's wire encoding, sliced from the incoming frame.
+        body: Bytes,
+        links: Vec<LinkId>,
+    },
     /// Periodic garbage collection of client logs.
     GcTick,
     /// Stop the engine loop.
     Shutdown,
+}
+
+/// One unit of work for a matching-worker shard.
+struct MatchJob {
+    event: Event,
+    tree: TreeId,
+    /// The event's wire encoding, carried through so dispatch never
+    /// re-serializes.
+    body: Bytes,
 }
 
 enum Peer {
@@ -152,6 +201,7 @@ pub struct BrokerNode {
     cmd_tx: Sender<Command>,
     outbox: Arc<Outbox>,
     stats: Arc<StatsInner>,
+    match_stats: Arc<Vec<Mutex<MatchStats>>>,
     shutdown: Arc<AtomicBool>,
     next_conn: Arc<AtomicU64>,
     engine_thread: Option<std::thread::JoinHandle<()>>,
@@ -171,7 +221,12 @@ impl BrokerNode {
 
         let (cmd_tx, cmd_rx) = unbounded::<Command>();
         let (dead_tx, dead_rx) = unbounded::<ConnId>();
-        let outbox = Outbox::new(config.sender_threads.max(1), dead_tx);
+        let drain_batch = if config.seed_dataflow {
+            1
+        } else {
+            crate::outbox::DRAIN_BATCH
+        };
+        let outbox = Outbox::new(config.sender_threads.max(1), drain_batch, dead_tx);
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
         let next_conn = Arc::new(AtomicU64::new(1));
@@ -216,16 +271,59 @@ impl BrokerNode {
             Arc::clone(&shutdown),
         )?;
 
-        // Engine loop.
-        let engine = MatchingEngine::new(
+        // Matching engine, shared read-mostly between the engine thread
+        // (writes on subscribe/unsubscribe, reads when matching inline) and
+        // the matching-worker shards (reads only).
+        let engine = Arc::new(RwLock::new(MatchingEngine::new(
             config.broker,
             &config.fabric,
             Arc::clone(&config.registry),
             config.options.clone(),
-        )?;
+        )?));
+        let shards = config.match_shards.max(1);
+        let match_stats: Arc<Vec<Mutex<MatchStats>>> =
+            Arc::new((0..shards).map(|_| Mutex::new(MatchStats::new())).collect());
+
+        // Matching-worker shards (only when configured): each worker owns
+        // the PST walk for its share of the information spaces and hands
+        // the routed link set back to the engine thread for dispatch.
+        let mut shard_txs: Vec<Sender<MatchJob>> = Vec::new();
+        if config.match_shards > 1 {
+            for shard in 0..config.match_shards {
+                let (tx, rx) = unbounded::<MatchJob>();
+                let engine = Arc::clone(&engine);
+                let cmd_tx = cmd_tx.clone();
+                let shard_stats = Arc::clone(&match_stats);
+                let threads = config.match_threads;
+                std::thread::Builder::new()
+                    .name(format!("match-{}-{shard}", config.broker))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            let mut local = MatchStats::new();
+                            let links = engine
+                                .read()
+                                .route_parallel(&job.event, job.tree, threads, &mut local);
+                            *shard_stats[shard].lock() += local;
+                            let routed = Command::Routed {
+                                event: job.event,
+                                tree: job.tree,
+                                body: job.body,
+                                links,
+                            };
+                            if cmd_tx.send(routed).is_err() {
+                                break;
+                            }
+                        }
+                    })?;
+                shard_txs.push(tx);
+            }
+        }
+
+        // Engine loop.
         let engine_thread = {
             let outbox = Arc::clone(&outbox);
             let stats = Arc::clone(&stats);
+            let match_stats = Arc::clone(&match_stats);
             let config2 = config.clone();
             std::thread::Builder::new()
                 .name(format!("broker-{}", config.broker))
@@ -235,6 +333,8 @@ impl BrokerNode {
                         engine,
                         outbox,
                         stats,
+                        match_stats,
+                        shard_txs,
                         conns: HashMap::new(),
                         clients: HashMap::new(),
                         neighbors: HashMap::new(),
@@ -251,6 +351,7 @@ impl BrokerNode {
             cmd_tx,
             outbox,
             stats,
+            match_stats,
             shutdown,
             next_conn,
             engine_thread: Some(engine_thread),
@@ -386,13 +487,26 @@ impl BrokerNode {
 
     /// A snapshot of the broker's counters.
     pub fn stats(&self) -> BrokerStats {
+        let (queued_frames, queued_bytes) = self.outbox.queue_depth();
         BrokerStats {
             published: self.stats.published.load(Ordering::Relaxed),
             forwarded: self.stats.forwarded.load(Ordering::Relaxed),
             delivered: self.stats.delivered.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
             subscriptions: self.stats.subscriptions.load(Ordering::Relaxed),
+            queued_frames,
+            queued_bytes,
         }
+    }
+
+    /// Aggregated matching cost across the inline path and every
+    /// matching-worker shard.
+    pub fn match_stats(&self) -> MatchStats {
+        let mut total = MatchStats::new();
+        for shard in self.match_stats.iter() {
+            total += *shard.lock();
+        }
+        total
     }
 
     /// Stops the node: the engine loop exits, the acceptor stops, reader
@@ -469,9 +583,13 @@ impl Drop for LocalConn {
 
 struct EngineLoop {
     config: BrokerConfig,
-    engine: MatchingEngine,
+    engine: Arc<RwLock<MatchingEngine>>,
     outbox: Arc<Outbox>,
     stats: Arc<StatsInner>,
+    /// Per-shard matching cost (slot 0 doubles as the inline path's slot).
+    match_stats: Arc<Vec<Mutex<MatchStats>>>,
+    /// Matching-worker inboxes; empty means matching runs inline.
+    shard_txs: Vec<Sender<MatchJob>>,
     conns: HashMap<ConnId, Peer>,
     clients: HashMap<ClientId, ClientState>,
     neighbors: HashMap<BrokerId, ConnId>,
@@ -489,10 +607,17 @@ impl EngineLoop {
                     self.resync_subscriptions(conn);
                 }
                 Command::Disconnected(conn) => self.handle_disconnect(conn),
+                Command::Routed {
+                    event,
+                    tree,
+                    body,
+                    links,
+                } => self.dispatch(&event, tree, &body, links),
                 Command::GcTick => self.collect_garbage(),
                 Command::Shutdown => break,
             }
         }
+        // Dropping self drops the shard senders; workers drain and exit.
     }
 
     fn handle_frame(&mut self, conn: ConnId, payload: Bytes) {
@@ -500,12 +625,23 @@ impl EngineLoop {
             return;
         };
         if tag < 0x10 {
-            match ClientToBroker::decode(payload, &self.config.registry) {
+            // `payload` is cloned (a refcount bump) so the data-plane arms
+            // can slice the already-encoded event body out of it instead of
+            // re-serializing the decoded event.
+            match ClientToBroker::decode(payload.clone(), &self.config.registry) {
+                Ok(ClientToBroker::Publish { event }) => {
+                    let body = payload.slice(protocol::PUBLISH_BODY_OFFSET..);
+                    self.handle_publish(conn, event, body);
+                }
                 Ok(msg) => self.handle_client(conn, msg),
                 Err(e) => self.client_error(conn, e.to_string()),
             }
         } else if (0x21..=0x2f).contains(&tag) {
-            match BrokerToBroker::decode(payload, &self.config.registry) {
+            match BrokerToBroker::decode(payload.clone(), &self.config.registry) {
+                Ok(BrokerToBroker::Forward { tree, event }) => {
+                    let body = payload.slice(protocol::FORWARD_BODY_OFFSET..);
+                    self.route_and_dispatch(event, tree, body);
+                }
                 Ok(msg) => self.handle_broker(conn, msg),
                 Err(_) => {
                     self.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -514,6 +650,22 @@ impl EngineLoop {
         } else {
             self.client_error(conn, format!("unexpected message tag {tag:#x}"));
         }
+    }
+
+    fn handle_publish(&mut self, conn: ConnId, event: Event, body: Bytes) {
+        if self.client_of(conn).is_none() {
+            self.client_error(conn, "publish before hello".into());
+            return;
+        }
+        let tree = match self.config.fabric.tree_for(self.config.broker) {
+            Ok(t) => t,
+            Err(e) => {
+                self.client_error(conn, e.to_string());
+                return;
+            }
+        };
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        self.route_and_dispatch(event, tree, body);
     }
 
     fn handle_client(&mut self, conn: ConnId, message: ClientToBroker) {
@@ -572,7 +724,7 @@ impl EngineLoop {
                     self.client_error(conn, "subscribe before hello".into());
                     return;
                 };
-                let predicate = match self.engine.parse_subscription(schema, &expression) {
+                let predicate = match self.engine.read().parse_subscription(schema, &expression) {
                     Ok(p) => p,
                     Err(e) => {
                         self.client_error(conn, e.to_string());
@@ -589,11 +741,14 @@ impl EngineLoop {
                 self.sub_counter += 1;
                 let subscription =
                     Subscription::new(id, SubscriberId::new(self.config.broker, client), predicate);
-                match self.engine.subscribe(schema, subscription.clone()) {
+                let result = {
+                    let mut engine = self.engine.write();
+                    let r = engine.subscribe(schema, subscription.clone());
+                    (r, engine.subscription_count())
+                };
+                match result.0 {
                     Ok(()) => {
-                        self.stats
-                            .subscriptions
-                            .store(self.engine.subscription_count(), Ordering::Relaxed);
+                        self.stats.subscriptions.store(result.1, Ordering::Relaxed);
                         self.outbox
                             .send(conn, BrokerToClient::SubAck { id }.encode());
                         // Control plane: flood to every neighbor.
@@ -615,34 +770,29 @@ impl EngineLoop {
                 };
                 let owned = self
                     .engine
+                    .read()
                     .subscription(id)
                     .is_some_and(|s| s.subscriber().client == client);
                 if !owned {
                     self.client_error(conn, format!("subscription {id} is not yours"));
                     return;
                 }
-                self.engine.unsubscribe(id);
-                self.stats
-                    .subscriptions
-                    .store(self.engine.subscription_count(), Ordering::Relaxed);
+                let remaining = {
+                    let mut engine = self.engine.write();
+                    engine.unsubscribe(id);
+                    engine.subscription_count()
+                };
+                self.stats.subscriptions.store(remaining, Ordering::Relaxed);
                 self.outbox
                     .send(conn, BrokerToClient::UnsubAck { id }.encode());
                 self.flood_broker_message(&BrokerToBroker::SubRemove { id }, None);
             }
             ClientToBroker::Publish { event } => {
-                if self.client_of(conn).is_none() {
-                    self.client_error(conn, "publish before hello".into());
-                    return;
-                }
-                let tree = match self.config.fabric.tree_for(self.config.broker) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        self.client_error(conn, e.to_string());
-                        return;
-                    }
-                };
-                self.stats.published.fetch_add(1, Ordering::Relaxed);
-                self.route_and_dispatch(event, tree);
+                // Normally intercepted in `handle_frame` with the body
+                // sliced from the wire; this arm only serves locally
+                // constructed messages, so it pays one serialization.
+                let body = protocol::encode_event_body(&event);
+                self.handle_publish(conn, event, body);
             }
             ClientToBroker::Ack { seq } => {
                 if let Some(client) = self.client_of(conn) {
@@ -659,7 +809,7 @@ impl EngineLoop {
                         forwarded: self.stats.forwarded.load(Ordering::Relaxed),
                         delivered: self.stats.delivered.load(Ordering::Relaxed),
                         errors: self.stats.errors.load(Ordering::Relaxed),
-                        subscriptions: self.engine.subscription_count() as u64,
+                        subscriptions: self.engine.read().subscription_count() as u64,
                     }
                     .encode(),
                 );
@@ -678,20 +828,27 @@ impl EngineLoop {
                 self.resync_subscriptions(conn);
             }
             BrokerToBroker::Forward { tree, event } => {
-                self.route_and_dispatch(event, tree);
+                // Normally intercepted in `handle_frame` with the body
+                // sliced from the wire; this arm only serves locally
+                // constructed messages, so it pays one serialization.
+                let body = protocol::encode_event_body(&event);
+                self.route_and_dispatch(event, tree, body);
             }
             BrokerToBroker::SubAdd {
                 schema,
                 subscription,
             } => {
-                if self.engine.knows(subscription.id()) {
+                if self.engine.read().knows(subscription.id()) {
                     return; // flood dedup on cyclic broker graphs
                 }
                 let id = subscription.id();
-                if self.engine.subscribe(schema, subscription.clone()).is_ok() {
-                    self.stats
-                        .subscriptions
-                        .store(self.engine.subscription_count(), Ordering::Relaxed);
+                let (installed, count) = {
+                    let mut engine = self.engine.write();
+                    let ok = engine.subscribe(schema, subscription.clone()).is_ok();
+                    (ok, engine.subscription_count())
+                };
+                if installed {
+                    self.stats.subscriptions.store(count, Ordering::Relaxed);
                     self.flood_broker_message(
                         &BrokerToBroker::SubAdd {
                             schema,
@@ -704,35 +861,56 @@ impl EngineLoop {
                 }
             }
             BrokerToBroker::SubRemove { id } => {
-                if self.engine.unsubscribe(id) {
-                    self.stats
-                        .subscriptions
-                        .store(self.engine.subscription_count(), Ordering::Relaxed);
+                let (removed, count) = {
+                    let mut engine = self.engine.write();
+                    let ok = engine.unsubscribe(id);
+                    (ok, engine.subscription_count())
+                };
+                if removed {
+                    self.stats.subscriptions.store(count, Ordering::Relaxed);
                     self.flood_broker_message(&BrokerToBroker::SubRemove { id }, Some(conn));
                 }
             }
         }
     }
 
-    /// Link matching plus dispatch: forward to neighbor brokers, append to
-    /// local client logs (and push to connected clients).
-    fn route_and_dispatch(&mut self, event: Event, tree: TreeId) {
+    /// Link matching plus dispatch. `body` is the event's wire encoding
+    /// (sliced from the incoming frame, or encoded exactly once for local
+    /// messages); it rides through matching untouched so dispatch can
+    /// stitch outgoing frames without re-serializing.
+    ///
+    /// With matching workers configured, the match runs on the shard owning
+    /// the event's information space and the link set comes back as
+    /// [`Command::Routed`]; otherwise everything happens inline, in arrival
+    /// order.
+    fn route_and_dispatch(&mut self, event: Event, tree: TreeId, body: Bytes) {
+        if !self.shard_txs.is_empty() {
+            let shard = event.schema().id().raw() as usize % self.shard_txs.len();
+            let _ = self.shard_txs[shard].send(MatchJob { event, tree, body });
+            return;
+        }
         let mut stats = MatchStats::new();
-        let links = self.engine.route(&event, tree, &mut stats);
+        let links =
+            self.engine
+                .read()
+                .route_parallel(&event, tree, self.config.match_threads, &mut stats);
+        *self.match_stats[0].lock() += stats;
+        self.dispatch(&event, tree, &body, links);
+    }
+
+    /// Dispatches a routed event: one `Forward` frame shared by every
+    /// neighbor link, one `Deliver` header per client around the shared
+    /// body. Runs on the engine thread only (log appends and connection
+    /// lookups are single-threaded).
+    fn dispatch(&mut self, event: &Event, tree: TreeId, body: &Bytes, links: Vec<LinkId>) {
         let network = self.config.fabric.network();
+        let mut forward_conns: Vec<ConnId> = Vec::new();
         for link in links {
             match network.link_target(self.config.broker, link) {
                 LinkTarget::Broker(neighbor) => {
                     if let Some(&conn) = self.neighbors.get(&neighbor) {
                         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                        self.outbox.send(
-                            conn,
-                            BrokerToBroker::Forward {
-                                tree,
-                                event: event.clone(),
-                            }
-                            .encode(),
-                        );
+                        forward_conns.push(conn);
                     }
                     // An unconnected neighbor is a partition: the event is
                     // dropped for that subtree (no spooling across broker
@@ -747,23 +925,42 @@ impl EngineLoop {
                     let seq = state.log.append(event.clone());
                     self.stats.delivered.fetch_add(1, Ordering::Relaxed);
                     if let Some(conn) = state.conn {
-                        self.outbox.send(
-                            conn,
+                        let frame = if self.config.seed_dataflow {
                             BrokerToClient::Deliver {
                                 seq,
                                 event: event.clone(),
                             }
-                            .encode(),
-                        );
+                            .encode()
+                        } else {
+                            protocol::deliver_frame(seq, body)
+                        };
+                        self.outbox.send(conn, frame);
                     }
                 }
             }
+        }
+        if self.config.seed_dataflow {
+            // The pre-pipeline dataflow: one full serialization per
+            // neighbor link.
+            for conn in forward_conns {
+                self.outbox.send(
+                    conn,
+                    BrokerToBroker::Forward {
+                        tree,
+                        event: event.clone(),
+                    }
+                    .encode(),
+                );
+            }
+        } else if !forward_conns.is_empty() {
+            let frame = protocol::forward_frame(tree, body);
+            self.outbox.send_many(&forward_conns, &frame);
         }
     }
 
     /// Sends every known subscription to a newly established broker link.
     fn resync_subscriptions(&self, conn: ConnId) {
-        for (schema, subscription) in self.engine.all_subscriptions() {
+        for (schema, subscription) in self.engine.read().all_subscriptions() {
             self.outbox.send(
                 conn,
                 BrokerToBroker::SubAdd {
@@ -776,12 +973,17 @@ impl EngineLoop {
     }
 
     fn flood_broker_message(&self, message: &BrokerToBroker, except: Option<ConnId>) {
-        let frame = message.encode();
-        for (_, &conn) in self.neighbors.iter() {
-            if Some(conn) != except {
-                self.outbox.send(conn, frame.clone());
-            }
+        let targets: Vec<ConnId> = self
+            .neighbors
+            .values()
+            .copied()
+            .filter(|&conn| Some(conn) != except)
+            .collect();
+        if targets.is_empty() {
+            return;
         }
+        let frame = message.encode();
+        self.outbox.send_many(&targets, &frame);
     }
 
     fn client_of(&self, conn: ConnId) -> Option<ClientId> {

@@ -56,7 +56,11 @@ impl From<std::io::Error> for ClientError {
 /// the client was away. [`Client::ack`] (or the auto-ack inside
 /// [`Client::recv`]) lets the broker's garbage collector trim the log.
 pub struct Client {
+    /// Write half of the connection.
     stream: TcpStream,
+    /// Buffered read half (a clone of the same socket): bursts of
+    /// deliveries arrive in one syscall instead of one per frame.
+    reader: std::io::BufReader<TcpStream>,
     registry: Arc<SchemaRegistry>,
     client: ClientId,
     /// Delivered-but-unreturned events (e.g. received while waiting for a
@@ -83,8 +87,10 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        let reader = std::io::BufReader::with_capacity(32 * 1024, stream.try_clone()?);
         let mut c = Client {
             stream,
+            reader,
             registry,
             client,
             inbox: VecDeque::new(),
@@ -176,9 +182,13 @@ impl Client {
     /// Transport errors only; matching problems surface as `Error` frames
     /// on a later receive.
     pub fn publish(&mut self, event: &Event) -> Result<(), ClientError> {
-        self.send(&ClientToBroker::Publish {
-            event: event.clone(),
-        })
+        use std::io::Write;
+        // Stitch the frame directly around one event serialization instead
+        // of cloning the event into a protocol enum.
+        let body = crate::protocol::encode_event_body(event);
+        let frame = crate::protocol::publish_frame(&body);
+        self.stream.write_all(&frame)?;
+        Ok(())
     }
 
     /// Receives the next matched event, waiting up to `timeout`. The
@@ -269,7 +279,7 @@ impl Client {
     fn read_message(&mut self, timeout: Duration) -> Result<BrokerToClient, ClientError> {
         let deadline = Instant::now() + timeout;
         loop {
-            match read_frame(&mut self.stream) {
+            match read_frame(&mut self.reader) {
                 Ok(Some(payload)) => {
                     return BrokerToClient::decode(payload, &self.registry)
                         .map_err(|e| ClientError::Protocol(e.to_string()));

@@ -116,9 +116,23 @@ impl MatchingEngine {
     /// Link matching for one event: the links the event must be forwarded
     /// on, per its own schema's annotated tree.
     pub fn route(&self, event: &Event, tree: TreeId, stats: &mut MatchStats) -> Vec<LinkId> {
+        self.route_parallel(event, tree, 1, stats)
+    }
+
+    /// [`route`](Self::route) with the PST walk fanned out over `threads`
+    /// worker threads for large trees (see
+    /// [`LinkMatchEngine::match_links_parallel`]); `threads <= 1` is the
+    /// sequential trit search.
+    pub fn route_parallel(
+        &self,
+        event: &Event,
+        tree: TreeId,
+        threads: usize,
+        stats: &mut MatchStats,
+    ) -> Vec<LinkId> {
         let schema = event.schema().id();
         match self.engines.get(schema.index()) {
-            Some(engine) => engine.match_links(event, tree, stats),
+            Some(engine) => engine.match_links_parallel(event, tree, threads, stats),
             None => Vec::new(),
         }
     }

@@ -185,6 +185,56 @@ fn frame(payload: BytesMut) -> Bytes {
     out.freeze()
 }
 
+/// Byte offset of the encoded event inside a `Publish` payload (tag byte).
+pub(crate) const PUBLISH_BODY_OFFSET: usize = 1;
+/// Byte offset of the encoded event inside a `Forward` payload (tag byte +
+/// tree id).
+pub(crate) const FORWARD_BODY_OFFSET: usize = 5;
+
+/// Serializes an event body exactly once, for fan-out through the frame
+/// stitchers below. The broker calls this only for events that did not
+/// arrive over the wire; events that did are sliced straight out of the
+/// incoming payload (see the `*_BODY_OFFSET` constants) and never
+/// re-serialized.
+pub(crate) fn encode_event_body(event: &Event) -> Bytes {
+    let mut b = BytesMut::new();
+    wire::put_event(&mut b, event);
+    b.freeze()
+}
+
+/// Stitches a complete `Publish` frame around an already-encoded event body.
+pub(crate) fn publish_frame(body: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + PUBLISH_BODY_OFFSET + body.len());
+    out.put_u32_le((PUBLISH_BODY_OFFSET + body.len()) as u32);
+    out.put_u8(C2B_PUBLISH);
+    out.extend_from_slice(body);
+    out.freeze()
+}
+
+/// Stitches a complete `Forward` frame around an already-encoded event body.
+/// One such frame serves every neighbor on the tree: the caller hands the
+/// same `Bytes` to each outgoing queue.
+pub(crate) fn forward_frame(tree: TreeId, body: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + FORWARD_BODY_OFFSET + body.len());
+    out.put_u32_le((FORWARD_BODY_OFFSET + body.len()) as u32);
+    out.put_u8(B2B_FORWARD);
+    out.put_u32_le(tree.index() as u32);
+    out.extend_from_slice(body);
+    out.freeze()
+}
+
+/// Stitches a complete `Deliver` frame around an already-encoded event body.
+/// The sequence number is per-client, so each client gets its own header,
+/// but the body bytes are never re-serialized.
+pub(crate) fn deliver_frame(seq: u64, body: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + 9 + body.len());
+    out.put_u32_le((9 + body.len()) as u32);
+    out.put_u8(B2C_DELIVER);
+    out.put_u64_le(seq);
+    out.extend_from_slice(body);
+    out.freeze()
+}
+
 impl ClientToBroker {
     /// Encodes into a length-prefixed frame.
     pub fn encode(&self) -> Bytes {
@@ -614,6 +664,56 @@ mod tests {
             BrokerToBroker::decode(strip(fwd.encode()), &reg).unwrap(),
             fwd
         );
+    }
+
+    #[test]
+    fn stitched_frames_match_enum_encoding() {
+        let reg = registry();
+        let schema = reg.get(SchemaId::new(0)).unwrap();
+        let event = Event::from_values(schema, [Value::str("IBM"), Value::Int(5)]).unwrap();
+        let body = encode_event_body(&event);
+        assert_eq!(
+            publish_frame(&body),
+            ClientToBroker::Publish {
+                event: event.clone()
+            }
+            .encode()
+        );
+        assert_eq!(
+            forward_frame(TreeId::from_index(3), &body),
+            BrokerToBroker::Forward {
+                tree: TreeId::from_index(3),
+                event: event.clone()
+            }
+            .encode()
+        );
+        assert_eq!(
+            deliver_frame(42, &body),
+            BrokerToClient::Deliver { seq: 42, event }.encode()
+        );
+    }
+
+    #[test]
+    fn body_offsets_locate_the_encoded_event() {
+        let reg = registry();
+        let schema = reg.get(SchemaId::new(0)).unwrap();
+        let event = Event::from_values(schema, [Value::str("HP"), Value::Int(9)]).unwrap();
+        let body = encode_event_body(&event);
+        let publish = strip(
+            ClientToBroker::Publish {
+                event: event.clone(),
+            }
+            .encode(),
+        );
+        assert_eq!(publish.slice(PUBLISH_BODY_OFFSET..), body);
+        let forward = strip(
+            BrokerToBroker::Forward {
+                tree: TreeId::from_index(1),
+                event,
+            }
+            .encode(),
+        );
+        assert_eq!(forward.slice(FORWARD_BODY_OFFSET..), body);
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub(crate) fn spawn_reader(
         .spawn(move || {
             // Periodic timeouts let the thread observe shutdown.
             let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-            let mut stream = stream;
+            // Buffered reads pull bursts of small frames out of the socket
+            // in one syscall; timeouts still surface when the buffer runs
+            // dry between frames.
+            let mut stream = std::io::BufReader::with_capacity(32 * 1024, stream);
             loop {
                 if shutdown.load(Ordering::Acquire) {
                     return;
@@ -88,7 +91,7 @@ pub(crate) fn spawn_reader(
 /// Reads one `[u32 LE length][payload]` frame. `Ok(None)` means the read
 /// timed out *between* frames (safe to retry); timeouts mid-frame keep
 /// blocking until the frame completes or the peer dies.
-pub(crate) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Bytes>> {
+pub(crate) fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Bytes>> {
     let mut header = [0u8; 4];
     match read_exact_or_eof(stream, &mut header, true)? {
         ReadOutcome::TimedOutClean => return Ok(None),
@@ -114,7 +117,7 @@ enum ReadOutcome {
 }
 
 fn read_exact_or_eof(
-    stream: &mut TcpStream,
+    stream: &mut impl Read,
     buf: &mut [u8],
     clean_timeout: bool,
 ) -> std::io::Result<ReadOutcome> {

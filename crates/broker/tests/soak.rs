@@ -153,6 +153,13 @@ fn randomized_operations_match_the_oracle() {
                 let event =
                     Event::from_values(&event_schema, [Value::Int(band), Value::Int(n)]).unwrap();
                 publisher.publish(&event).unwrap();
+                // Publishing is fire-and-forget, while the oracle below
+                // assumes the operation stream is serialized. A stats
+                // round-trip on the publisher's own connection is processed
+                // by the engine *after* the publish, so once it answers, the
+                // engine has routed the event — a later subscribe or
+                // unsubscribe from another connection cannot overtake it.
+                publisher.stats().unwrap();
                 for state in oracle.values_mut() {
                     if state.subs.iter().any(|s| s.predicate.matches(&event)) {
                         state.expected_log.push(n);

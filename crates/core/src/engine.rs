@@ -192,6 +192,59 @@ impl LinkMatchEngine {
         self.match_links(event, tree, &mut stats)
     }
 
+    /// Link matching with the subtree walk fanned out over `threads` worker
+    /// threads ([`Pst::matches_parallel`]). Produces the same link set as
+    /// [`match_links`](Self::match_links): a link receives the event exactly
+    /// when the initialization mask holds a `Maybe` at one of its positions
+    /// and some matching subscription's leaf vector holds a `Yes` there —
+    /// the parallel path computes the matching set first and absorbs the
+    /// leaf vectors directly, instead of interleaving refinement with the
+    /// walk.
+    ///
+    /// `threads <= 1` falls back to the sequential trit search (and
+    /// [`Pst::matches_parallel`] itself stays sequential for small
+    /// frontiers, so large trees gate the fan-out naturally).
+    pub fn match_links_parallel(
+        &self,
+        event: &Event,
+        tree: TreeId,
+        threads: usize,
+        stats: &mut MatchStats,
+    ) -> Vec<LinkId> {
+        if threads <= 1 {
+            return self.match_links(event, tree, stats);
+        }
+        stats.events += 1;
+        let mask = self.space.init_mask(tree);
+        if !mask.has_maybe() {
+            return Vec::new();
+        }
+        // matches_parallel counts its own `events` on one early-return
+        // path; merge through a scratch accumulator to count exactly once.
+        let mut scratch = MatchStats::new();
+        let matched = self.pst.matches_parallel(event, threads, &mut scratch);
+        stats.steps += scratch.steps;
+        stats.comparisons += scratch.comparisons;
+        stats.leaf_hits += scratch.leaf_hits;
+        if matched.is_empty() {
+            return Vec::new();
+        }
+        let mut yes = TritVec::no(self.space.width());
+        for id in &matched {
+            let client = self
+                .pst
+                .subscription(*id)
+                .expect("matched subscriptions are registered")
+                .subscriber()
+                .client;
+            match self.leaf_cache.get(&client) {
+                Some(leaf) => yes = yes.parallel(leaf),
+                None => yes = yes.parallel(&self.space.leaf_vector(client)),
+            }
+        }
+        self.space.links_to_send(&mask.absorb_yes(&yes))
+    }
+
     /// Runs the §2 centralized matching over the full tree (no trits),
     /// returning matched subscription ids — used by the match-first
     /// baseline and by the Chart 2 "centralized" series.

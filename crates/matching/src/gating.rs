@@ -38,8 +38,12 @@ enum GateSlot {
 pub struct GatingMatcher {
     schema: EventSchema,
     subscriptions: BTreeMap<SubscriptionId, (Subscription, GateSlot)>,
-    /// `(attribute index, value) -> subscriptions gated on that equality`.
-    eq_index: HashMap<(usize, Value), Vec<SubscriptionId>>,
+    /// Per-attribute `value -> subscriptions gated on that equality`. Keyed
+    /// per attribute (not by an `(attribute, value)` pair) so the per-event
+    /// lookup borrows the event's value instead of cloning it into a
+    /// composite key — `Str` values would heap-allocate on every attribute
+    /// of every matched event otherwise.
+    eq_index: Vec<HashMap<Value, Vec<SubscriptionId>>>,
     /// Per-attribute non-equality gating tests.
     range_index: Vec<Vec<(AttrTest, SubscriptionId)>>,
     /// Subscriptions whose predicate is all-`*`.
@@ -53,7 +57,7 @@ impl GatingMatcher {
         Self {
             schema,
             subscriptions: BTreeMap::new(),
-            eq_index: HashMap::new(),
+            eq_index: vec![HashMap::new(); arity],
             range_index: vec![Vec::new(); arity],
             always: Vec::new(),
         }
@@ -119,8 +123,8 @@ impl Matcher for GatingMatcher {
         let slot = Self::choose_gate(&subscription);
         match &slot {
             GateSlot::Equality(attr, value) => {
-                self.eq_index
-                    .entry((*attr, value.clone()))
+                self.eq_index[*attr]
+                    .entry(value.clone())
                     .or_default()
                     .push(id);
             }
@@ -140,10 +144,10 @@ impl Matcher for GatingMatcher {
         };
         match slot {
             GateSlot::Equality(attr, value) => {
-                if let Some(list) = self.eq_index.get_mut(&(attr, value.clone())) {
+                if let Some(list) = self.eq_index[attr].get_mut(&value) {
                     list.retain(|s| *s != id);
                     if list.is_empty() {
-                        self.eq_index.remove(&(attr, value));
+                        self.eq_index[attr].remove(&value);
                     }
                 }
             }
@@ -171,7 +175,7 @@ impl Matcher for GatingMatcher {
         };
 
         for (attr, value) in event.values().iter().enumerate() {
-            if let Some(candidates) = self.eq_index.get(&(attr, value.clone())) {
+            if let Some(candidates) = self.eq_index[attr].get(value) {
                 for id in candidates {
                     consider(*id, Some(attr), &mut out, stats);
                 }

@@ -368,6 +368,12 @@ impl TritVec {
         self.words.iter().any(|&a| (a & LO) & !((a >> 1) & LO) != 0)
     }
 
+    /// Whether every trit is `No`. `No` encodes as `00` and the tail lanes
+    /// are kept canonical, so this is a zero test over the backing words.
+    pub fn is_all_no(&self) -> bool {
+        self.words.iter().all(|&a| a == 0)
+    }
+
     /// Whether any trit is `Yes`.
     pub fn has_yes(&self) -> bool {
         self.words.iter().any(|&a| a & HI != 0)
@@ -389,20 +395,17 @@ impl TritVec {
             .sum()
     }
 
-    /// Iterates over the indices whose trit is `Yes`.
+    /// Iterates over the indices whose trit is `Yes`, scanning a word (32
+    /// lanes) at a time and popping set bits — sparse vectors cost one
+    /// `trailing_zeros` per hit instead of one decode per lane.
     pub fn yes_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.iter()
-            .enumerate()
-            .filter(|(_, t)| *t == Trit::Yes)
-            .map(|(i, _)| i)
+        lane_indices(self.words.iter().map(|&a| a & HI))
     }
 
-    /// Iterates over the indices whose trit is `Maybe`.
+    /// Iterates over the indices whose trit is `Maybe` (word-at-a-time,
+    /// like [`yes_indices`](Self::yes_indices)).
     pub fn maybe_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.iter()
-            .enumerate()
-            .filter(|(_, t)| *t == Trit::Maybe)
-            .map(|(i, _)| i)
+        lane_indices(self.words.iter().map(|&a| (a & LO) & !((a >> 1) & LO)))
     }
 
     /// Iterates over all trits in order.
@@ -428,6 +431,21 @@ impl TritVec {
             }
         }
     }
+}
+
+/// Expands per-word lane bitmasks (one marker bit per selected 2-bit lane,
+/// in either bit of the lane) into ascending trit indices.
+fn lane_indices(words: impl Iterator<Item = u64>) -> impl Iterator<Item = usize> {
+    words.enumerate().flat_map(|(word_idx, mut bits)| {
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let bit = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(word_idx * TRITS_PER_WORD + bit / 2)
+        })
+    })
 }
 
 impl fmt::Display for TritVec {
@@ -632,6 +650,36 @@ mod tests {
         assert_eq!(v.maybe_indices().collect::<Vec<_>>(), vec![1]);
         assert!(!TritVec::no(5).has_maybe());
         assert!(!TritVec::no(5).has_yes());
+        assert!(TritVec::no(5).is_all_no());
+        assert!(!v.is_all_no());
+        assert!(TritVec::no(0).is_all_no());
+    }
+
+    #[test]
+    fn index_iterators_agree_with_scalar_scan_across_word_boundaries() {
+        // 97 trits spans three words with a partial tail; a pseudo-random
+        // pattern hits lanes in every word.
+        let mut v = TritVec::no(97);
+        for i in 0..97 {
+            match i % 7 {
+                0 | 3 => v.set(i, Trit::Yes),
+                1 | 5 => v.set(i, Trit::Maybe),
+                _ => {}
+            }
+        }
+        let scalar_yes: Vec<usize> = (0..97).filter(|&i| v.get(i) == Trit::Yes).collect();
+        let scalar_maybe: Vec<usize> = (0..97).filter(|&i| v.get(i) == Trit::Maybe).collect();
+        assert_eq!(v.yes_indices().collect::<Vec<_>>(), scalar_yes);
+        assert_eq!(v.maybe_indices().collect::<Vec<_>>(), scalar_maybe);
+        assert_eq!(v.yes_indices().count(), v.count_yes());
+        assert_eq!(v.maybe_indices().count(), v.count_maybe());
+        // All-Yes exercises the dense path, including the 97th lane.
+        let full = TritVec::yes(97);
+        assert_eq!(
+            full.yes_indices().collect::<Vec<_>>(),
+            (0..97).collect::<Vec<_>>()
+        );
+        assert!(!full.is_all_no());
     }
 
     #[test]

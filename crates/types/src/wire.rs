@@ -5,6 +5,8 @@
 //! little-endian; strings and sequences are length-prefixed. Framing (length
 //! prefix per message) is the transport's concern, not this module's.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use bytes::{Buf, BufMut};
 
 use crate::{
@@ -106,8 +108,23 @@ pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
     }
 }
 
+/// Process-wide count of [`put_event`] calls.
+///
+/// The broker's encode-once invariant — an event fanned out to N links is
+/// serialized exactly once — is asserted in tests by sampling this counter
+/// around a publish. It has no other consumer; a relaxed atomic keeps the
+/// hot path uncontended.
+static EVENT_ENCODES: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the number of times [`put_event`] has run in this process.
+#[must_use]
+pub fn event_encode_count() -> u64 {
+    EVENT_ENCODES.load(Ordering::Relaxed)
+}
+
 /// Encodes an [`Event`] as its schema id plus the value tuple.
 pub fn put_event(buf: &mut impl BufMut, event: &Event) {
+    EVENT_ENCODES.fetch_add(1, Ordering::Relaxed);
     buf.put_u32_le(event.schema().id().raw());
     buf.put_u16_le(event.values().len() as u16);
     for v in event.values() {

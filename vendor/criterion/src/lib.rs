@@ -1,0 +1,277 @@
+//! Offline vendored subset of [`criterion`](https://docs.rs/criterion).
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `criterion` to this implementation: a small wall-clock harness with
+//! criterion's API shape (`benchmark_group`, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `criterion_group!`/`criterion_main!`).
+//! There is no statistical regression machinery; each benchmark reports
+//! the median of `sample_size` samples, where each sample times a batch of
+//! iterations sized to fill `measurement_time / sample_size`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.into_benchmark_id(), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (accepts `&str` and `String` too).
+pub trait IntoBenchmarkId {
+    /// Converts to the label type.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// A group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input handle.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_benchmark_id(), &mut |b: &mut Bencher| {
+            b_input(&mut f, b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        let label = if self.name.is_empty() {
+            id.label
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        let ns = bencher.median_ns;
+        let mut line = format!("{label:<50} time: [{}]", fmt_time(ns));
+        if let Some(t) = self.throughput {
+            let (units, suffix) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if ns > 0.0 {
+                let rate = units / (ns * 1e-9);
+                line.push_str(&format!("  thrpt: [{rate:.0} {suffix}]"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn b_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(f: &mut F, b: &mut Bencher, input: &I) {
+    f(b, input);
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, storing the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+
+        // Size each sample's batch to fill measurement_time / sample_size.
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+
+    /// The measured median, in nanoseconds per iteration (extension used
+    /// by linkcast's own bench binaries to export JSON baselines).
+    #[must_use]
+    pub fn median_ns(&self) -> f64 {
+        self.median_ns
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, invoking each group (extra CLI args from `cargo bench`
+/// are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,14 @@
+//! Offline vendored subset of [`crossbeam`](https://docs.rs/crossbeam).
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `crossbeam` to this implementation. Two modules are provided, matching
+//! the API surface linkcast uses:
+//!
+//! - [`channel`]: MPMC channels (`unbounded`/`bounded`) with cloneable
+//!   senders *and* receivers, blocking/timed/non-blocking receives, and
+//!   disconnect semantics.
+//! - [`thread`]: `scope`/`spawn` scoped threads whose closures may borrow
+//!   the enclosing stack frame.
+
+pub mod channel;
+pub mod thread;

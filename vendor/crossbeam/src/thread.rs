@@ -1,0 +1,198 @@
+//! Scoped threads with crossbeam's `thread::scope` API shape.
+//!
+//! Spawned closures may borrow data from the caller's stack frame. The
+//! scope guarantees every spawned thread has finished before `scope`
+//! returns, which is what makes the lifetime extension below sound: the
+//! borrowed environment outlives every thread that can observe it.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Result type of [`scope`]: `Err` carries the panic payload if the scope
+/// closure itself panicked.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+#[derive(Default)]
+struct Registry {
+    latches: Mutex<Vec<Arc<Latch>>>,
+}
+
+#[derive(Default)]
+struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn set(&self) {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Guard ensuring the latch fires even if the thread body panics.
+struct LatchGuard(Arc<Latch>);
+
+impl Drop for LatchGuard {
+    fn drop(&mut self) {
+        self.0.set();
+    }
+}
+
+/// Handle for spawning threads inside a [`scope`].
+pub struct Scope<'env> {
+    registry: Arc<Registry>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to a scoped thread; `join` returns the closure's result.
+pub struct ScopedJoinHandle<'scope, T> {
+    handle: std::thread::JoinHandle<()>,
+    result: Arc<Mutex<Option<T>>>,
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result, or the panic
+    /// payload if it panicked.
+    ///
+    /// # Errors
+    ///
+    /// The thread's panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.handle.join().map(|()| {
+            self.result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("scoped thread finished without storing a result")
+        })
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a thread that may borrow from the enclosing scope. The
+    /// closure receives a `&Scope` (crossbeam allows nested spawns; so does
+    /// this).
+    pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let latch = Arc::new(Latch::default());
+        self.registry
+            .latches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(latch.clone());
+
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let registry = self.registry.clone();
+        let result_slot = result.clone();
+        let body: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _guard = LatchGuard(latch);
+            let nested = Scope {
+                registry,
+                _env: PhantomData,
+            };
+            let out = f(&nested);
+            *result_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+        });
+        // SAFETY: `scope` blocks until every latch registered here has
+        // fired, so the 'env borrows captured by `body` strictly outlive
+        // the thread executing it. The transmute only erases that lifetime.
+        let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+        let handle = std::thread::spawn(body);
+        ScopedJoinHandle {
+            handle,
+            result,
+            _scope: PhantomData,
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`], joining all still-running scoped threads
+/// before returning.
+///
+/// # Errors
+///
+/// Returns the panic payload if `f` itself panicked (after all spawned
+/// threads have still been joined).
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        registry: Arc::new(Registry::default()),
+        _env: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // Wait for every thread ever spawned in this scope, including ones
+    // spawned while we were already waiting.
+    loop {
+        let latch = scope
+            .registry
+            .latches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        match latch {
+            Some(l) => l.wait(),
+            None => break,
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn borrows_stack_data() {
+        let data = [1, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn unjoined_threads_finish_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn join_surfaces_panic() {
+        scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! `any::<T>()` — full-domain strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-domain strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates values across the entire domain of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy backing [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullDomain<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for FullDomain<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullDomain<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullDomain(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullDomain<bool> {
+    type Value = bool;
+    fn new_value(&self, runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullDomain<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FullDomain(std::marker::PhantomData)
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Generates `[T; N]` with every element drawn from the same strategy.
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, runner: &mut TestRunner) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.new_value(runner))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($name:ident, $n:literal) => {
+        /// Generates a fixed-size array from one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    };
+}
+
+uniform_fn!(uniform1, 1);
+uniform_fn!(uniform2, 2);
+uniform_fn!(uniform3, 3);
+uniform_fn!(uniform4, 4);
+uniform_fn!(uniform5, 5);
+uniform_fn!(uniform8, 8);

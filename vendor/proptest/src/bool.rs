@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Fair coin strategy (`proptest::bool::ANY`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolStrategy;
+
+/// Fair coin.
+pub const ANY: BoolStrategy = BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn new_value(&self, runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline vendored subset of [`proptest`](https://docs.rs/proptest).
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `proptest` to this implementation. It reproduces the API surface the
+//! linkcast test suite uses — the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`/`boxed`, range / tuple / regex-string
+//! strategies, `collection::vec`, `array::uniform3/4`, `option::of`,
+//! `bool::ANY`, `any::<T>()`, the `proptest!`, `prop_oneof!`,
+//! `prop_assert*!` and `prop_assume!` macros, and `ProptestConfig`.
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases are
+//! **not shrunk** — the failing input is printed as generated. Seeds are
+//! deterministic per test name (override with `PROPTEST_SEED`), and case
+//! counts honour `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod array;
+pub mod bool;
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias so `prop::collection::vec(..)` style paths work.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each `fn name(bindings in strategies) { body }`
+/// expands to a `#[test]` that draws `config.cases` random inputs and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for _case in 0..runner.cases() {
+                let values =
+                    ($($crate::strategy::Strategy::new_value(&$strat, &mut runner),)+);
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        let ($($pat,)+) = values;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}",
+                            _case + 1,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}
+
+/// Weighted or unweighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (does not count as a failure) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Generates `Some` from `inner` three times out of four, `None` otherwise
+/// (matching upstream's default `Some` bias).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(runner))
+        }
+    }
+}

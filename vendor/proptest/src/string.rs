@@ -1,0 +1,86 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest treats `&str` as a full regex; this subset supports
+//! the patterns the linkcast suite uses:
+//!
+//! - `[class]{m,n}` — a character class of literals and `a-z` ranges,
+//!   repeated `m..=n` times (e.g. `"[a-zA-Z0-9 ]{0,12}"`).
+//! - `\PC{m,n}` — any non-control character, repeated `m..=n` times.
+//!
+//! Unsupported patterns panic with a clear message so the next maintainer
+//! knows to extend this parser rather than receiving garbage strings.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        let spec = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = spec.min + runner.below((spec.max - spec.min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| spec.alphabet[runner.below(spec.alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+struct PatternSpec {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Option<PatternSpec> {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        // Non-control characters: printable ASCII plus a few multibyte
+        // code points to exercise UTF-8 handling.
+        let mut alphabet: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+        alphabet.extend(['é', 'λ', '→', '日', '\u{00A0}']);
+        (alphabet, rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let end = body.find(']')?;
+        (parse_class(&body[..end])?, &body[end + 1..])
+    } else {
+        return None;
+    };
+
+    let (min, max) = parse_repeat(rest)?;
+    if class.is_empty() || max < min {
+        return None;
+    }
+    Some(PatternSpec {
+        alphabet: class,
+        min,
+        max,
+    })
+}
+
+fn parse_class(body: &str) -> Option<Vec<char>> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            out.extend(lo..=hi);
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+fn parse_repeat(rest: &str) -> Option<(usize, usize)> {
+    if rest.is_empty() {
+        return Some((1, 1));
+    }
+    let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}

@@ -1,0 +1,123 @@
+//! Test execution state: configuration, RNG, and case outcomes.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// Outcome of a single generated case (the `Err` side).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; not a failure.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Failure with a reason (upstream's constructor shape).
+    pub fn fail(reason: impl ToString) -> Self {
+        Self::Fail(reason.to_string())
+    }
+
+    /// Discard with a reason.
+    pub fn reject(reason: impl ToString) -> Self {
+        Self::Reject(reason.to_string())
+    }
+}
+
+/// Per-test driver: owns the RNG strategies draw from.
+pub struct TestRunner {
+    config: ProptestConfig,
+    state: [u64; 4],
+}
+
+impl TestRunner {
+    /// Creates a runner whose seed is derived from the test name (so every
+    /// test sees a distinct but reproducible stream). `PROPTEST_SEED`
+    /// overrides the base seed.
+    #[must_use]
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        let mut h: u64 = base;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        // Expand with SplitMix64 into a xoshiro256++ state.
+        let mut sm = h;
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            *w = splitmix64(&mut sm);
+        }
+        Self { config, state }
+    }
+
+    /// Number of cases this runner will execute.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        // Multiply-shift with rejection (Lemire).
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
