@@ -159,14 +159,25 @@ impl Cluster {
         }
     }
 
-    fn shutdown(self) {
+    /// Stops the cluster, returning the summed link-spool counters
+    /// `(spooled, retransmitted, dropped_spool_overflow)` across all
+    /// brokers so the bench records the reliability layer's overhead.
+    fn shutdown(self) -> (u64, u64, u64) {
         self.stop.store(true, Ordering::Relaxed);
         for handle in self.receivers {
             handle.join().unwrap();
         }
+        let mut spool_totals = (0u64, 0u64, 0u64);
+        for node in &self.nodes {
+            let stats = node.stats();
+            spool_totals.0 += stats.spooled;
+            spool_totals.1 += stats.retransmitted;
+            spool_totals.2 += stats.dropped_spool_overflow;
+        }
         for node in self.nodes {
             node.shutdown();
         }
+        spool_totals
     }
 }
 
@@ -194,17 +205,25 @@ fn bench_chain(c: &mut Criterion) {
             median.set(b.median_ns());
         });
         group.finish();
-        cluster.shutdown();
+        let spool = cluster.shutdown();
         let events_per_sec = BATCH as f64 / (median.get() * 1e-9);
-        results.push((name, seed, shards, threads, median.get(), events_per_sec));
+        results.push((
+            name,
+            seed,
+            shards,
+            threads,
+            median.get(),
+            events_per_sec,
+            spool,
+        ));
     }
 
     let speedup = results[1].5 / results[0].5;
     let configs_json: Vec<String> = results
         .iter()
-        .map(|(name, seed, shards, threads, ns, eps)| {
+        .map(|(name, seed, shards, threads, ns, eps, (spooled, retransmitted, dropped))| {
             format!(
-                "    {{ \"name\": \"{name}\", \"seed_dataflow\": {seed}, \"match_shards\": {shards}, \"match_threads\": {threads}, \"median_ns_per_batch\": {ns:.0}, \"events_per_sec\": {eps:.0} }}"
+                "    {{ \"name\": \"{name}\", \"seed_dataflow\": {seed}, \"match_shards\": {shards}, \"match_threads\": {threads}, \"median_ns_per_batch\": {ns:.0}, \"events_per_sec\": {eps:.0}, \"spooled\": {spooled}, \"retransmitted\": {retransmitted}, \"dropped_spool_overflow\": {dropped} }}"
             )
         })
         .collect();

@@ -16,11 +16,27 @@ use linkcast_types::{
 };
 use parking_lot::{Mutex, RwLock};
 
+use crate::control::{SubIdAllocator, TombstoneSet, SUB_COUNTER_BITS, SUB_ID_SPACE};
 use crate::engine::MatchingEngine;
-use crate::log::EventLog;
+use crate::log::{AckLog, EventLog};
 use crate::outbox::{ConnId, Outbox, Sink};
 use crate::protocol::{self, BrokerToBroker, BrokerToClient, ClientToBroker};
 use crate::tcp;
+
+/// How many received `Forward` frames a broker lets accumulate before it
+/// pushes a cumulative `FwdAck` back over the link (the GC tick flushes
+/// whatever is left, so acks also flow on idle links).
+const FWD_ACK_EVERY: u64 = 64;
+
+/// Initial (and minimum) redial backoff for supervised links.
+const LINK_REDIAL_MIN: Duration = Duration::from_millis(50);
+/// Redial backoff ceiling.
+const LINK_REDIAL_MAX: Duration = Duration::from_secs(2);
+/// How long a supervised link must survive before the redial backoff
+/// resets to the minimum. A neighbor that accepts the TCP handshake and
+/// then immediately dies (crash loop) keeps backing off instead of being
+/// hot-redialed at the minimum interval forever.
+const LINK_STABILITY_WINDOW: Duration = Duration::from_secs(2);
 
 /// Configuration of one broker node.
 #[derive(Debug, Clone)]
@@ -59,6 +75,13 @@ pub struct BrokerConfig {
     /// Large subscription trees benefit; small trees fall back to the
     /// sequential path internally regardless of this setting.
     pub match_threads: usize,
+    /// Maximum retained entries per broker-link spool. Events routed
+    /// toward a neighbor are held (as stitched `Forward` frames) until the
+    /// neighbor's cumulative acknowledgment; while a link is down the
+    /// spool keeps growing up to this bound, after which the oldest
+    /// unacknowledged frames are dropped and counted in
+    /// [`BrokerStats::dropped_spool_overflow`].
+    pub link_spool_bound: usize,
     /// Reproduces the pre-pipeline dataflow for A/B measurement: every
     /// outgoing `Forward`/`Deliver` frame re-serializes the event through
     /// the protocol enums, and the outbox writes one frame per syscall
@@ -88,6 +111,7 @@ impl BrokerConfig {
             client_ttl: Duration::from_secs(3600),
             match_shards: 1,
             match_threads: 1,
+            link_spool_bound: 32768,
             seed_dataflow: false,
         }
     }
@@ -111,6 +135,18 @@ pub struct BrokerStats {
     pub queued_frames: u64,
     /// Bytes currently sitting in outgoing queues across all connections.
     pub queued_bytes: u64,
+    /// Event copies appended to broker-link spools (every forwarded event
+    /// is spooled until the neighbor acknowledges it, whether or not the
+    /// link was up at the time).
+    pub spooled: u64,
+    /// Spooled frames retransmitted after a link reconnect handshake.
+    pub retransmitted: u64,
+    /// Spooled frames dropped unacknowledged because a link spool hit
+    /// [`BrokerConfig::link_spool_bound`] — events lost to that subtree.
+    pub dropped_spool_overflow: u64,
+    /// Live connections registered with the transport (clients + broker
+    /// links); flapping links must return this to its baseline.
+    pub connections: usize,
 }
 
 #[derive(Debug, Default)]
@@ -120,6 +156,9 @@ struct StatsInner {
     delivered: AtomicU64,
     errors: AtomicU64,
     subscriptions: AtomicUsize,
+    spooled: AtomicU64,
+    retransmitted: AtomicU64,
+    dropped_spool_overflow: AtomicU64,
 }
 
 pub(crate) enum Command {
@@ -338,7 +377,10 @@ impl BrokerNode {
                         conns: HashMap::new(),
                         clients: HashMap::new(),
                         neighbors: HashMap::new(),
-                        sub_counter: 0,
+                        spools: HashMap::new(),
+                        recv_from: HashMap::new(),
+                        tombstones: TombstoneSet::default(),
+                        sub_ids: SubIdAllocator::new(),
                     }
                     .run(cmd_rx)
                 })?
@@ -386,14 +428,10 @@ impl BrokerNode {
         let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
         let reader = stream.try_clone()?;
         self.outbox.register(conn, Sink::Tcp(stream));
+        // The engine sends the `Hello` when it processes `DialedNeighbor`:
+        // the handshake carries per-link sequence state only the engine
+        // thread knows.
         let _ = self.cmd_tx.send(Command::DialedNeighbor(conn, neighbor));
-        self.outbox.send(
-            conn,
-            BrokerToBroker::Hello {
-                broker: self.broker,
-            }
-            .encode(),
-        );
         tcp::spawn_reader(
             reader,
             conn,
@@ -405,12 +443,17 @@ impl BrokerNode {
 
     /// Like [`BrokerNode::connect_to`], but supervised: if the link drops
     /// (or the first dial fails), a background thread redials with
-    /// exponential backoff until the node shuts down. On every
-    /// (re-)establishment both sides resync their full subscription sets,
-    /// so a restarted neighbor catches up on missed control traffic.
-    ///
-    /// Events routed toward the neighbor while the link is down are dropped
-    /// (no spooling across broker links, matching the prototype's scope).
+    /// exponential backoff until the node shuts down. The backoff resets
+    /// only after a link has survived a stability window, so a neighbor
+    /// stuck in an accept-then-crash loop is not hot-redialed at the
+    /// minimum interval. On every (re-)establishment both sides exchange
+    /// `Hello` handshakes that resync their full subscription sets *and*
+    /// their per-link spool state: events routed toward the neighbor while
+    /// the link was down were spooled (up to
+    /// [`BrokerConfig::link_spool_bound`]) and are retransmitted after the
+    /// handshake, with receiver-side sequence dedup discarding any copies
+    /// that had already crossed before the flap — at-least-once across the
+    /// link, exactly-once into client logs.
     pub fn connect_to_persistent(&self, neighbor: BrokerId, addr: SocketAddr) {
         let cmd_tx = self.cmd_tx.clone();
         let outbox = Arc::clone(&self.outbox);
@@ -420,33 +463,39 @@ impl BrokerNode {
         let _ = std::thread::Builder::new()
             .name(format!("link-{me}-{neighbor}"))
             .spawn(move || {
-                let mut backoff = Duration::from_millis(50);
+                let mut backoff = LINK_REDIAL_MIN;
                 while !shutdown.load(Ordering::Acquire) {
                     let Ok(stream) = std::net::TcpStream::connect(addr) else {
                         std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(Duration::from_secs(2));
+                        backoff = (backoff * 2).min(LINK_REDIAL_MAX);
                         continue;
                     };
                     if stream.set_nodelay(true).is_err()
                         || stream
                             .set_read_timeout(Some(Duration::from_millis(200)))
                             .is_err()
+                        || stream.try_clone().is_err()
                     {
+                        // Local socket setup failed: back off like any other
+                        // dial failure instead of spin-dialing.
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(LINK_REDIAL_MAX);
                         continue;
                     }
-                    let Ok(mut reader) = stream.try_clone() else {
-                        continue;
-                    };
+                    let mut reader = stream
+                        .try_clone()
+                        .expect("second clone of a cloneable socket");
                     let conn = next_conn.fetch_add(1, Ordering::Relaxed);
                     outbox.register(conn, crate::outbox::Sink::Tcp(stream));
+                    // The engine answers `DialedNeighbor` with the `Hello`
+                    // handshake (it owns the spool/sequence state).
                     if cmd_tx
                         .send(Command::DialedNeighbor(conn, neighbor))
                         .is_err()
                     {
                         return;
                     }
-                    outbox.send(conn, BrokerToBroker::Hello { broker: me }.encode());
-                    backoff = Duration::from_millis(50);
+                    let established = std::time::Instant::now();
                     // Inline read loop; on link death, fall through to redial.
                     loop {
                         if shutdown.load(Ordering::Acquire) {
@@ -465,6 +514,13 @@ impl BrokerNode {
                             }
                         }
                     }
+                    // Only a link that proved stable earns a backoff reset;
+                    // an accept-then-die neighbor keeps escalating.
+                    backoff = if established.elapsed() >= LINK_STABILITY_WINDOW {
+                        LINK_REDIAL_MIN
+                    } else {
+                        (backoff * 2).min(LINK_REDIAL_MAX)
+                    };
                     std::thread::sleep(backoff);
                 }
             });
@@ -494,6 +550,10 @@ impl BrokerNode {
             delivered: self.stats.delivered.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
             subscriptions: self.stats.subscriptions.load(Ordering::Relaxed),
+            spooled: self.stats.spooled.load(Ordering::Relaxed),
+            retransmitted: self.stats.retransmitted.load(Ordering::Relaxed),
+            dropped_spool_overflow: self.stats.dropped_spool_overflow.load(Ordering::Relaxed),
+            connections: self.outbox.connections(),
             queued_frames,
             queued_bytes,
         }
@@ -593,7 +653,27 @@ struct EngineLoop {
     conns: HashMap<ConnId, Peer>,
     clients: HashMap<ClientId, ClientState>,
     neighbors: HashMap<BrokerId, ConnId>,
-    sub_counter: u32,
+    /// Per-neighbor send-side spool: stitched `Forward` frames retained
+    /// until the neighbor's cumulative `FwdAck`, replayed after a link
+    /// flap. Keyed by broker (not conn) so the spool survives the link.
+    spools: HashMap<BrokerId, AckLog<Bytes>>,
+    /// Per-neighbor receive-side sequence window for dedup and ack pacing.
+    recv_from: HashMap<BrokerId, NeighborRecv>,
+    /// Removed subscription ids, so the anti-entropy resync cannot
+    /// resurrect an unsubscribe that flooded while a link was down.
+    tombstones: TombstoneSet,
+    sub_ids: SubIdAllocator,
+}
+
+/// Receive-side state for one neighbor link.
+#[derive(Debug, Default)]
+struct NeighborRecv {
+    /// Highest event sequence accepted from this neighbor. Lower or equal
+    /// sequences are retransmissions and are dropped (the link is a TCP
+    /// stream, so arrival is FIFO and a cumulative mark suffices).
+    seq: u64,
+    /// Highest sequence we have acknowledged back to the neighbor.
+    acked_sent: u64,
 }
 
 impl EngineLoop {
@@ -604,6 +684,7 @@ impl EngineLoop {
                 Command::DialedNeighbor(conn, neighbor) => {
                     self.conns.insert(conn, Peer::Broker(neighbor));
                     self.neighbors.insert(neighbor, conn);
+                    self.send_hello(conn, neighbor);
                     self.resync_subscriptions(conn);
                 }
                 Command::Disconnected(conn) => self.handle_disconnect(conn),
@@ -638,9 +719,9 @@ impl EngineLoop {
             }
         } else if (0x21..=0x2f).contains(&tag) {
             match BrokerToBroker::decode(payload.clone(), &self.config.registry) {
-                Ok(BrokerToBroker::Forward { tree, event }) => {
+                Ok(BrokerToBroker::Forward { tree, seq, event }) => {
                     let body = payload.slice(protocol::FORWARD_BODY_OFFSET..);
-                    self.route_and_dispatch(event, tree, body);
+                    self.handle_forward(conn, tree, seq, event, body);
                 }
                 Ok(msg) => self.handle_broker(conn, msg),
                 Err(_) => {
@@ -732,13 +813,16 @@ impl EngineLoop {
                     }
                 };
                 // Globally unique id: 12 bits of broker, 20 bits of
-                // per-broker counter.
-                if self.sub_counter >= 1 << 20 {
+                // per-broker counter (recycled after unsubscribe, so churn
+                // never wedges the broker — only concurrency is capped).
+                let Some(raw) = self.sub_ids.allocate() else {
                     self.client_error(conn, "subscription id space exhausted".into());
                     return;
-                }
-                let id = SubscriptionId::new((self.config.broker.raw() << 20) | self.sub_counter);
-                self.sub_counter += 1;
+                };
+                let id = SubscriptionId::new((self.config.broker.raw() << SUB_COUNTER_BITS) | raw);
+                // A recycled id must not be shadowed by its previous life's
+                // tombstone.
+                self.tombstones.remove(id);
                 let subscription =
                     Subscription::new(id, SubscriberId::new(self.config.broker, client), predicate);
                 let result = {
@@ -756,6 +840,7 @@ impl EngineLoop {
                             &BrokerToBroker::SubAdd {
                                 schema,
                                 subscription,
+                                resync: false,
                             },
                             None,
                         );
@@ -783,6 +868,10 @@ impl EngineLoop {
                     engine.subscription_count()
                 };
                 self.stats.subscriptions.store(remaining, Ordering::Relaxed);
+                // Tombstone the id (so a resync while some link is down
+                // cannot resurrect it) and recycle its counter half.
+                self.tombstones.insert(id);
+                self.sub_ids.free(id.raw() & (SUB_ID_SPACE - 1));
                 self.outbox
                     .send(conn, BrokerToClient::UnsubAck { id }.encode());
                 self.flood_broker_message(&BrokerToBroker::SubRemove { id }, None);
@@ -810,6 +899,12 @@ impl EngineLoop {
                         delivered: self.stats.delivered.load(Ordering::Relaxed),
                         errors: self.stats.errors.load(Ordering::Relaxed),
                         subscriptions: self.engine.read().subscription_count() as u64,
+                        spooled: self.stats.spooled.load(Ordering::Relaxed),
+                        retransmitted: self.stats.retransmitted.load(Ordering::Relaxed),
+                        dropped_spool_overflow: self
+                            .stats
+                            .dropped_spool_overflow
+                            .load(Ordering::Relaxed),
                     }
                     .encode(),
                 );
@@ -819,29 +914,72 @@ impl EngineLoop {
 
     fn handle_broker(&mut self, conn: ConnId, message: BrokerToBroker) {
         match message {
-            BrokerToBroker::Hello { broker } => {
+            BrokerToBroker::Hello {
+                broker,
+                last_recv,
+                send_seq,
+            } => {
+                // Reply with our own handshake only on a conn we have not
+                // already greeted (the dialer side greeted on
+                // `DialedNeighbor`); otherwise the pair would ping-pong
+                // Hellos forever.
+                let known = matches!(self.conns.get(&conn), Some(Peer::Broker(b)) if *b == broker);
                 self.conns.insert(conn, Peer::Broker(broker));
                 self.neighbors.insert(broker, conn);
-                // Anti-entropy: a (re-)connecting neighbor may have missed
-                // subscription traffic (e.g. it restarted); replay the full
-                // set. Duplicates are dropped by the flood dedup.
-                self.resync_subscriptions(conn);
+                // A neighbor whose send sequence regressed restarted and
+                // lost its spool: reset the receive window or its fresh
+                // stream (restarting at 1) would be dedup-dropped.
+                let recv = self.recv_from.entry(broker).or_default();
+                if send_seq < recv.seq {
+                    recv.seq = send_seq;
+                    recv.acked_sent = recv.acked_sent.min(send_seq);
+                }
+                if !known {
+                    self.send_hello(conn, broker);
+                    // Anti-entropy: a (re-)connecting neighbor may have
+                    // missed subscription traffic (e.g. it restarted);
+                    // replay the full set. Duplicates are dropped by the
+                    // flood dedup, dead ids by the tombstone filter.
+                    self.resync_subscriptions(conn);
+                }
+                // The peer's `last_recv` is also a cumulative ack: trim the
+                // spool, then retransmit everything it missed.
+                self.retransmit_spool(broker, conn, last_recv);
             }
-            BrokerToBroker::Forward { tree, event } => {
+            BrokerToBroker::FwdAck { seq } => {
+                if let Some(Peer::Broker(broker)) = self.conns.get(&conn) {
+                    if let Some(spool) = self.spools.get_mut(broker) {
+                        spool.ack(seq);
+                        spool.collect();
+                    }
+                }
+            }
+            BrokerToBroker::Forward { tree, seq, event } => {
                 // Normally intercepted in `handle_frame` with the body
                 // sliced from the wire; this arm only serves locally
                 // constructed messages, so it pays one serialization.
                 let body = protocol::encode_event_body(&event);
-                self.route_and_dispatch(event, tree, body);
+                self.handle_forward(conn, tree, seq, event, body);
             }
             BrokerToBroker::SubAdd {
                 schema,
                 subscription,
+                resync,
             } => {
-                if self.engine.read().knows(subscription.id()) {
+                let id = subscription.id();
+                // A resynced add may be a resurrection: the neighbor never
+                // saw the `SubRemove` that flooded while its link was down.
+                if resync && self.tombstones.contains(id) {
+                    return;
+                }
+                if self.engine.read().knows(id) {
                     return; // flood dedup on cyclic broker graphs
                 }
-                let id = subscription.id();
+                if !resync {
+                    // A fresh add recycles the id: its previous life's
+                    // tombstone no longer applies.
+                    self.tombstones.remove(id);
+                }
                 let (installed, count) = {
                     let mut engine = self.engine.write();
                     let ok = engine.subscribe(schema, subscription.clone()).is_ok();
@@ -853,6 +991,7 @@ impl EngineLoop {
                         &BrokerToBroker::SubAdd {
                             schema,
                             subscription,
+                            resync,
                         },
                         Some(conn),
                     );
@@ -861,6 +1000,9 @@ impl EngineLoop {
                 }
             }
             BrokerToBroker::SubRemove { id } => {
+                // Tombstone-insert doubles as flood dedup: a removal we
+                // already tombstoned has already been flooded onward.
+                let newly_tombstoned = self.tombstones.insert(id);
                 let (removed, count) = {
                     let mut engine = self.engine.write();
                     let ok = engine.unsubscribe(id);
@@ -868,10 +1010,74 @@ impl EngineLoop {
                 };
                 if removed {
                     self.stats.subscriptions.store(count, Ordering::Relaxed);
+                }
+                if removed || newly_tombstoned {
                     self.flood_broker_message(&BrokerToBroker::SubRemove { id }, Some(conn));
                 }
             }
         }
+    }
+
+    /// Sends the link handshake: our receive high-water mark (so the peer
+    /// trims and retransmits its spool) and our send sequence (so the peer
+    /// can detect that we restarted and reset its dedup window).
+    fn send_hello(&mut self, conn: ConnId, neighbor: BrokerId) {
+        let last_recv = self.recv_from.get(&neighbor).map_or(0, |r| r.seq);
+        let send_seq = self.spools.get(&neighbor).map_or(0, |s| s.last_seq());
+        self.outbox.send(
+            conn,
+            BrokerToBroker::Hello {
+                broker: self.config.broker,
+                last_recv,
+                send_seq,
+            }
+            .encode(),
+        );
+    }
+
+    /// Trims the spool for `neighbor` to the peer's cumulative `last_recv`
+    /// and retransmits every frame past it over `conn`.
+    fn retransmit_spool(&mut self, neighbor: BrokerId, conn: ConnId, last_recv: u64) {
+        let Some(spool) = self.spools.get_mut(&neighbor) else {
+            return;
+        };
+        spool.ack(last_recv);
+        spool.collect();
+        let frames: Vec<Bytes> = spool
+            .replay_after(spool.acked())
+            .map(|(_, frame)| frame.clone())
+            .collect();
+        if frames.is_empty() {
+            return;
+        }
+        self.stats
+            .retransmitted
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        for frame in frames {
+            self.outbox.send(conn, frame);
+        }
+    }
+
+    /// An inbound `Forward`: dedup against the per-neighbor receive window,
+    /// pace a cumulative `FwdAck` back, then route.
+    fn handle_forward(&mut self, conn: ConnId, tree: TreeId, seq: u64, event: Event, body: Bytes) {
+        if let Some(Peer::Broker(broker)) = self.conns.get(&conn) {
+            let broker = *broker;
+            let recv = self.recv_from.entry(broker).or_default();
+            if seq <= recv.seq {
+                // A retransmission of a frame that already crossed before
+                // the flap: the spool is at-least-once, dedup restores
+                // exactly-once into the routing layer.
+                return;
+            }
+            recv.seq = seq;
+            if recv.seq - recv.acked_sent >= FWD_ACK_EVERY {
+                recv.acked_sent = recv.seq;
+                let ack = BrokerToBroker::FwdAck { seq: recv.seq }.encode();
+                self.outbox.send(conn, ack);
+            }
+        }
+        self.route_and_dispatch(event, tree, body);
     }
 
     /// Link matching plus dispatch. `body` is the event's wire encoding
@@ -898,23 +1104,46 @@ impl EngineLoop {
         self.dispatch(&event, tree, &body, links);
     }
 
-    /// Dispatches a routed event: one `Forward` frame shared by every
-    /// neighbor link, one `Deliver` header per client around the shared
-    /// body. Runs on the engine thread only (log appends and connection
+    /// Dispatches a routed event: per-neighbor `Forward` frames (each link
+    /// carries its own sequence header around the shared, already-encoded
+    /// body) and one `Deliver` header per client around the same body.
+    /// Runs on the engine thread only (log/spool appends and connection
     /// lookups are single-threaded).
     fn dispatch(&mut self, event: &Event, tree: TreeId, body: &Bytes, links: Vec<LinkId>) {
         let network = self.config.fabric.network();
-        let mut forward_conns: Vec<ConnId> = Vec::new();
         for link in links {
             match network.link_target(self.config.broker, link) {
                 LinkTarget::Broker(neighbor) => {
+                    // Spool first: the frame must survive a flap whether or
+                    // not the link is currently up. An unconnected neighbor
+                    // is no longer a silent drop — the spool replays after
+                    // the reconnect handshake.
+                    let spool = self.spools.entry(neighbor).or_default();
+                    let seq = spool.last_seq() + 1;
+                    let frame = if self.config.seed_dataflow {
+                        BrokerToBroker::Forward {
+                            tree,
+                            seq,
+                            event: event.clone(),
+                        }
+                        .encode()
+                    } else {
+                        protocol::forward_frame(tree, seq, body)
+                    };
+                    spool.append(frame.clone());
+                    self.stats.spooled.fetch_add(1, Ordering::Relaxed);
+                    if spool.len() > self.config.link_spool_bound {
+                        let before = spool.lost();
+                        spool.enforce_bound(self.config.link_spool_bound);
+                        let dropped = spool.lost() - before;
+                        self.stats
+                            .dropped_spool_overflow
+                            .fetch_add(dropped, Ordering::Relaxed);
+                    }
                     if let Some(&conn) = self.neighbors.get(&neighbor) {
                         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                        forward_conns.push(conn);
+                        self.outbox.send(conn, frame);
                     }
-                    // An unconnected neighbor is a partition: the event is
-                    // dropped for that subtree (no spooling across broker
-                    // links in this prototype).
                 }
                 LinkTarget::Client(client) => {
                     let state = self.clients.entry(client).or_insert_with(|| ClientState {
@@ -939,26 +1168,12 @@ impl EngineLoop {
                 }
             }
         }
-        if self.config.seed_dataflow {
-            // The pre-pipeline dataflow: one full serialization per
-            // neighbor link.
-            for conn in forward_conns {
-                self.outbox.send(
-                    conn,
-                    BrokerToBroker::Forward {
-                        tree,
-                        event: event.clone(),
-                    }
-                    .encode(),
-                );
-            }
-        } else if !forward_conns.is_empty() {
-            let frame = protocol::forward_frame(tree, body);
-            self.outbox.send_many(&forward_conns, &frame);
-        }
     }
 
     /// Sends every known subscription to a newly established broker link.
+    /// Marked `resync` so the receiver filters them against its tombstones
+    /// instead of resurrecting subscriptions removed while the link was
+    /// down.
     fn resync_subscriptions(&self, conn: ConnId) {
         for (schema, subscription) in self.engine.read().all_subscriptions() {
             self.outbox.send(
@@ -966,6 +1181,7 @@ impl EngineLoop {
                 BrokerToBroker::SubAdd {
                     schema,
                     subscription,
+                    resync: true,
                 }
                 .encode(),
             );
@@ -1027,5 +1243,27 @@ impl EngineLoop {
             // Reclaim state for clients gone longer than the TTL.
             state.disconnected_at.is_none_or(|at| at.elapsed() <= ttl)
         });
+        // Flush pending forward acks, so a link that went quiet below the
+        // ack cadence still lets the neighbor trim its spool.
+        for (&broker, recv) in self.recv_from.iter_mut() {
+            if recv.seq > recv.acked_sent {
+                if let Some(&conn) = self.neighbors.get(&broker) {
+                    recv.acked_sent = recv.seq;
+                    self.outbox
+                        .send(conn, BrokerToBroker::FwdAck { seq: recv.seq }.encode());
+                }
+            }
+        }
+        // Trim acknowledged spool entries and enforce the per-link bound
+        // for neighbors that stay down.
+        for spool in self.spools.values_mut() {
+            spool.collect();
+            let before = spool.lost();
+            spool.enforce_bound(self.config.link_spool_bound);
+            let dropped = spool.lost() - before;
+            self.stats
+                .dropped_spool_overflow
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 }

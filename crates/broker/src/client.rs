@@ -49,6 +49,28 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// A broker's counters as reported over the wire by a `StatsRequest`
+/// (see [`Client::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Events accepted from publishing clients.
+    pub published: u64,
+    /// `Forward` frames sent to connected neighbor brokers.
+    pub forwarded: u64,
+    /// Events appended to client logs.
+    pub delivered: u64,
+    /// Protocol and decode errors.
+    pub errors: u64,
+    /// Live subscriptions in the matching engine.
+    pub subscriptions: u64,
+    /// `Forward` frames appended to neighbor link spools.
+    pub spooled: u64,
+    /// Spooled frames replayed after a link reconnect handshake.
+    pub retransmitted: u64,
+    /// Spooled frames dropped unacknowledged to a spool bound.
+    pub dropped_spool_overflow: u64,
+}
+
 /// A connected pub/sub client.
 ///
 /// Connecting identifies the (pre-provisioned) [`ClientId`] and optionally
@@ -237,13 +259,12 @@ impl Client {
         self.send(&ClientToBroker::Ack { seq })
     }
 
-    /// Fetches the broker's counters (published / forwarded / delivered /
-    /// errors / subscriptions).
+    /// Fetches the broker's counters.
     ///
     /// # Errors
     ///
     /// Transport and protocol errors.
-    pub fn stats(&mut self) -> Result<(u64, u64, u64, u64, u64), ClientError> {
+    pub fn stats(&mut self) -> Result<NodeCounters, ClientError> {
         self.send(&ClientToBroker::StatsRequest)?;
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
@@ -254,7 +275,21 @@ impl Client {
                     delivered,
                     errors,
                     subscriptions,
-                } => return Ok((published, forwarded, delivered, errors, subscriptions)),
+                    spooled,
+                    retransmitted,
+                    dropped_spool_overflow,
+                } => {
+                    return Ok(NodeCounters {
+                        published,
+                        forwarded,
+                        delivered,
+                        errors,
+                        subscriptions,
+                        spooled,
+                        retransmitted,
+                        dropped_spool_overflow,
+                    })
+                }
                 BrokerToClient::Deliver { seq, event } => {
                     self.inbox.push_back((seq, event));
                 }

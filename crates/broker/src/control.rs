@@ -1,0 +1,216 @@
+//! Control-plane state for subscription churn: the per-broker subscription
+//! id allocator and the tombstone set that keeps removed subscriptions
+//! from being resurrected by the anti-entropy resync.
+
+use std::collections::{HashSet, VecDeque};
+
+use linkcast_types::SubscriptionId;
+
+/// Width of the per-broker counter inside a [`SubscriptionId`] (the low
+/// bits; the broker id occupies the bits above).
+pub(crate) const SUB_COUNTER_BITS: u32 = 20;
+/// Number of subscription ids one broker can have live at once.
+pub(crate) const SUB_ID_SPACE: u32 = 1 << SUB_COUNTER_BITS;
+
+/// Allocates the 20-bit per-broker half of subscription ids.
+///
+/// Fresh ids are preferred; once the counter is exhausted, ids freed by
+/// unsubscribes are recycled oldest-first (FIFO recycling maximizes the
+/// time between a removal flooding the network and its id reappearing,
+/// which keeps stale tombstones from shadowing a recycled id). A broker
+/// therefore supports unbounded subscribe/unsubscribe *churn*; only the
+/// number of *concurrently live* subscriptions is capped at
+/// [`SUB_ID_SPACE`].
+#[derive(Debug, Default)]
+pub(crate) struct SubIdAllocator {
+    /// Next never-used counter value.
+    counter: u32,
+    /// Freed counter values, oldest first.
+    free: VecDeque<u32>,
+    /// Mirror of `free` for double-free protection.
+    freed: HashSet<u32>,
+}
+
+impl SubIdAllocator {
+    pub(crate) fn new() -> Self {
+        SubIdAllocator::default()
+    }
+
+    /// Returns the next counter value, or `None` when every id is live.
+    pub(crate) fn allocate(&mut self) -> Option<u32> {
+        if self.counter < SUB_ID_SPACE {
+            let raw = self.counter;
+            self.counter += 1;
+            return Some(raw);
+        }
+        let raw = self.free.pop_front()?;
+        self.freed.remove(&raw);
+        Some(raw)
+    }
+
+    /// Returns a counter value to the pool. Values never handed out and
+    /// double frees are ignored.
+    pub(crate) fn free(&mut self, raw: u32) {
+        if raw >= self.counter || !self.freed.insert(raw) {
+            return;
+        }
+        self.free.push_back(raw);
+    }
+}
+
+/// A bounded FIFO set of removed subscription ids.
+///
+/// A `SubRemove` that floods while a broker link is down is lost; on
+/// reconnect the `Hello` anti-entropy resync would re-install — and
+/// re-flood — the dead subscription. Each broker therefore remembers the
+/// last [`TombstoneSet::DEFAULT_CAP`] removals it has seen and filters
+/// *resynced* `SubAdd`s against them. Fresh (non-resync) `SubAdd`s instead
+/// clear a matching tombstone, so a recycled id is never shadowed by the
+/// tombstone of its previous life.
+#[derive(Debug)]
+pub(crate) struct TombstoneSet {
+    set: HashSet<SubscriptionId>,
+    order: VecDeque<SubscriptionId>,
+    cap: usize,
+}
+
+impl TombstoneSet {
+    /// Default retention: enough to cover any realistic resync window while
+    /// bounding memory to a few tens of kilobytes.
+    pub(crate) const DEFAULT_CAP: usize = 8192;
+
+    pub(crate) fn new(cap: usize) -> Self {
+        TombstoneSet {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records a removal. Returns `true` if the id was not already
+    /// tombstoned — the caller uses this as flood dedup for removals of
+    /// subscriptions it never knew. Evicts the oldest tombstone beyond the
+    /// cap.
+    pub(crate) fn insert(&mut self, id: SubscriptionId) -> bool {
+        if !self.set.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.cap {
+            if let Some(evicted) = self.order.pop_front() {
+                self.set.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    /// Whether `id` is tombstoned.
+    pub(crate) fn contains(&self, id: SubscriptionId) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Clears a tombstone (a fresh `SubAdd` reuses the id). The stale entry
+    /// in the eviction order is left behind and skipped when it surfaces.
+    pub(crate) fn remove(&mut self, id: SubscriptionId) {
+        self.set.remove(&id);
+    }
+}
+
+impl Default for TombstoneSet {
+    fn default() -> Self {
+        TombstoneSet::new(TombstoneSet::DEFAULT_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_come_first_and_exhaust() {
+        let mut alloc = SubIdAllocator::new();
+        assert_eq!(alloc.allocate(), Some(0));
+        assert_eq!(alloc.allocate(), Some(1));
+        // Nothing freed yet: exhausting the counter exhausts the allocator.
+        for expected in 2..SUB_ID_SPACE {
+            assert_eq!(alloc.allocate(), Some(expected));
+        }
+        assert_eq!(alloc.allocate(), None);
+    }
+
+    #[test]
+    fn churn_past_the_id_space_recycles_fifo() {
+        // The pre-fix behavior wedged permanently at SUB_ID_SPACE lifetime
+        // subscriptions; recycling must carry allocation well past it.
+        let mut alloc = SubIdAllocator::new();
+        for raw in 0..SUB_ID_SPACE {
+            assert_eq!(alloc.allocate(), Some(raw));
+        }
+        assert_eq!(alloc.allocate(), None, "counter space exhausted");
+        for raw in 0..SUB_ID_SPACE {
+            alloc.free(raw);
+        }
+        // A full second lifetime of the id space, recycled oldest-first.
+        for raw in 0..SUB_ID_SPACE {
+            assert_eq!(alloc.allocate(), Some(raw));
+        }
+        assert_eq!(alloc.allocate(), None);
+    }
+
+    #[test]
+    fn steady_churn_never_wedges() {
+        // One live subscription, subscribed/unsubscribed more times than
+        // the whole id space.
+        let mut alloc = SubIdAllocator::new();
+        let mut allocations = 0u64;
+        for _ in 0..(SUB_ID_SPACE as u64 + 1000) {
+            let raw = alloc.allocate().expect("churn must not exhaust ids");
+            allocations += 1;
+            alloc.free(raw);
+        }
+        assert_eq!(allocations, SUB_ID_SPACE as u64 + 1000);
+    }
+
+    #[test]
+    fn double_free_and_foreign_free_are_ignored() {
+        let mut alloc = SubIdAllocator::new();
+        let a = alloc.allocate().unwrap();
+        alloc.free(a);
+        alloc.free(a); // double free
+        alloc.free(12345); // never allocated
+        for raw in 1..SUB_ID_SPACE {
+            assert_eq!(alloc.allocate(), Some(raw));
+        }
+        // Exactly one recycled id remains, not three.
+        assert_eq!(alloc.allocate(), Some(a));
+        assert_eq!(alloc.allocate(), None);
+    }
+
+    #[test]
+    fn tombstones_filter_until_cleared() {
+        let mut t = TombstoneSet::new(8);
+        let id = SubscriptionId::new(42);
+        assert!(t.insert(id), "first removal is new");
+        assert!(!t.insert(id), "repeat removal is deduplicated");
+        assert!(t.contains(id));
+        // A fresh SubAdd for a recycled id clears its tombstone.
+        t.remove(id);
+        assert!(!t.contains(id));
+        assert!(t.insert(id), "post-clear removal is new again");
+    }
+
+    #[test]
+    fn tombstones_are_bounded_fifo() {
+        let mut t = TombstoneSet::new(4);
+        for i in 0..10u32 {
+            assert!(t.insert(SubscriptionId::new(i)));
+        }
+        // Only the newest 4 survive.
+        for i in 0..6u32 {
+            assert!(!t.contains(SubscriptionId::new(i)), "{i} evicted");
+        }
+        for i in 6..10u32 {
+            assert!(t.contains(SubscriptionId::new(i)), "{i} retained");
+        }
+    }
+}

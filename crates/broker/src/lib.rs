@@ -32,6 +32,7 @@
 
 mod broker;
 mod client;
+mod control;
 mod engine;
 mod log;
 mod outbox;
@@ -39,7 +40,7 @@ mod protocol;
 mod tcp;
 
 pub use broker::{BrokerConfig, BrokerNode, BrokerStats, LocalConn};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, NodeCounters};
 pub use engine::MatchingEngine;
-pub use log::EventLog;
+pub use log::{AckLog, EventLog};
 pub use protocol::{BrokerToBroker, BrokerToClient, ClientToBroker, ProtocolError, MAX_FRAME};

@@ -1,26 +1,35 @@
-//! Per-client event logs for disconnection recovery.
+//! Sequence-numbered, acknowledgment-trimmed logs.
 //!
 //! "These protocol objects are robust enough to handle transient failures
 //! of connections by maintaining an event log per client. Once a client
 //! re-connects after a failure, the client protocol object delivers the
 //! events received while the client was dis-connected. A garbage collector
 //! periodically cleans up the log." (§4.2)
+//!
+//! The same mechanism serves two layers of the broker:
+//!
+//! - [`EventLog`] (`AckLog<Event>`) is the paper's per-client log: decoded
+//!   events retained until the client acknowledges them, replayed on
+//!   reconnect.
+//! - The per-neighbor **link spool** (`AckLog<Bytes>` in the engine) holds
+//!   already-stitched `Forward` frames for a broker–broker link until the
+//!   neighbor's cumulative `FwdAck`, so events crossing a flapping link are
+//!   retransmitted after the reconnect handshake instead of being dropped.
 
 use std::collections::VecDeque;
 
 use linkcast_types::Event;
 
-/// An append-only, acknowledgment-trimmed log of events destined for one
-/// client.
+/// An append-only, acknowledgment-trimmed log of sequenced payloads.
 ///
 /// Sequence numbers are contiguous from 1. Entries stay in the log until
-/// the garbage collector observes the client's cumulative acknowledgment,
-/// so a reconnecting client can be replayed everything it missed.
-#[derive(Debug, Clone, Default)]
-pub struct EventLog {
+/// the garbage collector observes the peer's cumulative acknowledgment, so
+/// a reconnecting peer can be replayed everything it missed.
+#[derive(Debug, Clone)]
+pub struct AckLog<T> {
     /// Retained entries, oldest first; `entries[0]` has sequence
     /// `first_seq`.
-    entries: VecDeque<Event>,
+    entries: VecDeque<T>,
     /// Sequence number of the first retained entry.
     first_seq: u64,
     /// Highest assigned sequence number (0 before any append).
@@ -31,10 +40,21 @@ pub struct EventLog {
     lost: u64,
 }
 
-impl EventLog {
-    /// Creates an empty log; the first appended event gets sequence 1.
+/// The paper's per-client event log: an [`AckLog`] of decoded events.
+pub type EventLog = AckLog<Event>;
+
+impl<T> Default for AckLog<T> {
+    /// Equivalent to [`AckLog::new`] (a derived `Default` would set
+    /// `first_seq` to 0 and break the sequences-start-at-1 invariant).
+    fn default() -> Self {
+        AckLog::new()
+    }
+}
+
+impl<T> AckLog<T> {
+    /// Creates an empty log; the first appended entry gets sequence 1.
     pub fn new() -> Self {
-        EventLog {
+        AckLog {
             entries: VecDeque::new(),
             first_seq: 1,
             last_seq: 0,
@@ -43,14 +63,14 @@ impl EventLog {
         }
     }
 
-    /// Appends a matched event, returning its sequence number.
-    pub fn append(&mut self, event: Event) -> u64 {
-        self.entries.push_back(event);
+    /// Appends an entry, returning its sequence number.
+    pub fn append(&mut self, entry: T) -> u64 {
+        self.entries.push_back(entry);
         self.last_seq += 1;
         self.last_seq
     }
 
-    /// Records the client's cumulative acknowledgment. Acks are monotonic;
+    /// Records the peer's cumulative acknowledgment. Acks are monotonic;
     /// stale or future values are clamped.
     pub fn ack(&mut self, seq: u64) {
         self.acked = self.acked.max(seq).min(self.last_seq);
@@ -76,14 +96,14 @@ impl EventLog {
         self.entries.is_empty()
     }
 
-    /// Entries dropped unacknowledged by [`EventLog::enforce_bound`].
+    /// Entries dropped unacknowledged by [`AckLog::enforce_bound`].
     pub fn lost(&self) -> u64 {
         self.lost
     }
 
-    /// The entries after `seq`, with their sequence numbers — what a client
+    /// The entries after `seq`, with their sequence numbers — what a peer
     /// resuming from `seq` must be replayed.
-    pub fn replay_after(&self, seq: u64) -> impl Iterator<Item = (u64, &Event)> {
+    pub fn replay_after(&self, seq: u64) -> impl Iterator<Item = (u64, &T)> {
         let start = seq.max(self.first_seq - 1);
         let skip = (start + 1 - self.first_seq) as usize;
         self.entries
@@ -107,9 +127,9 @@ impl EventLog {
     }
 
     /// Caps the log at `max_entries`, dropping the *oldest unacknowledged*
-    /// entries if necessary (counted in [`EventLog::lost`]). Acknowledged
+    /// entries if necessary (counted in [`AckLog::lost`]). Acknowledged
     /// entries are reclaimed first — they are free, not losses. A slow or
-    /// permanently absent client must not hold broker memory forever.
+    /// permanently absent peer must not hold broker memory forever.
     pub fn enforce_bound(&mut self, max_entries: usize) {
         if self.entries.len() <= max_entries {
             return;
@@ -221,5 +241,31 @@ mod tests {
         log.enforce_bound(10);
         assert_eq!(log.lost(), 0);
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // The engine builds spools via `Entry::or_default`; Default must
+        // preserve the sequences-start-at-1 invariant.
+        let mut log: AckLog<u8> = AckLog::default();
+        assert_eq!(log.append(7), 1);
+        let replayed: Vec<u64> = log.replay_after(0).map(|(s, _)| s).collect();
+        assert_eq!(replayed, vec![1]);
+    }
+
+    #[test]
+    fn generic_payloads_spool_frames() {
+        // The link spool instantiation: raw frame bytes instead of events.
+        let mut spool: AckLog<Vec<u8>> = AckLog::new();
+        assert_eq!(spool.append(vec![1]), 1);
+        assert_eq!(spool.append(vec![2]), 2);
+        assert_eq!(spool.append(vec![3]), 3);
+        spool.ack(1);
+        spool.collect();
+        let frames: Vec<(u64, Vec<u8>)> = spool
+            .replay_after(spool.acked())
+            .map(|(s, f)| (s, f.clone()))
+            .collect();
+        assert_eq!(frames, vec![(2, vec![2]), (3, vec![3])]);
     }
 }

@@ -151,10 +151,17 @@ impl Outbox {
         )
     }
 
-    /// Number of live registered connections.
+    /// Number of live registered connections — a gauge for
+    /// [`crate::BrokerStats`], and the evidence that per-flap conn state
+    /// does not leak (each `Disconnected` must unregister its conn).
+    pub(crate) fn connections(&self) -> usize {
+        self.conns.read().len()
+    }
+
+    /// Number of live registered connections (test alias).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.conns.read().len()
+        self.connections()
     }
 
     fn enqueue(&self, conn: Arc<Conn>, frame: Bytes) {

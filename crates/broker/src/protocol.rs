@@ -127,23 +127,57 @@ pub enum BrokerToClient {
         errors: u64,
         /// Currently registered subscriptions (network-wide view).
         subscriptions: u64,
+        /// Event copies appended to broker-link spools.
+        spooled: u64,
+        /// Spooled frames retransmitted after a link reconnect.
+        retransmitted: u64,
+        /// Spooled frames dropped unacknowledged by the spool bound.
+        dropped_spool_overflow: u64,
     },
 }
 
 /// Messages brokers exchange.
+///
+/// Each broker–broker link is a reliable stateful channel: `Forward`
+/// frames carry a per-link sequence number drawn from the sender's link
+/// spool, the receiver acknowledges cumulatively with `FwdAck`, and the
+/// `Hello` handshake exchanges both sides' high-water marks so a
+/// reconnecting link retransmits exactly the unacknowledged suffix.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BrokerToBroker {
-    /// Identify the dialing broker.
+    /// Identify a broker to its neighbor and resync the link. Sent by the
+    /// dialing side on (re-)connect and answered in kind by the accepting
+    /// side, so both directions of the link recover independently.
     Hello {
-        /// The neighbor's id.
+        /// The sending broker's id.
         broker: BrokerId,
+        /// Highest `Forward` sequence number the sender has received *from*
+        /// this neighbor — the neighbor trims its spool through this and
+        /// retransmits everything after it.
+        last_recv: u64,
+        /// Highest `Forward` sequence number the sender has ever assigned
+        /// *toward* this neighbor. A value below the receiver's recorded
+        /// high-water mark means the sender restarted and lost its spool;
+        /// the receiver resets its dedup window so the fresh stream is not
+        /// mistaken for duplicates.
+        send_seq: u64,
     },
     /// An event in flight along a spanning tree.
     Forward {
         /// The spanning tree the event follows.
         tree: TreeId,
+        /// Per-link sequence number (contiguous from 1 per neighbor pair,
+        /// modulo spool-overflow gaps). The receiver drops sequence numbers
+        /// at or below its high-water mark as retransmission duplicates.
+        seq: u64,
         /// The event.
         event: Event,
+    },
+    /// Cumulative acknowledgment of `Forward` frames received on this
+    /// link; the sender trims its spool through `seq`.
+    FwdAck {
+        /// Highest received per-link sequence number.
+        seq: u64,
     },
     /// Flooded subscription registration (control plane).
     SubAdd {
@@ -151,6 +185,12 @@ pub enum BrokerToBroker {
         schema: SchemaId,
         /// The subscription.
         subscription: Subscription,
+        /// Whether this is anti-entropy resync traffic (replayed on link
+        /// establishment) rather than a fresh registration. Resynced adds
+        /// are filtered against the receiver's tombstone set so removals
+        /// that flooded while the link was down stay removed; fresh adds
+        /// instead clear a matching tombstone (id recycling).
+        resync: bool,
     },
     /// Flooded subscription removal.
     SubRemove {
@@ -177,6 +217,7 @@ const B2B_HELLO: u8 = 0x21;
 const B2B_FORWARD: u8 = 0x22;
 const B2B_SUBADD: u8 = 0x23;
 const B2B_SUBREMOVE: u8 = 0x24;
+const B2B_FWDACK: u8 = 0x25;
 
 fn frame(payload: BytesMut) -> Bytes {
     let mut out = BytesMut::with_capacity(payload.len() + 4);
@@ -188,8 +229,8 @@ fn frame(payload: BytesMut) -> Bytes {
 /// Byte offset of the encoded event inside a `Publish` payload (tag byte).
 pub(crate) const PUBLISH_BODY_OFFSET: usize = 1;
 /// Byte offset of the encoded event inside a `Forward` payload (tag byte +
-/// tree id).
-pub(crate) const FORWARD_BODY_OFFSET: usize = 5;
+/// tree id + per-link sequence number).
+pub(crate) const FORWARD_BODY_OFFSET: usize = 13;
 
 /// Serializes an event body exactly once, for fan-out through the frame
 /// stitchers below. The broker calls this only for events that did not
@@ -211,14 +252,16 @@ pub(crate) fn publish_frame(body: &[u8]) -> Bytes {
     out.freeze()
 }
 
-/// Stitches a complete `Forward` frame around an already-encoded event body.
-/// One such frame serves every neighbor on the tree: the caller hands the
-/// same `Bytes` to each outgoing queue.
-pub(crate) fn forward_frame(tree: TreeId, body: &[u8]) -> Bytes {
+/// Stitches a complete `Forward` frame around an already-encoded event
+/// body. The sequence number is per-link (each neighbor's spool assigns
+/// its own), so every link gets its own header, but the body bytes are
+/// never re-serialized.
+pub(crate) fn forward_frame(tree: TreeId, seq: u64, body: &[u8]) -> Bytes {
     let mut out = BytesMut::with_capacity(4 + FORWARD_BODY_OFFSET + body.len());
     out.put_u32_le((FORWARD_BODY_OFFSET + body.len()) as u32);
     out.put_u8(B2B_FORWARD);
     out.put_u32_le(tree.index() as u32);
+    out.put_u64_le(seq);
     out.extend_from_slice(body);
     out.freeze()
 }
@@ -364,6 +407,9 @@ impl BrokerToClient {
                 delivered,
                 errors,
                 subscriptions,
+                spooled,
+                retransmitted,
+                dropped_spool_overflow,
             } => {
                 b.put_u8(B2C_STATS);
                 b.put_u64_le(*published);
@@ -371,6 +417,9 @@ impl BrokerToClient {
                 b.put_u64_le(*delivered);
                 b.put_u64_le(*errors);
                 b.put_u64_le(*subscriptions);
+                b.put_u64_le(*spooled);
+                b.put_u64_le(*retransmitted);
+                b.put_u64_le(*dropped_spool_overflow);
             }
         }
         frame(b)
@@ -425,7 +474,7 @@ impl BrokerToClient {
                 message: wire::get_str(buf)?,
             }),
             B2C_STATS => {
-                if buf.remaining() < 40 {
+                if buf.remaining() < 64 {
                     return Err(ProtocolError::Malformed("short stats".into()));
                 }
                 Ok(BrokerToClient::Stats {
@@ -434,6 +483,9 @@ impl BrokerToClient {
                     delivered: buf.get_u64_le(),
                     errors: buf.get_u64_le(),
                     subscriptions: buf.get_u64_le(),
+                    spooled: buf.get_u64_le(),
+                    retransmitted: buf.get_u64_le(),
+                    dropped_spool_overflow: buf.get_u64_le(),
                 })
             }
             tag => Err(ProtocolError::Malformed(format!(
@@ -448,21 +500,34 @@ impl BrokerToBroker {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
         match self {
-            BrokerToBroker::Hello { broker } => {
+            BrokerToBroker::Hello {
+                broker,
+                last_recv,
+                send_seq,
+            } => {
                 b.put_u8(B2B_HELLO);
                 b.put_u32_le(broker.raw());
+                b.put_u64_le(*last_recv);
+                b.put_u64_le(*send_seq);
             }
-            BrokerToBroker::Forward { tree, event } => {
+            BrokerToBroker::Forward { tree, seq, event } => {
                 b.put_u8(B2B_FORWARD);
                 b.put_u32_le(tree.index() as u32);
+                b.put_u64_le(*seq);
                 wire::put_event(&mut b, event);
+            }
+            BrokerToBroker::FwdAck { seq } => {
+                b.put_u8(B2B_FWDACK);
+                b.put_u64_le(*seq);
             }
             BrokerToBroker::SubAdd {
                 schema,
                 subscription,
+                resync,
             } => {
                 b.put_u8(B2B_SUBADD);
                 b.put_u32_le(schema.raw());
+                b.put_u8(u8::from(*resync));
                 wire::put_subscription(&mut b, subscription);
             }
             BrokerToBroker::SubRemove { id } => {
@@ -486,26 +551,38 @@ impl BrokerToBroker {
         }
         match buf.get_u8() {
             B2B_HELLO => {
-                if buf.remaining() < 4 {
+                if buf.remaining() < 20 {
                     return Err(ProtocolError::Malformed("short broker hello".into()));
                 }
                 Ok(BrokerToBroker::Hello {
                     broker: BrokerId::new(buf.get_u32_le()),
+                    last_recv: buf.get_u64_le(),
+                    send_seq: buf.get_u64_le(),
                 })
             }
             B2B_FORWARD => {
-                if buf.remaining() < 4 {
+                if buf.remaining() < 12 {
                     return Err(ProtocolError::Malformed("short forward".into()));
                 }
                 let tree = tree_from_raw(buf.get_u32_le());
+                let seq = buf.get_u64_le();
                 let event = wire::get_event(buf, registry)?;
-                Ok(BrokerToBroker::Forward { tree, event })
+                Ok(BrokerToBroker::Forward { tree, seq, event })
+            }
+            B2B_FWDACK => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("short fwdack".into()));
+                }
+                Ok(BrokerToBroker::FwdAck {
+                    seq: buf.get_u64_le(),
+                })
             }
             B2B_SUBADD => {
-                if buf.remaining() < 4 {
+                if buf.remaining() < 5 {
                     return Err(ProtocolError::Malformed("short subadd".into()));
                 }
                 let schema_id = SchemaId::new(buf.get_u32_le());
+                let resync = buf.get_u8() != 0;
                 let schema = registry.get(schema_id).ok_or_else(|| {
                     ProtocolError::Malformed(format!("unknown schema {schema_id}"))
                 })?;
@@ -513,6 +590,7 @@ impl BrokerToBroker {
                 Ok(BrokerToBroker::SubAdd {
                     schema: schema_id,
                     subscription,
+                    resync,
                 })
             }
             B2B_SUBREMOVE => {
@@ -616,6 +694,9 @@ mod tests {
                 delivered: 3,
                 errors: 4,
                 subscriptions: 5,
+                spooled: 6,
+                retransmitted: 7,
+                dropped_spool_overflow: 8,
             },
         ];
         for m in messages {
@@ -633,15 +714,20 @@ mod tests {
             SubscriberId::new(BrokerId::new(1), ClientId::new(2)),
             linkcast_types::parse_predicate(schema, "volume > 10").unwrap(),
         );
-        let m = BrokerToBroker::SubAdd {
-            schema: SchemaId::new(0),
-            subscription: sub,
-        };
-        let back = BrokerToBroker::decode(strip(m.encode()), &reg).unwrap();
-        assert_eq!(back, m);
+        for resync in [false, true] {
+            let m = BrokerToBroker::SubAdd {
+                schema: SchemaId::new(0),
+                subscription: sub.clone(),
+                resync,
+            };
+            let back = BrokerToBroker::decode(strip(m.encode()), &reg).unwrap();
+            assert_eq!(back, m);
+        }
 
         let hello = BrokerToBroker::Hello {
             broker: BrokerId::new(7),
+            last_recv: 99,
+            send_seq: 120,
         };
         assert_eq!(
             BrokerToBroker::decode(strip(hello.encode()), &reg).unwrap(),
@@ -654,10 +740,16 @@ mod tests {
             BrokerToBroker::decode(strip(rm.encode()), &reg).unwrap(),
             rm
         );
+        let ack = BrokerToBroker::FwdAck { seq: 77 };
+        assert_eq!(
+            BrokerToBroker::decode(strip(ack.encode()), &reg).unwrap(),
+            ack
+        );
 
         let event = Event::from_values(schema, [Value::str("X"), Value::Int(2)]).unwrap();
         let fwd = BrokerToBroker::Forward {
             tree: TreeId::from_index(2),
+            seq: 31,
             event,
         };
         assert_eq!(
@@ -680,9 +772,10 @@ mod tests {
             .encode()
         );
         assert_eq!(
-            forward_frame(TreeId::from_index(3), &body),
+            forward_frame(TreeId::from_index(3), 17, &body),
             BrokerToBroker::Forward {
                 tree: TreeId::from_index(3),
+                seq: 17,
                 event: event.clone()
             }
             .encode()
@@ -709,6 +802,7 @@ mod tests {
         let forward = strip(
             BrokerToBroker::Forward {
                 tree: TreeId::from_index(1),
+                seq: 9,
                 event,
             }
             .encode(),

@@ -201,17 +201,22 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args, 1, &["client"])?;
     let cfg = load_config(pos[0])?;
     let mut client = connect_client(&cfg, &flags, 0)?;
-    let (published, forwarded, delivered, errors, subscriptions) =
-        client.stats().map_err(|e| e.to_string())?;
+    let counters = client.stats().map_err(|e| e.to_string())?;
     let home = cfg
         .client_home(flags.get("client").expect("checked by connect_client"))
         .expect("clients have homes");
     println!("broker {home}:");
-    println!("  published:     {published}");
-    println!("  forwarded:     {forwarded}");
-    println!("  delivered:     {delivered}");
-    println!("  errors:        {errors}");
-    println!("  subscriptions: {subscriptions}");
+    println!("  published:              {}", counters.published);
+    println!("  forwarded:              {}", counters.forwarded);
+    println!("  delivered:              {}", counters.delivered);
+    println!("  errors:                 {}", counters.errors);
+    println!("  subscriptions:          {}", counters.subscriptions);
+    println!("  spooled:                {}", counters.spooled);
+    println!("  retransmitted:          {}", counters.retransmitted);
+    println!(
+        "  dropped_spool_overflow: {}",
+        counters.dropped_spool_overflow
+    );
     Ok(())
 }
 

@@ -186,6 +186,91 @@ fn log_bound_drops_oldest_for_absent_clients() {
     assert_eq!(*got.last().unwrap(), 20, "newest entries are retained");
 }
 
+/// A broker-link (not client) crash: events routed toward the dead
+/// neighbor are spooled, not forwarded; the `Disconnected` cleans up the
+/// conn (outbox registration and `neighbors` entry) so no queue or
+/// counter leaks per flap; and the restarted neighbor receives the whole
+/// spool after the reconnect handshake.
+#[test]
+fn broker_link_crash_spools_and_retransmits() {
+    use linkcast_types::ClientId;
+    let mut net = NetworkBuilder::new();
+    let a = net.add_broker();
+    let b = net.add_broker();
+    net.connect(a, b, 5.0).unwrap();
+    let pub_client = net.add_client(a).unwrap();
+    let sub_client = net.add_client(b).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let mut a_config = BrokerConfig::localhost(a, fabric.clone(), Arc::clone(&registry));
+    a_config.gc_interval = Duration::from_millis(50);
+    let node_a = BrokerNode::start(a_config).unwrap();
+    // Fixed port for B so the restarted instance is reachable at the same
+    // address the supervisor keeps dialing.
+    let b_port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let mut b_config = BrokerConfig::localhost(b, fabric.clone(), Arc::clone(&registry));
+    b_config.listen = format!("127.0.0.1:{b_port}").parse().unwrap();
+    let node_b = BrokerNode::start(b_config.clone()).unwrap();
+    node_a.connect_to_persistent(b, node_b.addr());
+
+    // Subscribe at B; the subscription floods to A.
+    let subscribe_at = |node: &BrokerNode, client: ClientId| {
+        let mut c = Client::connect(node.addr(), client, 0, Arc::clone(&registry)).unwrap();
+        c.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+        c
+    };
+    let subscriber = subscribe_at(&node_b, sub_client);
+    await_stats(&node_a, |s| s.subscriptions >= 1);
+    await_stats(&node_a, |s| s.connections >= 1);
+
+    // B crashes. A's supervisor notices: the conn is unregistered from the
+    // outbox and removed from `neighbors` — per-flap state must not leak.
+    node_b.shutdown();
+    drop(subscriber);
+    await_stats(&node_a, |s| s.connections == 0);
+
+    // Publish into the dead link: everything spools, nothing forwards,
+    // and no frames pile up in the outbox for a conn that no longer exists.
+    let mut publisher =
+        Client::connect(node_a.addr(), pub_client, 0, Arc::clone(&registry)).unwrap();
+    for n in 1..=5 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+    await_stats(&node_a, |s| s.spooled >= 5);
+    let down = node_a.stats();
+    assert_eq!(
+        down.forwarded, 0,
+        "nothing forwarded while the link is down"
+    );
+    assert_eq!(down.spooled, 5, "every routed event is spooled");
+    assert_eq!(down.dropped_spool_overflow, 0);
+    await_stats(&node_a, |s| s.queued_frames == 0);
+
+    // B restarts empty on the same port; the supervisor redials, the
+    // handshake resyncs the subscription and replays the spool.
+    let node_b = BrokerNode::start(b_config).unwrap();
+    await_stats(&node_a, |s| s.retransmitted >= 5);
+
+    // The subscriber reconnects to the fresh B and receives every event
+    // published while the broker was dead.
+    let mut subscriber =
+        Client::connect(node_b.addr(), sub_client, 0, Arc::clone(&registry)).unwrap();
+    let mut got = Vec::new();
+    for _ in 0..5 {
+        let (_, event) = subscriber.recv(Duration::from_secs(10)).unwrap();
+        got.push(event.value(0).cloned().unwrap());
+    }
+    assert_eq!(
+        got,
+        (1..=5).map(Value::Int).collect::<Vec<_>>(),
+        "the spool must replay the events published during the outage"
+    );
+}
+
 #[test]
 fn publisher_reconnect_is_seamless() {
     let (node, registry, clients) = single_broker();

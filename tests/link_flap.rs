@@ -1,0 +1,356 @@
+//! Fault injection for broker–broker links.
+//!
+//! Each inter-broker link runs through a [`FlakyLink`] TCP proxy that the
+//! test kills and revives mid-publish. With the per-link spool (PR 2) the
+//! broker mesh must deliver exactly the flooding-baseline event set through
+//! repeated flaps: nothing lost (the spool retransmits after the reconnect
+//! handshake), nothing duplicated (the receive window dedups), and
+//! unsubscribes must not be resurrected by the anti-entropy resync (the
+//! tombstone filter).
+//!
+//! The flap schedule is driven by a seeded LCG; `LINKFLAP_SEED` selects the
+//! seed (default 42) so CI can run a fixed matrix.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{BrokerConfig, BrokerNode, Client};
+use linkcast_types::{
+    BrokerId, ClientId, Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind,
+};
+
+/// A deterministic flap schedule (64-bit LCG, Knuth's constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn seed_from_env() -> u64 {
+    std::env::var("LINKFLAP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A killable TCP proxy standing in for one broker–broker link.
+///
+/// While up, accepted connections are pumped byte-for-byte to the upstream
+/// broker. [`FlakyLink::kill`] severs every proxied connection (both sides
+/// see EOF, exactly like a cut cable); while down, new dials are accepted
+/// and immediately dropped, so the supervisor's redial loop keeps spinning
+/// against a flapping endpoint. [`FlakyLink::revive`] restores service for
+/// subsequent dials.
+struct FlakyLink {
+    addr: SocketAddr,
+    up: Arc<AtomicBool>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl FlakyLink {
+    fn start(upstream: SocketAddr) -> FlakyLink {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let up = Arc::new(AtomicBool::new(true));
+        let streams = Arc::new(Mutex::new(Vec::<TcpStream>::new()));
+        {
+            let up = Arc::clone(&up);
+            let streams = Arc::clone(&streams);
+            std::thread::spawn(move || {
+                for incoming in listener.incoming() {
+                    let Ok(client) = incoming else { break };
+                    if !up.load(Ordering::Acquire) {
+                        // Down: accept-and-drop, the dialer sees instant EOF.
+                        drop(client);
+                        continue;
+                    }
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        drop(client);
+                        continue;
+                    };
+                    let _ = client.set_nodelay(true);
+                    let _ = server.set_nodelay(true);
+                    {
+                        let mut held = streams.lock().unwrap();
+                        held.push(client.try_clone().unwrap());
+                        held.push(server.try_clone().unwrap());
+                    }
+                    pump(client.try_clone().unwrap(), server.try_clone().unwrap());
+                    pump(server, client);
+                }
+            });
+        }
+        FlakyLink { addr, up, streams }
+    }
+
+    /// The address brokers dial instead of the real neighbor.
+    fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cuts the link: every proxied connection dies, new dials are dropped.
+    fn kill(&self) {
+        self.up.store(false, Ordering::Release);
+        for stream in self.streams.lock().unwrap().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Restores the link for future dials.
+    fn revive(&self) {
+        self.up.store(true, Ordering::Release);
+    }
+}
+
+/// One direction of a proxied connection.
+fn pump(mut from: TcpStream, to: TcpStream) {
+    std::thread::spawn(move || {
+        use std::io::{Read, Write};
+        let mut to = to;
+        let mut buf = [0u8; 4096];
+        loop {
+            match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    });
+}
+
+fn registry() -> Arc<SchemaRegistry> {
+    let mut r = SchemaRegistry::new();
+    r.register(
+        EventSchema::builder("ticks")
+            .attribute("n", ValueKind::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    Arc::new(r)
+}
+
+fn tick(registry: &SchemaRegistry, n: i64) -> Event {
+    let schema = registry.get(SchemaId::new(0)).unwrap();
+    Event::from_values(schema, [Value::Int(n)]).unwrap()
+}
+
+fn await_subscriptions(nodes: &[&BrokerNode], want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while nodes.iter().any(|n| n.stats().subscriptions < want) {
+        assert!(Instant::now() < deadline, "subscription flood stalled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A three-broker chain B0–B1–B2 with both links through flaky proxies.
+/// Repeated kill/publish/revive cycles must still deliver the exact
+/// flooding-baseline set to a match-all subscriber at every broker: no
+/// event lost to a down link, none duplicated by the retransmissions.
+#[test]
+fn chain_survives_link_flaps() {
+    let mut rng = Lcg::new(seed_from_env());
+    let mut net = NetworkBuilder::new();
+    let brokers: Vec<BrokerId> = (0..3).map(|_| net.add_broker()).collect();
+    net.connect(brokers[0], brokers[1], 5.0).unwrap();
+    net.connect(brokers[1], brokers[2], 5.0).unwrap();
+    let clients: Vec<ClientId> = brokers
+        .iter()
+        .map(|&b| net.add_client(b).unwrap())
+        .collect();
+    let publisher_client = net.add_client(brokers[0]).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let nodes: Vec<BrokerNode> = brokers
+        .iter()
+        .map(|&b| {
+            let mut config = BrokerConfig::localhost(b, fabric.clone(), Arc::clone(&registry));
+            config.gc_interval = Duration::from_millis(50);
+            BrokerNode::start(config).unwrap()
+        })
+        .collect();
+
+    // Each topology link goes through its own killable proxy; the
+    // higher-id broker supervises the dial.
+    let links = [
+        FlakyLink::start(nodes[0].addr()),
+        FlakyLink::start(nodes[1].addr()),
+    ];
+    nodes[1].connect_to_persistent(brokers[0], links[0].addr());
+    nodes[2].connect_to_persistent(brokers[1], links[1].addr());
+
+    // A match-all subscriber at every broker: the oracle is flooding.
+    let mut subscribers: Vec<Client> = clients
+        .iter()
+        .zip(&nodes)
+        .map(|(&c, node)| {
+            let mut client = Client::connect(node.addr(), c, 0, Arc::clone(&registry)).unwrap();
+            client.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+            client
+        })
+        .collect();
+    await_subscriptions(&nodes.iter().collect::<Vec<_>>(), 3);
+
+    let mut publisher =
+        Client::connect(nodes[0].addr(), publisher_client, 0, Arc::clone(&registry)).unwrap();
+
+    // Flap cycles: cut one link, publish through the wound, heal, repeat.
+    let mut published = Vec::new();
+    let mut next = 0i64;
+    for _ in 0..6 {
+        let victim = &links[rng.below(2) as usize];
+        victim.kill();
+        let batch = 20 + rng.below(21) as i64;
+        for _ in 0..batch {
+            publisher.publish(&tick(&registry, next)).unwrap();
+            published.push(next);
+            next += 1;
+        }
+        std::thread::sleep(Duration::from_millis(50 + rng.below(150)));
+        victim.revive();
+        // Some cycles also publish into the healing window.
+        let after = rng.below(10) as i64;
+        for _ in 0..after {
+            publisher.publish(&tick(&registry, next)).unwrap();
+            published.push(next);
+            next += 1;
+        }
+        std::thread::sleep(Duration::from_millis(rng.below(100)));
+    }
+
+    // Convergence: every subscriber sees exactly the published set, in
+    // order (per-client logs are sequenced), with no duplicates.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for (i, subscriber) in subscribers.iter_mut().enumerate() {
+        let mut got = Vec::new();
+        while got.len() < published.len() {
+            match subscriber.recv(deadline.saturating_duration_since(Instant::now())) {
+                Ok((_, event)) => got.push(event.value(0).unwrap().as_int().unwrap()),
+                Err(e) => panic!(
+                    "subscriber {i} stalled at {}/{} events: {e}",
+                    got.len(),
+                    published.len()
+                ),
+            }
+        }
+        assert_eq!(got, published, "subscriber {i} must see the exact set");
+        // Nothing extra arrives: no duplicate survived the dedup window.
+        assert!(
+            subscriber.recv(Duration::from_millis(300)).is_err(),
+            "subscriber {i} received a duplicate"
+        );
+    }
+
+    // The flaps actually exercised the spool path.
+    let retransmitted: u64 = nodes.iter().map(|n| n.stats().retransmitted).sum();
+    assert!(
+        retransmitted > 0,
+        "link flaps must force spool retransmissions"
+    );
+    let overflowed: u64 = nodes.iter().map(|n| n.stats().dropped_spool_overflow).sum();
+    assert_eq!(overflowed, 0, "spools must not overflow in this workload");
+}
+
+/// The resurrection regression: a `SubRemove` that floods while the link
+/// is down is lost, and before the tombstone filter the reconnect resync
+/// would re-install — and re-flood — the dead subscription. Subscribe,
+/// cut the link, unsubscribe, heal, then publish a matching event at the
+/// far broker: it must not reach the unsubscribed client.
+#[test]
+fn unsubscribe_survives_link_flap() {
+    let mut net = NetworkBuilder::new();
+    let a = net.add_broker();
+    let b = net.add_broker();
+    net.connect(a, b, 5.0).unwrap();
+    let sub_client = net.add_client(a).unwrap();
+    let pub_client = net.add_client(b).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let node_a = BrokerNode::start(BrokerConfig::localhost(
+        a,
+        fabric.clone(),
+        Arc::clone(&registry),
+    ))
+    .unwrap();
+    let node_b = BrokerNode::start(BrokerConfig::localhost(
+        b,
+        fabric.clone(),
+        Arc::clone(&registry),
+    ))
+    .unwrap();
+    let link = FlakyLink::start(node_a.addr());
+    node_b.connect_to_persistent(a, link.addr());
+
+    let mut subscriber =
+        Client::connect(node_a.addr(), sub_client, 0, Arc::clone(&registry)).unwrap();
+    let sub_id = subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    // The subscription floods to B.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while node_b.stats().subscriptions < 1 {
+        assert!(Instant::now() < deadline, "subscription flood stalled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Cut the link, then unsubscribe: the SubRemove flood toward B is lost.
+    link.kill();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while node_a.stats().connections > 1 {
+        assert!(Instant::now() < deadline, "A never noticed the cut link");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    subscriber.unsubscribe(sub_id).unwrap();
+    assert_eq!(node_a.stats().subscriptions, 0);
+
+    // Heal; the supervisor redials and both sides resync. B still resyncs
+    // the stale subscription back, but A's tombstone filters it.
+    link.revive();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while node_a.stats().connections < 2 {
+        assert!(Instant::now() < deadline, "link never re-established");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Give the resync traffic time to land (a resurrection would show up
+    // as a subscription reappearing at A).
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        node_a.stats().subscriptions,
+        0,
+        "resync resurrected the unsubscribed subscription"
+    );
+
+    // Publishing a matching event at B must not reach the dead client.
+    let mut publisher =
+        Client::connect(node_b.addr(), pub_client, 0, Arc::clone(&registry)).unwrap();
+    publisher.publish(&tick(&registry, 7)).unwrap();
+    assert!(
+        subscriber.recv(Duration::from_secs(1)).is_err(),
+        "event delivered to an unsubscribed client"
+    );
+    assert_eq!(node_a.stats().delivered, 0, "nothing may reach A's clients");
+}
