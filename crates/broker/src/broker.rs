@@ -1,7 +1,7 @@
 //! The broker node: connection manager, protocol state machine, and
 //! lifecycle.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -377,6 +377,7 @@ impl BrokerNode {
                         conns: HashMap::new(),
                         clients: HashMap::new(),
                         neighbors: HashMap::new(),
+                        awaiting_hello: HashSet::new(),
                         spools: HashMap::new(),
                         recv_from: HashMap::new(),
                         tombstones: TombstoneSet::default(),
@@ -470,21 +471,19 @@ impl BrokerNode {
                         backoff = (backoff * 2).min(LINK_REDIAL_MAX);
                         continue;
                     };
-                    if stream.set_nodelay(true).is_err()
-                        || stream
-                            .set_read_timeout(Some(Duration::from_millis(200)))
-                            .is_err()
-                        || stream.try_clone().is_err()
-                    {
-                        // Local socket setup failed: back off like any other
-                        // dial failure instead of spin-dialing.
+                    // Socket setup, including the single reader clone: any
+                    // failure backs off like a failed dial instead of
+                    // spin-dialing. Never panic here — that would kill the
+                    // supervisor thread and orphan the link forever.
+                    let reader = stream
+                        .set_nodelay(true)
+                        .and_then(|()| stream.set_read_timeout(Some(Duration::from_millis(200))))
+                        .and_then(|()| stream.try_clone());
+                    let Ok(mut reader) = reader else {
                         std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(LINK_REDIAL_MAX);
                         continue;
-                    }
-                    let mut reader = stream
-                        .try_clone()
-                        .expect("second clone of a cloneable socket");
+                    };
                     let conn = next_conn.fetch_add(1, Ordering::Relaxed);
                     outbox.register(conn, crate::outbox::Sink::Tcp(stream));
                     // The engine answers `DialedNeighbor` with the `Hello`
@@ -653,6 +652,13 @@ struct EngineLoop {
     conns: HashMap<ConnId, Peer>,
     clients: HashMap<ClientId, ClientState>,
     neighbors: HashMap<BrokerId, ConnId>,
+    /// Dialed neighbor conns whose peer `Hello` has not arrived yet.
+    /// `Forward` traffic is held back (it stays in the spool) until the
+    /// handshake completes: sending fresh higher-seq frames before
+    /// `retransmit_spool` replays the backlog would make the receiver's
+    /// cumulative dedup drop the retransmissions as duplicates — silent
+    /// event loss on every reconnect that overlaps a dispatch.
+    awaiting_hello: HashSet<ConnId>,
     /// Per-neighbor send-side spool: stitched `Forward` frames retained
     /// until the neighbor's cumulative `FwdAck`, replayed after a link
     /// flap. Keyed by broker (not conn) so the spool survives the link.
@@ -683,7 +689,12 @@ impl EngineLoop {
                 Command::Frame(conn, payload) => self.handle_frame(conn, payload),
                 Command::DialedNeighbor(conn, neighbor) => {
                     self.conns.insert(conn, Peer::Broker(neighbor));
-                    self.neighbors.insert(neighbor, conn);
+                    self.install_neighbor_conn(neighbor, conn);
+                    // Control traffic (Hello, resync, floods) flows right
+                    // away, but Forward dispatch stays spooled-only until
+                    // the peer's Hello arrives and the spool is replayed —
+                    // see `awaiting_hello`.
+                    self.awaiting_hello.insert(conn);
                     self.send_hello(conn, neighbor);
                     self.resync_subscriptions(conn);
                 }
@@ -925,7 +936,11 @@ impl EngineLoop {
                 // Hellos forever.
                 let known = matches!(self.conns.get(&conn), Some(Peer::Broker(b)) if *b == broker);
                 self.conns.insert(conn, Peer::Broker(broker));
-                self.neighbors.insert(broker, conn);
+                self.install_neighbor_conn(broker, conn);
+                // Handshake complete: retransmit_spool (below) replays the
+                // backlog over this conn, after which dispatch may send
+                // fresh frames on it directly.
+                self.awaiting_hello.remove(&conn);
                 // A neighbor whose send sequence regressed restarted and
                 // lost its spool: reset the receive window or its fresh
                 // stream (restarting at 1) would be dedup-dropped.
@@ -1018,6 +1033,22 @@ impl EngineLoop {
         }
     }
 
+    /// Makes `conn` the single live conn for `broker`, tearing down any
+    /// older conn to the same neighbor. Exactly one TCP stream per
+    /// neighbor may carry sequenced `Forward` traffic: if an old stream
+    /// lingered (e.g. its death is still undetected when the peer redials),
+    /// frames could interleave across two streams and break the
+    /// FIFO-arrival assumption the cumulative seq dedup relies on.
+    fn install_neighbor_conn(&mut self, broker: BrokerId, conn: ConnId) {
+        if let Some(old) = self.neighbors.insert(broker, conn) {
+            if old != conn {
+                self.outbox.unregister(old);
+                self.conns.remove(&old);
+                self.awaiting_hello.remove(&old);
+            }
+        }
+    }
+
     /// Sends the link handshake: our receive high-water mark (so the peer
     /// trims and retransmits its spool) and our send sequence (so the peer
     /// can detect that we restarted and reset its dedup window).
@@ -1061,7 +1092,15 @@ impl EngineLoop {
     /// An inbound `Forward`: dedup against the per-neighbor receive window,
     /// pace a cumulative `FwdAck` back, then route.
     fn handle_forward(&mut self, conn: ConnId, tree: TreeId, seq: u64, event: Event, body: Bytes) {
-        if let Some(Peer::Broker(broker)) = self.conns.get(&conn) {
+        {
+            let Some(Peer::Broker(broker)) = self.conns.get(&conn) else {
+                // Not a registered broker peer — most likely an old stream
+                // torn down when the neighbor redialed (see
+                // `install_neighbor_conn`). Routing it would bypass the
+                // dedup window; drop it instead (the live stream replays
+                // anything unacknowledged).
+                return;
+            };
             let broker = *broker;
             let recv = self.recv_from.entry(broker).or_default();
             if seq <= recv.seq {
@@ -1140,9 +1179,17 @@ impl EngineLoop {
                             .dropped_spool_overflow
                             .fetch_add(dropped, Ordering::Relaxed);
                     }
+                    // Direct sends wait for the reconnect handshake: on a
+                    // conn still awaiting the peer's Hello the frame stays
+                    // spool-only and `retransmit_spool` replays it in
+                    // sequence order once the handshake lands (fresh
+                    // higher-seq frames ahead of the replayed backlog would
+                    // be mis-dropped by the receiver's cumulative dedup).
                     if let Some(&conn) = self.neighbors.get(&neighbor) {
-                        self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                        self.outbox.send(conn, frame);
+                        if !self.awaiting_hello.contains(&conn) {
+                            self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                            self.outbox.send(conn, frame);
+                        }
                     }
                 }
                 LinkTarget::Client(client) => {
@@ -1217,6 +1264,7 @@ impl EngineLoop {
 
     fn handle_disconnect(&mut self, conn: ConnId) {
         self.outbox.unregister(conn);
+        self.awaiting_hello.remove(&conn);
         match self.conns.remove(&conn) {
             Some(Peer::Client(client)) => {
                 if let Some(state) = self.clients.get_mut(&client) {

@@ -2,7 +2,7 @@
 //! id allocator and the tombstone set that keeps removed subscriptions
 //! from being resurrected by the anti-entropy resync.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use linkcast_types::SubscriptionId;
 
@@ -69,8 +69,14 @@ impl SubIdAllocator {
 /// tombstone of its previous life.
 #[derive(Debug)]
 pub(crate) struct TombstoneSet {
-    set: HashSet<SubscriptionId>,
-    order: VecDeque<SubscriptionId>,
+    /// Live tombstones, each tagged with the generation of its insertion.
+    live: HashMap<SubscriptionId, u64>,
+    /// Insertion order as `(id, generation)`. An entry whose generation no
+    /// longer matches `live` is stale — its tombstone was cleared by
+    /// [`TombstoneSet::remove`] (and possibly re-inserted later, under a
+    /// newer generation) — and must not evict anything when it surfaces.
+    order: VecDeque<(SubscriptionId, u64)>,
+    next_gen: u64,
     cap: usize,
 }
 
@@ -81,38 +87,54 @@ impl TombstoneSet {
 
     pub(crate) fn new(cap: usize) -> Self {
         TombstoneSet {
-            set: HashSet::new(),
+            live: HashMap::new(),
             order: VecDeque::new(),
+            next_gen: 0,
             cap: cap.max(1),
         }
     }
 
     /// Records a removal. Returns `true` if the id was not already
     /// tombstoned — the caller uses this as flood dedup for removals of
-    /// subscriptions it never knew. Evicts the oldest tombstone beyond the
-    /// cap.
+    /// subscriptions it never knew. Evicts the oldest *live* tombstone
+    /// beyond the cap; stale order entries are skipped (and purged), so a
+    /// cleared-then-re-inserted id can never be evicted by the ghost of
+    /// its earlier life.
     pub(crate) fn insert(&mut self, id: SubscriptionId) -> bool {
-        if !self.set.insert(id) {
+        if self.live.contains_key(&id) {
             return false;
         }
-        self.order.push_back(id);
-        while self.order.len() > self.cap {
-            if let Some(evicted) = self.order.pop_front() {
-                self.set.remove(&evicted);
+        self.next_gen += 1;
+        self.live.insert(id, self.next_gen);
+        self.order.push_back((id, self.next_gen));
+        while self.live.len() > self.cap {
+            let Some((evicted, generation)) = self.order.pop_front() else {
+                break;
+            };
+            if self.live.get(&evicted) == Some(&generation) {
+                self.live.remove(&evicted);
             }
+        }
+        // Churn of remove()+insert() below the cap accumulates stale order
+        // entries without ever reaching the eviction loop; compact before
+        // the order queue outgrows the live set by more than the cap.
+        if self.order.len() > self.live.len().saturating_add(self.cap) {
+            self.order
+                .retain(|(id, generation)| self.live.get(id) == Some(generation));
         }
         true
     }
 
     /// Whether `id` is tombstoned.
     pub(crate) fn contains(&self, id: SubscriptionId) -> bool {
-        self.set.contains(&id)
+        self.live.contains_key(&id)
     }
 
-    /// Clears a tombstone (a fresh `SubAdd` reuses the id). The stale entry
-    /// in the eviction order is left behind and skipped when it surfaces.
+    /// Clears a tombstone (a fresh `SubAdd` reuses the id). The entry in
+    /// the eviction order goes stale (its generation no longer matches)
+    /// and is skipped or compacted away later.
     pub(crate) fn remove(&mut self, id: SubscriptionId) {
-        self.set.remove(&id);
+        self.live.remove(&id);
     }
 }
 
@@ -197,6 +219,49 @@ mod tests {
         t.remove(id);
         assert!(!t.contains(id));
         assert!(t.insert(id), "post-clear removal is new again");
+    }
+
+    #[test]
+    fn reinserted_tombstone_survives_its_stale_order_entry() {
+        // remove() leaves the id's order entry behind; a later re-insert
+        // must not be evicted when that stale entry surfaces, or a resync
+        // could resurrect the re-removed subscription.
+        let mut t = TombstoneSet::new(4);
+        let a = SubscriptionId::new(100);
+        assert!(t.insert(a));
+        t.remove(a); // order now holds a stale first-generation entry
+        assert!(t.insert(a), "re-tombstoned under a new generation");
+        for i in 0..3u32 {
+            assert!(t.insert(SubscriptionId::new(i)));
+        }
+        // Exactly at cap (4 live): nothing may be evicted — in particular
+        // the stale entry must not count toward the cap or evict `a`.
+        assert!(t.contains(a), "live tombstone evicted via its stale entry");
+        // One past the cap: the stale entry surfaces first and is skipped;
+        // `a`'s live entry is the oldest live tombstone and goes next.
+        assert!(t.insert(SubscriptionId::new(3)));
+        assert!(!t.contains(a));
+        for i in 0..4u32 {
+            assert!(t.contains(SubscriptionId::new(i)), "{i} retained");
+        }
+    }
+
+    #[test]
+    fn sub_cap_churn_keeps_order_bounded() {
+        // remove()+insert() churn below the cap never reaches the eviction
+        // loop; the periodic compaction must still bound the order queue.
+        let cap = 8;
+        let mut t = TombstoneSet::new(cap);
+        let id = SubscriptionId::new(7);
+        for _ in 0..10_000 {
+            assert!(t.insert(id));
+            t.remove(id);
+        }
+        assert!(
+            t.order.len() <= t.live.len() + cap + 1,
+            "order queue grew unbounded: {}",
+            t.order.len()
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn seed_from_env() -> u64 {
 struct FlakyLink {
     addr: SocketAddr,
     up: Arc<AtomicBool>,
+    stall: Arc<AtomicBool>,
     streams: Arc<Mutex<Vec<TcpStream>>>,
 }
 
@@ -71,9 +72,11 @@ impl FlakyLink {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let up = Arc::new(AtomicBool::new(true));
+        let stall = Arc::new(AtomicBool::new(false));
         let streams = Arc::new(Mutex::new(Vec::<TcpStream>::new()));
         {
             let up = Arc::clone(&up);
+            let stall = Arc::clone(&stall);
             let streams = Arc::clone(&streams);
             std::thread::spawn(move || {
                 for incoming in listener.incoming() {
@@ -94,12 +97,23 @@ impl FlakyLink {
                         held.push(client.try_clone().unwrap());
                         held.push(server.try_clone().unwrap());
                     }
-                    pump(client.try_clone().unwrap(), server.try_clone().unwrap());
-                    pump(server, client);
+                    pump(
+                        client.try_clone().unwrap(),
+                        server.try_clone().unwrap(),
+                        None,
+                    );
+                    // The upstream→dialer direction is stallable, so tests
+                    // can hold a reconnect handshake reply in flight.
+                    pump(server, client, Some(Arc::clone(&stall)));
                 }
             });
         }
-        FlakyLink { addr, up, streams }
+        FlakyLink {
+            addr,
+            up,
+            stall,
+            streams,
+        }
     }
 
     /// The address brokers dial instead of the real neighbor.
@@ -119,10 +133,18 @@ impl FlakyLink {
     fn revive(&self) {
         self.up.store(true, Ordering::Release);
     }
+
+    /// Holds back upstream→dialer bytes (e.g. the acceptor's `Hello`
+    /// reply) while set, widening the dialer's reconnect window
+    /// deterministically. Dialer→upstream traffic keeps flowing.
+    fn stall_replies(&self, on: bool) {
+        self.stall.store(on, Ordering::Release);
+    }
 }
 
-/// One direction of a proxied connection.
-fn pump(mut from: TcpStream, to: TcpStream) {
+/// One direction of a proxied connection; bytes are held (not dropped)
+/// while `stall` is set.
+fn pump(mut from: TcpStream, to: TcpStream, stall: Option<Arc<AtomicBool>>) {
     std::thread::spawn(move || {
         use std::io::{Read, Write};
         let mut to = to;
@@ -131,6 +153,11 @@ fn pump(mut from: TcpStream, to: TcpStream) {
             match from.read(&mut buf) {
                 Ok(0) | Err(_) => break,
                 Ok(n) => {
+                    if let Some(flag) = &stall {
+                        while flag.load(Ordering::Acquire) {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
                     if to.write_all(&buf[..n]).is_err() {
                         break;
                     }
@@ -353,4 +380,88 @@ fn unsubscribe_survives_link_flap() {
         "event delivered to an unsubscribed client"
     );
     assert_eq!(node_a.stats().delivered, 0, "nothing may reach A's clients");
+}
+
+/// The dialer-side reconnect window: frames dispatched after a redial but
+/// before the peer's `Hello` reply arrives must stay spool-only. If they
+/// went out directly (with fresh, higher sequence numbers), the receiver
+/// would accept them first and its cumulative dedup would then drop the
+/// retransmitted backlog as duplicates — silently losing every event
+/// published while the link was down. The proxy stalls the
+/// acceptor→dialer direction to hold that window open deterministically
+/// while the dialer keeps publishing through it.
+#[test]
+fn dialer_reconnect_window_loses_no_events() {
+    let mut net = NetworkBuilder::new();
+    let a = net.add_broker(); // acceptor: hosts the subscriber
+    let b = net.add_broker(); // dialer: hosts the publisher
+    net.connect(a, b, 5.0).unwrap();
+    let sub_client = net.add_client(a).unwrap();
+    let pub_client = net.add_client(b).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let start = |broker| {
+        let mut config = BrokerConfig::localhost(broker, fabric.clone(), Arc::clone(&registry));
+        config.gc_interval = Duration::from_millis(50);
+        BrokerNode::start(config).unwrap()
+    };
+    let node_a = start(a);
+    let node_b = start(b);
+    let link = FlakyLink::start(node_a.addr());
+    node_b.connect_to_persistent(a, link.addr());
+
+    let mut subscriber =
+        Client::connect(node_a.addr(), sub_client, 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    await_subscriptions(&[&node_a, &node_b], 1);
+
+    let mut publisher =
+        Client::connect(node_b.addr(), pub_client, 0, Arc::clone(&registry)).unwrap();
+
+    // One event crosses the healthy link, establishing sequence state.
+    publisher.publish(&tick(&registry, 0)).unwrap();
+    let (_, event) = subscriber.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(event.value(0).unwrap().as_int().unwrap(), 0);
+
+    // Cut the link; B publishes into the outage (spooled, unsendable).
+    link.kill();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while node_b.stats().connections > 1 {
+        assert!(Instant::now() < deadline, "B never noticed the cut link");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for n in 1..=3 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+
+    // Heal, but stall A's replies: B's redial succeeds and its engine
+    // processes the new conn while A's Hello answer sits in the proxy.
+    link.stall_replies(true);
+    link.revive();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while node_b.stats().connections < 2 {
+        assert!(Instant::now() < deadline, "link never re-established");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Publish into the held-open reconnect window.
+    std::thread::sleep(Duration::from_millis(100));
+    for n in 4..=6 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    link.stall_replies(false);
+
+    // Everything arrives, in order: the outage backlog (1..=3) must not be
+    // dedup-dropped behind the window publishes (4..=6).
+    for expected in 1..=6 {
+        let (_, event) = subscriber
+            .recv(Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("event {expected} never arrived: {e}"));
+        assert_eq!(event.value(0).unwrap().as_int().unwrap(), expected);
+    }
+    assert!(
+        subscriber.recv(Duration::from_millis(300)).is_err(),
+        "duplicate delivered after the reconnect"
+    );
 }
