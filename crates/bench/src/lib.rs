@@ -15,9 +15,6 @@
 //! | `ablation_virtual_links` | §3.2 footnote 1 |
 //! | `ablation_bursty` | §6 bursty loads |
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use linkcast_matching::PstOptions;
 use linkcast_types::{
     BrokerId, ClientId, EventSchema, Predicate, SubscriberId, Subscription, SubscriptionId,

@@ -104,6 +104,7 @@ impl BrokerConfig {
             fabric,
             registry,
             options: PstOptions::default(),
+            // analyzer:allow(panic): startup-time parse of a literal address, not dataflow
             listen: "127.0.0.1:0".parse().expect("valid literal address"),
             sender_threads: 2,
             gc_interval: Duration::from_millis(250),
@@ -147,6 +148,10 @@ pub struct BrokerStats {
     /// Live connections registered with the transport (clients + broker
     /// links); flapping links must return this to its baseline.
     pub connections: usize,
+    /// Undecodable frames: each one costs the sending peer its connection
+    /// (a corrupt stream cannot be re-framed, so the broker cuts it loose
+    /// rather than guess at message boundaries).
+    pub protocol_errors: u64,
 }
 
 #[derive(Debug, Default)]
@@ -159,6 +164,7 @@ struct StatsInner {
     spooled: AtomicU64,
     retransmitted: AtomicU64,
     dropped_spool_overflow: AtomicU64,
+    protocol_errors: AtomicU64,
 }
 
 pub(crate) enum Command {
@@ -265,7 +271,7 @@ impl BrokerNode {
         } else {
             crate::outbox::DRAIN_BATCH
         };
-        let outbox = Outbox::new(config.sender_threads.max(1), drain_batch, dead_tx);
+        let outbox = Outbox::new(config.sender_threads.max(1), drain_batch, dead_tx)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
         let next_conn = Arc::new(AtomicU64::new(1));
@@ -342,7 +348,9 @@ impl BrokerNode {
                             let links = engine
                                 .read()
                                 .route_parallel(&job.event, job.tree, threads, &mut local);
-                            *shard_stats[shard].lock() += local;
+                            if let Some(shard_stats) = shard_stats.get(shard) {
+                                *shard_stats.lock() += local;
+                            }
                             let routed = Command::Routed {
                                 event: job.event,
                                 tree: job.tree,
@@ -555,6 +563,7 @@ impl BrokerNode {
             connections: self.outbox.connections(),
             queued_frames,
             queued_bytes,
+            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -562,8 +571,8 @@ impl BrokerNode {
     /// matching-worker shard.
     pub fn match_stats(&self) -> MatchStats {
         let mut total = MatchStats::new();
-        for shard in self.match_stats.iter() {
-            total += *shard.lock();
+        for shard_stats in self.match_stats.iter() {
+            total += *shard_stats.lock();
         }
         total
     }
@@ -726,7 +735,7 @@ impl EngineLoop {
                     self.handle_publish(conn, event, body);
                 }
                 Ok(msg) => self.handle_client(conn, msg),
-                Err(e) => self.client_error(conn, e.to_string()),
+                Err(e) => self.protocol_error_disconnect(conn, e.to_string()),
             }
         } else if (0x21..=0x2f).contains(&tag) {
             match BrokerToBroker::decode(payload.clone(), &self.config.registry) {
@@ -735,13 +744,24 @@ impl EngineLoop {
                     self.handle_forward(conn, tree, seq, event, body);
                 }
                 Ok(msg) => self.handle_broker(conn, msg),
-                Err(_) => {
-                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                }
+                Err(e) => self.protocol_error_disconnect(conn, e.to_string()),
             }
         } else {
-            self.client_error(conn, format!("unexpected message tag {tag:#x}"));
+            self.protocol_error_disconnect(conn, format!("unexpected message tag {tag:#x}"));
         }
+    }
+
+    /// A peer sent something undecodable. A corrupt payload means the
+    /// stream's framing can no longer be trusted, so rather than guess at
+    /// the next message boundary the broker counts the error, tells the
+    /// peer why (best effort — the frame races the teardown), and drops
+    /// the connection. Semantically invalid but *well-formed* requests
+    /// (unknown schema on subscribe, publish before hello) go through
+    /// `client_error` instead and keep the connection.
+    fn protocol_error_disconnect(&mut self, conn: ConnId, message: String) {
+        self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.client_error(conn, message);
+        self.handle_disconnect(conn);
     }
 
     fn handle_publish(&mut self, conn: ConnId, event: Event, body: Bytes) {
@@ -902,23 +922,29 @@ impl EngineLoop {
                 }
             }
             ClientToBroker::StatsRequest => {
-                self.outbox.send(
-                    conn,
-                    BrokerToClient::Stats {
-                        published: self.stats.published.load(Ordering::Relaxed),
-                        forwarded: self.stats.forwarded.load(Ordering::Relaxed),
-                        delivered: self.stats.delivered.load(Ordering::Relaxed),
-                        errors: self.stats.errors.load(Ordering::Relaxed),
-                        subscriptions: self.engine.read().subscription_count() as u64,
-                        spooled: self.stats.spooled.load(Ordering::Relaxed),
-                        retransmitted: self.stats.retransmitted.load(Ordering::Relaxed),
-                        dropped_spool_overflow: self
-                            .stats
-                            .dropped_spool_overflow
-                            .load(Ordering::Relaxed),
-                    }
-                    .encode(),
-                );
+                // The engine read-guard must die before `outbox.send` (a
+                // blocking write path); built inside the send's argument
+                // list it would live to the end of the full statement.
+                let subscriptions = {
+                    let engine = self.engine.read();
+                    engine.subscription_count() as u64
+                };
+                let frame = BrokerToClient::Stats {
+                    published: self.stats.published.load(Ordering::Relaxed),
+                    forwarded: self.stats.forwarded.load(Ordering::Relaxed),
+                    delivered: self.stats.delivered.load(Ordering::Relaxed),
+                    errors: self.stats.errors.load(Ordering::Relaxed),
+                    subscriptions,
+                    spooled: self.stats.spooled.load(Ordering::Relaxed),
+                    retransmitted: self.stats.retransmitted.load(Ordering::Relaxed),
+                    dropped_spool_overflow: self
+                        .stats
+                        .dropped_spool_overflow
+                        .load(Ordering::Relaxed),
+                    protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+                }
+                .encode();
+                self.outbox.send(conn, frame);
             }
         }
     }
@@ -1092,6 +1118,17 @@ impl EngineLoop {
     /// An inbound `Forward`: dedup against the per-neighbor receive window,
     /// pace a cumulative `FwdAck` back, then route.
     fn handle_forward(&mut self, conn: ConnId, tree: TreeId, seq: u64, event: Event, body: Bytes) {
+        // The tree id arrives as a raw index; an out-of-range value from a
+        // corrupt or hostile peer would panic deep inside the matching
+        // engine's per-tree tables. Treat it like any other undecodable
+        // frame: count it and cut the link.
+        if tree.index() >= self.config.fabric.forest().len() {
+            self.protocol_error_disconnect(
+                conn,
+                format!("forward on unknown spanning tree {}", tree.index()),
+            );
+            return;
+        }
         {
             let Some(Peer::Broker(broker)) = self.conns.get(&conn) else {
                 // Not a registered broker peer — most likely an old stream
@@ -1129,9 +1166,13 @@ impl EngineLoop {
     /// [`Command::Routed`]; otherwise everything happens inline, in arrival
     /// order.
     fn route_and_dispatch(&mut self, event: Event, tree: TreeId, body: Bytes) {
-        if !self.shard_txs.is_empty() {
-            let shard = event.schema().id().raw() as usize % self.shard_txs.len();
-            let _ = self.shard_txs[shard].send(MatchJob { event, tree, body });
+        if let Some(tx) = {
+            let shards = self.shard_txs.len();
+            (shards > 0).then(|| event.schema().id().raw() as usize % shards)
+        }
+        .and_then(|shard| self.shard_txs.get(shard))
+        {
+            let _ = tx.send(MatchJob { event, tree, body });
             return;
         }
         let mut stats = MatchStats::new();
@@ -1139,7 +1180,9 @@ impl EngineLoop {
             self.engine
                 .read()
                 .route_parallel(&event, tree, self.config.match_threads, &mut stats);
-        *self.match_stats[0].lock() += stats;
+        if let Some(shard_stats) = self.match_stats.first() {
+            *shard_stats.lock() += stats;
+        }
         self.dispatch(&event, tree, &body, links);
     }
 
@@ -1222,7 +1265,14 @@ impl EngineLoop {
     /// instead of resurrecting subscriptions removed while the link was
     /// down.
     fn resync_subscriptions(&self, conn: ConnId) {
-        for (schema, subscription) in self.engine.read().all_subscriptions() {
+        // Snapshot under the read guard, then send with the guard dropped:
+        // outbox sends while holding `engine` would stall the matching
+        // shards behind a transport hiccup.
+        let subscriptions = {
+            let engine = self.engine.read();
+            engine.all_subscriptions()
+        };
+        for (schema, subscription) in subscriptions {
             self.outbox.send(
                 conn,
                 BrokerToBroker::SubAdd {

@@ -69,6 +69,8 @@ pub struct NodeCounters {
     pub retransmitted: u64,
     /// Spooled frames dropped unacknowledged to a spool bound.
     pub dropped_spool_overflow: u64,
+    /// Undecodable frames that cost their sender the connection.
+    pub protocol_errors: u64,
 }
 
 /// A connected pub/sub client.
@@ -278,6 +280,7 @@ impl Client {
                     spooled,
                     retransmitted,
                     dropped_spool_overflow,
+                    protocol_errors,
                 } => {
                     return Ok(NodeCounters {
                         published,
@@ -288,6 +291,7 @@ impl Client {
                         spooled,
                         retransmitted,
                         dropped_spool_overflow,
+                        protocol_errors,
                     })
                 }
                 BrokerToClient::Deliver { seq, event } => {

@@ -96,7 +96,10 @@ impl MatchingEngine {
         let Some(schema) = self.subscription_schema.remove(&id) else {
             return false;
         };
-        self.engines[schema.index()].unsubscribe(id)
+        match self.engines.get_mut(schema.index()) {
+            Some(engine) => engine.unsubscribe(id),
+            None => false,
+        }
     }
 
     /// Whether a subscription id is registered (used to stop control-plane
@@ -140,7 +143,7 @@ impl MatchingEngine {
     /// Looks up a registered subscription.
     pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
         let schema = self.subscription_schema.get(&id)?;
-        self.engines[schema.index()].subscription(id)
+        self.engines.get(schema.index())?.subscription(id)
     }
 
     /// Every registered subscription with its information space — the
@@ -151,7 +154,8 @@ impl MatchingEngine {
             .subscription_schema
             .iter()
             .filter_map(|(id, schema)| {
-                self.engines[schema.index()]
+                self.engines
+                    .get(schema.index())?
                     .subscription(*id)
                     .map(|s| (*schema, s.clone()))
             })

@@ -27,9 +27,6 @@
 //! See [`BrokerNode`] and [`Client`] for a runnable two-broker setup, and
 //! the `tcp_cluster` example for a full network.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod broker;
 mod client;
 mod control;

@@ -254,6 +254,65 @@ mod tests {
     }
 
     #[test]
+    fn ack_beyond_send_seq_clamps_and_later_appends_stay_replayable() {
+        // A corrupt or hostile peer acks past everything ever sent; the
+        // clamp must not swallow entries appended afterwards.
+        let mut spool: AckLog<u8> = AckLog::new();
+        spool.append(1);
+        spool.append(2);
+        spool.ack(u64::MAX);
+        assert_eq!(spool.acked(), 2);
+        spool.collect();
+        assert_eq!(spool.append(3), 3);
+        let replay: Vec<u64> = spool.replay_after(spool.acked()).map(|(s, _)| s).collect();
+        assert_eq!(replay, vec![3]);
+    }
+
+    #[test]
+    fn trim_to_empty_then_retransmit_resumes_the_sequence() {
+        // A fully-acknowledged spool goes empty; the reconnect handshake
+        // (ack + collect + replay) must then hand back exactly the frames
+        // appended after the trim, numbered contiguously.
+        let mut spool: AckLog<u8> = AckLog::new();
+        for i in 1..=4 {
+            spool.append(i);
+        }
+        spool.ack(4);
+        assert_eq!(spool.collect(), 4);
+        assert!(spool.is_empty());
+        assert!(spool.replay_after(spool.acked()).next().is_none());
+        assert_eq!(spool.append(5), 5);
+        assert_eq!(spool.append(6), 6);
+        let replay: Vec<(u64, u8)> = spool
+            .replay_after(spool.acked())
+            .map(|(s, f)| (s, *f))
+            .collect();
+        assert_eq!(replay, vec![(5, 5), (6, 6)]);
+    }
+
+    #[test]
+    fn overflow_drop_interleaved_with_cumulative_ack() {
+        // The overflow bound fires while a cumulative ack covering part of
+        // the dropped range is in flight: the late ack must not regress the
+        // floor, and the loss counter must only count unacknowledged drops.
+        let mut spool: AckLog<u8> = AckLog::new();
+        for i in 1..=10 {
+            spool.append(i);
+        }
+        spool.ack(3); // the peer acknowledged 1..=3 before the overflow
+        spool.enforce_bound(4);
+        // 1..=3 were reclaimed for free; 4..=6 were dropped unacknowledged.
+        assert_eq!(spool.len(), 4);
+        assert_eq!(spool.lost(), 3);
+        assert_eq!(spool.acked(), 6);
+        // A stale ack below the new floor is a no-op.
+        spool.ack(5);
+        assert_eq!(spool.acked(), 6);
+        let replay: Vec<u64> = spool.replay_after(spool.acked()).map(|(s, _)| s).collect();
+        assert_eq!(replay, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
     fn generic_payloads_spool_frames() {
         // The link spool instantiation: raw frame bytes instead of events.
         let mut spool: AckLog<Vec<u8>> = AckLog::new();

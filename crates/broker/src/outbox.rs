@@ -69,7 +69,11 @@ impl Outbox {
     /// Creates the outbox and spawns `senders` pool threads, each draining
     /// up to `drain_batch` frames per connection turn. Dead connections are
     /// announced on the returned receiver's sender side.
-    pub(crate) fn new(senders: usize, drain_batch: usize, dead_tx: Sender<ConnId>) -> Arc<Outbox> {
+    pub(crate) fn new(
+        senders: usize,
+        drain_batch: usize,
+        dead_tx: Sender<ConnId>,
+    ) -> io::Result<Arc<Outbox>> {
         assert!(senders > 0, "at least one sender thread required");
         let (work_tx, work_rx) = unbounded::<Arc<Conn>>();
         let outbox = Arc::new(Outbox {
@@ -87,12 +91,11 @@ impl Outbox {
                 .name(format!("sender-{i}"))
                 .spawn(move || {
                     for conn in rx.iter() {
-                        ob.drain(&conn);
+                        ob.drain_conn(&conn);
                     }
-                })
-                .expect("spawning sender threads succeeds");
+                })?;
         }
-        outbox
+        Ok(outbox)
     }
 
     /// Registers a connection.
@@ -178,6 +181,7 @@ impl Outbox {
     fn schedule(&self, conn: Arc<Conn>) {
         if !conn.draining.swap(true, Ordering::AcqRel) {
             if let Some(tx) = self.work_tx.lock().as_ref() {
+                // analyzer:allow(hold-across-blocking): unbounded channel, the send never blocks
                 let _ = tx.send(conn);
             }
         }
@@ -208,7 +212,7 @@ impl Outbox {
     /// Drains one connection's queue to its sink in bounded batches (runs
     /// on a pool thread; the `draining` flag guarantees exclusive sink
     /// access).
-    fn drain(&self, conn: &Arc<Conn>) {
+    fn drain_conn(&self, conn: &Arc<Conn>) {
         loop {
             let batch: Vec<Bytes> = {
                 let mut q = conn.queue.lock();
@@ -248,6 +252,7 @@ impl Outbox {
             // connections' queues get a turn on this thread.
             if !conn.queue.lock().is_empty() {
                 if let Some(tx) = self.work_tx.lock().as_ref() {
+                    // analyzer:allow(hold-across-blocking): unbounded channel, the send never blocks
                     let _ = tx.send(Arc::clone(conn));
                     return;
                 }
@@ -264,14 +269,17 @@ fn write_vectored_all(stream: &mut impl Write, batch: &[Bytes]) -> io::Result<()
     let mut idx = 0; // first buffer not fully written
     let mut off = 0; // bytes of batch[idx] already written
     while idx < batch.len() {
-        let slices: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&batch[idx][off..]))
-            .chain(batch[idx + 1..].iter().map(|b| IoSlice::new(b)))
-            .collect();
+        // analyzer:allow(index): idx < batch.len() is the loop condition, off < batch[idx].len() its invariant
+        let first = IoSlice::new(&batch[idx][off..]);
+        // analyzer:allow(index): idx + 1 <= batch.len(), so the tail slice is at worst empty
+        let rest = batch[idx + 1..].iter().map(|b| IoSlice::new(b));
+        let slices: Vec<IoSlice<'_>> = std::iter::once(first).chain(rest).collect();
         let mut n = stream.write_vectored(&slices)?;
         if n == 0 {
             return Err(io::ErrorKind::WriteZero.into());
         }
         while idx < batch.len() {
+            // analyzer:allow(index): idx < batch.len() is the loop condition
             let remaining = batch[idx].len() - off;
             if n >= remaining {
                 n -= remaining;
@@ -294,7 +302,7 @@ mod tests {
     #[test]
     fn frames_arrive_in_order_per_connection() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(4, DRAIN_BATCH, dead_tx);
+        let outbox = Outbox::new(4, DRAIN_BATCH, dead_tx).unwrap();
         let (tx, rx) = unbounded::<Bytes>();
         outbox.register(1, Sink::Chan(tx));
         for i in 0..100u8 {
@@ -311,7 +319,7 @@ mod tests {
     #[test]
     fn many_connections_share_the_pool() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(2, DRAIN_BATCH, dead_tx);
+        let outbox = Outbox::new(2, DRAIN_BATCH, dead_tx).unwrap();
         let mut receivers = Vec::new();
         for id in 0..20u64 {
             let (tx, rx) = unbounded::<Bytes>();
@@ -333,7 +341,7 @@ mod tests {
     #[test]
     fn send_many_shares_one_buffer_across_links() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(2, DRAIN_BATCH, dead_tx);
+        let outbox = Outbox::new(2, DRAIN_BATCH, dead_tx).unwrap();
         let mut receivers = Vec::new();
         for id in 0..8u64 {
             let (tx, rx) = unbounded::<Bytes>();
@@ -353,7 +361,7 @@ mod tests {
     #[test]
     fn queue_depth_returns_to_zero_after_drain() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx);
+        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
         let (tx, rx) = unbounded::<Bytes>();
         outbox.register(1, Sink::Chan(tx));
         // 3 * DRAIN_BATCH frames exercises the bounded-batch path.
@@ -406,7 +414,7 @@ mod tests {
     #[test]
     fn dead_peers_are_reported_once_and_dropped() {
         let (dead_tx, dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx);
+        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
         let (tx, rx) = unbounded::<Bytes>();
         outbox.register(7, Sink::Chan(tx));
         drop(rx); // peer hangs up
@@ -420,7 +428,7 @@ mod tests {
     #[test]
     fn unregistered_connections_drop_frames() {
         let (dead_tx, dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx);
+        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
         outbox.send(99, Bytes::from_static(b"x"));
         assert!(dead_rx.recv_timeout(Duration::from_millis(50)).is_err());
 

@@ -6,6 +6,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use linkcast::TreeId;
+use linkcast_types::wire::FrameTag;
 use linkcast_types::{
     wire, BrokerId, ClientId, Event, SchemaId, SchemaRegistry, Subscription, SubscriptionId,
 };
@@ -133,6 +134,8 @@ pub enum BrokerToClient {
         retransmitted: u64,
         /// Spooled frames dropped unacknowledged by the spool bound.
         dropped_spool_overflow: u64,
+        /// Undecodable frames that cost their sender the connection.
+        protocol_errors: u64,
     },
 }
 
@@ -199,25 +202,28 @@ pub enum BrokerToBroker {
     },
 }
 
-const C2B_HELLO: u8 = 0x01;
-const C2B_SUBSCRIBE: u8 = 0x02;
-const C2B_UNSUBSCRIBE: u8 = 0x03;
-const C2B_PUBLISH: u8 = 0x04;
-const C2B_ACK: u8 = 0x05;
-const C2B_STATS: u8 = 0x06;
+// Tag bytes are owned by `FrameTag` in `linkcast_types::wire` — the consts
+// below only bind local names; `cargo xtask check` verifies that every
+// variant is bound, encoded, and decoded here.
+const C2B_HELLO: u8 = FrameTag::ClientHello as u8;
+const C2B_SUBSCRIBE: u8 = FrameTag::Subscribe as u8;
+const C2B_UNSUBSCRIBE: u8 = FrameTag::Unsubscribe as u8;
+const C2B_PUBLISH: u8 = FrameTag::Publish as u8;
+const C2B_ACK: u8 = FrameTag::Ack as u8;
+const C2B_STATS: u8 = FrameTag::StatsRequest as u8;
 
-const B2C_WELCOME: u8 = 0x11;
-const B2C_DELIVER: u8 = 0x12;
-const B2C_SUBACK: u8 = 0x13;
-const B2C_UNSUBACK: u8 = 0x14;
-const B2C_ERROR: u8 = 0x15;
-const B2C_STATS: u8 = 0x16;
+const B2C_WELCOME: u8 = FrameTag::Welcome as u8;
+const B2C_DELIVER: u8 = FrameTag::Deliver as u8;
+const B2C_SUBACK: u8 = FrameTag::SubAck as u8;
+const B2C_UNSUBACK: u8 = FrameTag::UnsubAck as u8;
+const B2C_ERROR: u8 = FrameTag::Error as u8;
+const B2C_STATS: u8 = FrameTag::Stats as u8;
 
-const B2B_HELLO: u8 = 0x21;
-const B2B_FORWARD: u8 = 0x22;
-const B2B_SUBADD: u8 = 0x23;
-const B2B_SUBREMOVE: u8 = 0x24;
-const B2B_FWDACK: u8 = 0x25;
+const B2B_HELLO: u8 = FrameTag::BrokerHello as u8;
+const B2B_FORWARD: u8 = FrameTag::Forward as u8;
+const B2B_SUBADD: u8 = FrameTag::SubAdd as u8;
+const B2B_SUBREMOVE: u8 = FrameTag::SubRemove as u8;
+const B2B_FWDACK: u8 = FrameTag::FwdAck as u8;
 
 fn frame(payload: BytesMut) -> Bytes {
     let mut out = BytesMut::with_capacity(payload.len() + 4);
@@ -410,6 +416,7 @@ impl BrokerToClient {
                 spooled,
                 retransmitted,
                 dropped_spool_overflow,
+                protocol_errors,
             } => {
                 b.put_u8(B2C_STATS);
                 b.put_u64_le(*published);
@@ -420,6 +427,7 @@ impl BrokerToClient {
                 b.put_u64_le(*spooled);
                 b.put_u64_le(*retransmitted);
                 b.put_u64_le(*dropped_spool_overflow);
+                b.put_u64_le(*protocol_errors);
             }
         }
         frame(b)
@@ -474,7 +482,7 @@ impl BrokerToClient {
                 message: wire::get_str(buf)?,
             }),
             B2C_STATS => {
-                if buf.remaining() < 64 {
+                if buf.remaining() < 72 {
                     return Err(ProtocolError::Malformed("short stats".into()));
                 }
                 Ok(BrokerToClient::Stats {
@@ -486,6 +494,7 @@ impl BrokerToClient {
                     spooled: buf.get_u64_le(),
                     retransmitted: buf.get_u64_le(),
                     dropped_spool_overflow: buf.get_u64_le(),
+                    protocol_errors: buf.get_u64_le(),
                 })
             }
             tag => Err(ProtocolError::Malformed(format!(
@@ -697,6 +706,7 @@ mod tests {
                 spooled: 6,
                 retransmitted: 7,
                 dropped_spool_overflow: 8,
+                protocol_errors: 9,
             },
         ];
         for m in messages {

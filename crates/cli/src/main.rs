@@ -217,6 +217,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         "  dropped_spool_overflow: {}",
         counters.dropped_spool_overflow
     );
+    println!("  protocol_errors:        {}", counters.protocol_errors);
     Ok(())
 }
 

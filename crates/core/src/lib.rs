@@ -67,9 +67,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod baselines;
 mod engine;
 mod error;

@@ -51,9 +51,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod compact;
 mod dot;
 mod gating;

@@ -42,9 +42,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod covering;
 mod error;
 mod event;

@@ -27,6 +27,57 @@ const TEST_GT: u8 = 4;
 const TEST_GE: u8 = 5;
 const TEST_BETWEEN: u8 = 6;
 
+/// Every frame tag in the broker protocols, in one place.
+///
+/// This enum is the single source of truth for the one-byte message tags
+/// that lead each frame payload. The codec in `crates/broker/src/protocol.rs`
+/// binds a tag const to each variant (`const X: u8 = FrameTag::V as u8;`),
+/// and `cargo xtask check` verifies that every variant is bound, encoded,
+/// decoded, and dispatched — adding a variant here without wiring it
+/// through fails the build gate rather than silently dropping traffic.
+///
+/// Tag ranges encode the direction: `0x01..=0x0f` client → broker,
+/// `0x11..=0x1f` broker → client, `0x21..=0x2f` broker ↔ broker. The
+/// broker's frame demultiplexer relies on these ranges.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameTag {
+    /// Client session hello / resume (client → broker).
+    ClientHello = 0x01,
+    /// Subscription registration (client → broker).
+    Subscribe = 0x02,
+    /// Subscription removal (client → broker).
+    Unsubscribe = 0x03,
+    /// Event publication (client → broker).
+    Publish = 0x04,
+    /// Cumulative delivery acknowledgment (client → broker).
+    Ack = 0x05,
+    /// Counter-snapshot request (client → broker).
+    StatsRequest = 0x06,
+    /// Session accepted (broker → client).
+    Welcome = 0x11,
+    /// Matched-event delivery (broker → client).
+    Deliver = 0x12,
+    /// Subscription registered (broker → client).
+    SubAck = 0x13,
+    /// Subscription removed (broker → client).
+    UnsubAck = 0x14,
+    /// Request failed (broker → client).
+    Error = 0x15,
+    /// Counter snapshot (broker → client).
+    Stats = 0x16,
+    /// Link handshake / resync (broker ↔ broker).
+    BrokerHello = 0x21,
+    /// Event in flight along a spanning tree (broker ↔ broker).
+    Forward = 0x22,
+    /// Flooded subscription registration (broker ↔ broker).
+    SubAdd = 0x23,
+    /// Flooded subscription removal (broker ↔ broker).
+    SubRemove = 0x24,
+    /// Cumulative `Forward` acknowledgment (broker ↔ broker).
+    FwdAck = 0x25,
+}
+
 fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
     if buf.remaining() < n {
         Err(Error::Decode(format!(

@@ -17,9 +17,6 @@
 //! are implemented here directly on top of [`rand`] (the approved dependency
 //! set has no `rand_distr`).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod arrivals;
 mod config;
 mod events;

@@ -1,0 +1,21 @@
+// Seeded hot-path panic violations for `cargo xtask selftest`. Not
+// compiled — only parsed by the analyzer.
+
+fn hot(x: Option<u8>, v: &[u8]) -> u8 {
+    let a = x.unwrap(); // seeded: hot-path unwrap
+    let b = v[0]; // seeded: hot-path indexing
+    if a == 0 {
+        panic!("boom"); // seeded: hot-path panic
+    }
+    // analyzer:allow(panic): fixture proves the escape hatch suppresses this
+    let c = x.expect("allowed by the comment above");
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        None::<u8>.unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+// Seeded lock-order violations for `cargo xtask selftest`. Not compiled —
+// only parsed by the analyzer.
+
+struct Fixture;
+
+impl Fixture {
+    /// Follows the declared order `a` → `b`: must NOT be flagged.
+    fn fine(&self) {
+        let g = self.a.lock();
+        self.b.lock().push(1);
+        g.touch();
+    }
+
+    /// Acquires `a` while holding `b`: the seeded lock-order cycle.
+    fn backwards(&self) {
+        let g = self.b.lock();
+        self.a.lock().len();
+        g.touch();
+    }
+
+    /// Sends on a channel while a guard is live: hold-across-blocking.
+    fn blocky(&self) {
+        let g = self.a.lock();
+        self.tx.send(1);
+        g.touch();
+    }
+}

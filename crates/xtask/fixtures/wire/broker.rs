@@ -1,0 +1,12 @@
+// Part of the seeded wire fixture: ClientToBroker::Data is decoded but has
+// no dispatch arm here.
+
+fn dispatch(msg: ClientToBroker, peer: BrokerToBroker) {
+    match msg {
+        ClientToBroker::Ping => {}
+        _ => {}
+    }
+    match peer {
+        BrokerToBroker::Pong => {}
+    }
+}

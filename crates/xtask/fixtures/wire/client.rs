@@ -1,0 +1,8 @@
+// Part of the seeded wire fixture: the broker→client side is fully
+// dispatched (only the other files carry seeded violations).
+
+fn dispatch(msg: BrokerToClient) {
+    match msg {
+        BrokerToClient::Pong => {}
+    }
+}

@@ -1,0 +1,31 @@
+// Part of the seeded wire fixture: T_DATA is decoded but never encoded,
+// and FrameTag::Orphan has no const at all.
+
+const T_PING: u8 = FrameTag::Ping as u8;
+const T_PONG: u8 = FrameTag::Pong as u8;
+const T_DATA: u8 = FrameTag::Data as u8;
+
+pub enum ClientToBroker {
+    Ping,
+    Data,
+}
+pub enum BrokerToBroker {
+    Pong,
+}
+pub enum BrokerToClient {
+    Pong,
+}
+
+fn encode(out: &mut Vec<u8>) {
+    out.put_u8(T_PING);
+    out.put_u8(T_PONG);
+}
+
+fn decode(tag: u8) {
+    match tag {
+        T_PING => (),
+        T_PONG => (),
+        T_DATA => (),
+        _ => (),
+    }
+}

@@ -1,0 +1,10 @@
+// Seeded wire-exhaustiveness violations for `cargo xtask selftest`. Not
+// compiled — only parsed by the analyzer.
+
+#[repr(u8)]
+pub enum FrameTag {
+    Ping = 0x01,
+    Pong = 0x02,
+    Data = 0x03,
+    Orphan = 0x04, // seeded: no tag const binds this variant
+}

@@ -1,0 +1,663 @@
+//! Pass 1: lock-order analysis.
+//!
+//! Finds every `Mutex`/`RwLock` acquisition (`.lock()`, `.read()`,
+//! `.write()` with empty argument lists), models how long each guard lives
+//! using Rust's temporary-scope rules, and builds the may-hold-while-
+//! acquiring graph — including locks taken transitively through calls to
+//! functions defined in the analyzed set. The graph must respect the
+//! hierarchy declared in `docs/LOCK_ORDER.md`, and no guard may be live
+//! across a blocking operation (socket writes, channel sends, joins).
+//!
+//! Guard lifetime model (edition-2021 temporary scopes):
+//! - `if COND {` / `while COND {` — the condition is a terminating scope:
+//!   a guard temporary dies before the block runs.
+//! - `if let P = SCRUT {` / `while let` / `match SCRUT {` / `for P in EXPR
+//!   {` — scrutinee temporaries live through the whole block.
+//! - `let g = x.lock();` — the binding holds the guard to the end of the
+//!   enclosing block (or an explicit `drop(g)`).
+//! - `let v = x.lock().get();` and plain expression statements — the guard
+//!   is a temporary dropped at the `;`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Tok;
+use crate::source::{matching_brace, SourceFile};
+use crate::Finding;
+
+/// Methods that can block while a lock guard is live. `write` doubles as
+/// the `RwLock` acquisition method, so it only counts as blocking when
+/// called with arguments (`stream.write(buf)` vs `rwlock.write()`).
+const BLOCKING: &[&str] = &[
+    "send",
+    "send_timeout",
+    "recv",
+    "recv_timeout",
+    "write",
+    "write_all",
+    "write_vectored",
+    "flush",
+    "connect",
+    "join",
+    "sleep",
+];
+
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
+    "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
+    "self", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// The declared lock hierarchy from `docs/LOCK_ORDER.md`.
+pub struct Hierarchy {
+    /// Canonical lock names, outermost first.
+    order: Vec<String>,
+    /// Alias → canonical name.
+    aliases: BTreeMap<String, String>,
+}
+
+impl Hierarchy {
+    /// Parses the hierarchy document. Each numbered list item declares one
+    /// lock: the first backticked word is the canonical name; any further
+    /// backticked words on an `aliases:` clause of the same line are
+    /// aliases for it.
+    pub fn parse(md: &str) -> Result<Hierarchy, String> {
+        let mut order = Vec::new();
+        let mut aliases = BTreeMap::new();
+        for line in md.lines() {
+            let t = line.trim_start();
+            let Some(rest) = t
+                .split_once(". ")
+                .filter(|(n, _)| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
+                .map(|(_, r)| r)
+            else {
+                continue;
+            };
+            let names: Vec<&str> = backticked(rest);
+            let Some((canon, rest_names)) = names.split_first() else {
+                return Err(format!("numbered entry without a `lock name`: {t}"));
+            };
+            let alias_names: &[&str] = if rest.contains("aliases:") {
+                rest_names
+            } else {
+                &[]
+            };
+            for a in alias_names {
+                aliases.insert(a.to_string(), canon.to_string());
+            }
+            order.push(canon.to_string());
+        }
+        if order.is_empty() {
+            return Err("no numbered lock entries found in hierarchy doc".into());
+        }
+        Ok(Hierarchy { order, aliases })
+    }
+
+    /// Resolves a source-level receiver name to its canonical lock name.
+    fn canon<'a>(&'a self, name: &'a str) -> Option<&'a str> {
+        if self.order.iter().any(|o| o == name) {
+            return Some(name);
+        }
+        self.aliases.get(name).map(String::as_str)
+    }
+
+    fn rank(&self, canon: &str) -> usize {
+        self.order
+            .iter()
+            .position(|o| o == canon)
+            .unwrap_or(usize::MAX)
+    }
+}
+
+fn backticked(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        out.push(&after[..close]);
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+/// One acquisition site: `name.lock()` at token index `site`.
+struct Acq {
+    /// Receiver name as written (pre-alias).
+    raw_name: String,
+    /// Token index of the `lock`/`read`/`write` ident.
+    site: usize,
+    line: u32,
+    /// Token index one past the last token while the guard may be live.
+    live_end: usize,
+}
+
+/// Per-function summary used for interprocedural edges.
+#[derive(Default, Clone)]
+struct Summary {
+    /// Canonical locks acquired anywhere in the function (transitively).
+    locks: BTreeSet<String>,
+    /// Names of analyzed-set functions this one calls.
+    calls: BTreeSet<String>,
+}
+
+/// Runs the lock pass over the analyzed files.
+pub fn check(files: &[SourceFile], hierarchy: &Hierarchy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // First pass: acquisition sites and per-function summaries.
+    let mut acqs: Vec<Vec<Acq>> = Vec::new();
+    let mut summaries: BTreeMap<String, Summary> = BTreeMap::new();
+    let defined: BTreeSet<String> = files
+        .iter()
+        .flat_map(|f| f.functions.iter().map(|fun| fun.name.clone()))
+        .collect();
+    for file in files {
+        let file_acqs = find_acquisitions(file);
+        for fun in &file.functions {
+            let s = summaries.entry(fun.name.clone()).or_default();
+            for a in &file_acqs {
+                if a.site >= fun.body.0 && a.site < fun.body.1 {
+                    if let Some(c) = hierarchy.canon(&a.raw_name) {
+                        s.locks.insert(c.to_string());
+                    }
+                }
+            }
+            for (name, _) in calls_in(file.toks(), fun.body) {
+                // Blocking-named methods (`send`, `recv`, ...) are almost
+                // always channel operations; attributing a same-named
+                // analyzed function's locks to them would drown the graph
+                // in false merges. Guards live across such calls are
+                // caught by the hold-across-blocking rule instead.
+                if defined.contains(&name) && !BLOCKING.contains(&name.as_str()) {
+                    s.calls.insert(name);
+                }
+            }
+        }
+        acqs.push(file_acqs);
+    }
+
+    // Fixpoint: propagate locks through the (name-keyed) call graph.
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = summaries.keys().cloned().collect();
+        for name in names {
+            let callee_locks: BTreeSet<String> = summaries[&name]
+                .calls
+                .iter()
+                .filter_map(|c| summaries.get(c))
+                .flat_map(|s| s.locks.iter().cloned())
+                .collect();
+            let s = summaries.get_mut(&name).expect("summary exists");
+            let before = s.locks.len();
+            s.locks.extend(callee_locks);
+            changed |= s.locks.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Second pass: edges and blocking ops inside each guard's live range.
+    for (file, file_acqs) in files.iter().zip(&acqs) {
+        let toks = file.toks();
+        for a in file_acqs {
+            let Some(holder) = hierarchy.canon(&a.raw_name) else {
+                if !file.lexed.allowed("undeclared-lock", a.line) {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: a.line,
+                        rule: "undeclared-lock".into(),
+                        message: format!(
+                            "`{}` is locked here but not declared in docs/LOCK_ORDER.md",
+                            a.raw_name
+                        ),
+                    });
+                }
+                continue;
+            };
+            let holder_rank = hierarchy.rank(holder);
+
+            let mut check_edge = |inner: &str, line: u32, via: Option<&str>| {
+                if hierarchy.rank(inner) <= holder_rank
+                    && !file.lexed.allowed("lock-order", line)
+                    && !file.lexed.allowed("lock-order", a.line)
+                {
+                    let via = via
+                        .map(|f| format!(" (via call to `{f}`)"))
+                        .unwrap_or_default();
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: "lock-order".into(),
+                        message: format!(
+                            "`{inner}` acquired while holding `{holder}`{via} violates the \
+                             declared order (see docs/LOCK_ORDER.md)"
+                        ),
+                    });
+                }
+            };
+
+            // Direct nested acquisitions.
+            for b in file_acqs {
+                if b.site > a.site && b.site < a.live_end {
+                    if let Some(inner) = hierarchy.canon(&b.raw_name) {
+                        check_edge(inner, b.line, None);
+                    }
+                }
+            }
+            // Transitive acquisitions through calls to analyzed functions
+            // (blocking-named calls are the blocking rule's business).
+            for (name, tok) in calls_in(toks, (a.site + 1, a.live_end)) {
+                if BLOCKING.contains(&name.as_str()) {
+                    continue;
+                }
+                if let Some(s) = summaries.get(&name) {
+                    for inner in &s.locks {
+                        check_edge(inner, toks[tok].line, Some(&name));
+                    }
+                }
+            }
+            // Blocking operations while the guard is live.
+            for (op, line) in blocking_in(toks, (a.site + 1, a.live_end))
+                .into_iter()
+                .chain(blocking_enclosing_call(toks, a.site))
+            {
+                if !file.lexed.allowed("hold-across-blocking", line)
+                    && !file.lexed.allowed("hold-across-blocking", a.line)
+                {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: "hold-across-blocking".into(),
+                        message: format!(
+                            "`{holder}` guard (taken line {}) is live across blocking `{op}()`",
+                            a.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Finds every `name.lock()` / `name.read()` / `name.write()` site outside
+/// test code and computes the guard's live token range.
+fn find_acquisitions(file: &SourceFile) -> Vec<Acq> {
+    let toks = file.toks();
+    let mut out = Vec::new();
+    for i in 2..toks.len() {
+        let is_acq_method = matches!(toks[i].ident(), Some("lock" | "read" | "write"));
+        if !is_acq_method
+            || !toks[i - 1].is_punct('.')
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            || file.in_test(i)
+        {
+            continue;
+        }
+        let Some(raw_name) = receiver_name(toks, i - 2) else {
+            continue;
+        };
+        let live_end = guard_live_end(toks, i);
+        out.push(Acq {
+            raw_name,
+            site: i,
+            line: toks[i].line,
+            live_end,
+        });
+    }
+    out
+}
+
+/// The receiver's final field/variable name: `self.conns` → `conns`,
+/// `shard_stats[shard]` → `shard_stats`, `inner().x` → `x`.
+fn receiver_name(toks: &[Tok], mut j: usize) -> Option<String> {
+    // Skip a trailing index expression.
+    while toks.get(j).is_some_and(|t| t.is_punct(']')) {
+        let mut depth = 0i32;
+        loop {
+            if toks[j].is_punct(']') {
+                depth += 1;
+            } else if toks[j].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    toks.get(j)?.ident().map(str::to_string)
+}
+
+/// One past the last token index at which the guard from the acquisition at
+/// `site` may still be held.
+fn guard_live_end(toks: &[Tok], site: usize) -> usize {
+    let stmt_start = statement_start(toks, site);
+    let block_end = enclosing_block_end(toks, stmt_start);
+
+    // Classify the statement by its leading keywords.
+    let kw = toks[stmt_start].ident();
+    let kw2 = toks.get(stmt_start + 1).and_then(|t| t.ident());
+    match (kw, kw2) {
+        (Some("if" | "while"), Some("let")) | (Some("match" | "for"), _) => {
+            // Scrutinee/iterator temporaries live through the whole block.
+            match body_open(toks, stmt_start, block_end) {
+                Some(open) if open > site => matching_brace(toks, open) + 1,
+                // Acquisition is inside the body, not the scrutinee: it is
+                // its own statement; fall back to the `;`.
+                _ => statement_end(toks, site, block_end),
+            }
+        }
+        (Some("if" | "while"), _) => {
+            // Plain condition: terminating scope — the guard dies at `{`.
+            match body_open(toks, stmt_start, block_end) {
+                Some(open) if open > site => open,
+                _ => statement_end(toks, site, block_end),
+            }
+        }
+        (Some("let"), _) => {
+            // Binding holds the guard only if the acquisition call is the
+            // whole tail of the initializer: `.lock ( ) ;`.
+            if toks.get(site + 3).is_some_and(|t| t.is_punct(';')) {
+                let name_idx = if toks[stmt_start + 1].is_ident("mut") {
+                    stmt_start + 2
+                } else {
+                    stmt_start + 1
+                };
+                let bound = toks[name_idx].ident().unwrap_or_default();
+                drop_site(toks, bound, site + 4, block_end).unwrap_or(block_end)
+            } else {
+                statement_end(toks, site, block_end)
+            }
+        }
+        _ => statement_end(toks, site, block_end),
+    }
+}
+
+/// Token index of the start of the statement containing `site`: one past
+/// the previous `;`, `{`, or `}` at the same bracket depth.
+fn statement_start(toks: &[Tok], site: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = site;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 {
+                return j; // inside an argument list: treat the list start
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            return j;
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// End (exclusive) of the statement containing `site`: one past the next
+/// `;` at bracket depth 0, bounded by the enclosing block.
+fn statement_end(toks: &[Tok], site: usize, block_end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = site;
+    while j < block_end.min(toks.len()) {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth <= 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    block_end
+}
+
+/// Index one past the closing brace of the innermost block containing
+/// `pos` (scans backward for the unmatched `{`).
+fn enclosing_block_end(toks: &[Tok], pos: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = pos;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('{') {
+            if depth == 0 {
+                return matching_brace(toks, j - 1) + 1;
+            }
+            depth -= 1;
+        }
+        j -= 1;
+    }
+    toks.len()
+}
+
+/// The `{` opening the body of a control-flow statement starting at
+/// `stmt_start` (first `{` at paren/bracket depth 0).
+fn body_open(toks: &[Tok], stmt_start: usize, block_end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(block_end).skip(stmt_start) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return Some(j);
+        } else if t.is_punct(';') && depth == 0 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Finds `drop ( name )` after `from`, returning the index past it.
+fn drop_site(toks: &[Tok], name: &str, from: usize, block_end: usize) -> Option<usize> {
+    (from..block_end.min(toks.len()).saturating_sub(3)).find(|&j| {
+        toks[j].is_ident("drop")
+            && toks[j + 1].is_punct('(')
+            && toks[j + 2].is_ident(name)
+            && toks[j + 3].is_punct(')')
+    })
+}
+
+/// Method/function calls in a token range: `(name, index_of_name)`.
+/// Macros (`name!`) and definitions (`fn name`) are excluded.
+fn calls_in(toks: &[Tok], range: (usize, usize)) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for j in range.0..range.1.min(toks.len()).saturating_sub(1) {
+        let Some(name) = toks[j].ident() else {
+            continue;
+        };
+        if KEYWORDS.contains(&name) || !toks[j + 1].is_punct('(') {
+            continue;
+        }
+        if j > 0 && (toks[j - 1].is_ident("fn") || toks[j - 1].is_punct('!')) {
+            continue;
+        }
+        out.push((name.to_string(), j));
+    }
+    out
+}
+
+/// Blocking method calls in a token range: `(name, line)`.
+fn blocking_in(toks: &[Tok], range: (usize, usize)) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for j in range.0..range.1.min(toks.len()).saturating_sub(1) {
+        let Some(name) = toks[j].ident() else {
+            continue;
+        };
+        if !BLOCKING.contains(&name) || !toks[j + 1].is_punct('(') {
+            continue;
+        }
+        if j == 0 || !toks[j - 1].is_punct('.') {
+            continue; // only method-call positions; skip e.g. `fn send(`
+        }
+        // `rwlock.write()` is an acquisition, not a blocking write.
+        if name == "write" && toks.get(j + 2).is_some_and(|t| t.is_punct(')')) {
+            continue;
+        }
+        out.push((name.to_string(), toks[j].line));
+    }
+    out
+}
+
+/// Detects a guard created *inside the argument list* of a blocking call:
+/// `outbox.send(conn, frame(x.read().stats()))` keeps the temporary guard
+/// alive until the whole `send` statement finishes. Walks outward through
+/// unmatched `(` before `site` and reports enclosing blocking calls.
+fn blocking_enclosing_call(toks: &[Tok], site: usize) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = site;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 {
+                // Unmatched opener: the call (if any) whose args we're in.
+                if j >= 2 && t.is_punct('(') {
+                    if let Some(name) = toks[j - 2].ident() {
+                        if BLOCKING.contains(&name) && j >= 3 && toks[j - 3].is_punct('.') {
+                            out.push((name.to_string(), toks[j - 2].line));
+                        }
+                    }
+                }
+            } else {
+                depth -= 1;
+            }
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            break;
+        }
+        j -= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> Hierarchy {
+        Hierarchy::parse(
+            "# order\n\n1. `engine` — outermost (aliases: `motor`)\n2. `conns`\n3. `queue`\n",
+        )
+        .unwrap()
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("mem.rs", src);
+        check(&[f], &hier())
+    }
+
+    #[test]
+    fn hierarchy_parses_order_and_aliases() {
+        let h = hier();
+        assert_eq!(h.canon("motor"), Some("engine"));
+        assert_eq!(h.canon("queue"), Some("queue"));
+        assert_eq!(h.canon("mystery"), None);
+        assert!(h.rank("engine") < h.rank("conns"));
+    }
+
+    #[test]
+    fn nested_acquisition_in_order_is_clean() {
+        let out = run("fn f(&self) { let g = self.engine.write(); self.conns.read().len(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn nested_acquisition_against_order_is_flagged() {
+        let out = run("fn f(&self) { let g = self.queue.lock(); self.engine.read().len(); }");
+        assert!(out.iter().any(|f| f.rule == "lock-order"), "{out:?}");
+    }
+
+    #[test]
+    fn if_condition_guard_dies_before_block() {
+        // Temporary in an `if` condition is a terminating scope: taking the
+        // same lock inside the block is NOT a self-deadlock.
+        let out = run("fn f(&self) { if self.engine.read().ok() { self.engine.write().go(); } }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_lives_through_block() {
+        let out = run(
+            "fn f(&self) { if let Some(x) = self.queue.lock().pop() { self.engine.read().go(); } }",
+        );
+        assert!(out.iter().any(|f| f.rule == "lock-order"), "{out:?}");
+    }
+
+    #[test]
+    fn chained_temporary_dies_at_semicolon() {
+        let out = run(
+            "fn f(&self) { let n = self.queue.lock().len(); if n > 0 { self.engine.read().go(); } }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_binding() {
+        let out = run(
+            "fn f(&self) { let g = self.queue.lock(); g.push(1); drop(g); self.engine.read().go(); }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn interprocedural_edge_through_call() {
+        let out = run("fn inner(&self) { self.engine.read().go(); }\n\
+             fn f(&self) { let g = self.queue.lock(); self.inner(); }");
+        assert!(
+            out.iter()
+                .any(|f| f.rule == "lock-order" && f.message.contains("inner")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_send_under_guard_is_flagged_and_allowable() {
+        let bad = run("fn f(&self) { let g = self.queue.lock(); self.tx.send(1); }");
+        assert!(
+            bad.iter().any(|f| f.rule == "hold-across-blocking"),
+            "{bad:?}"
+        );
+        let ok = run("fn f(&self) { let g = self.queue.lock(); \
+             // analyzer:allow(hold-across-blocking): unbounded send never blocks\n\
+             self.tx.send(1); }");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn guard_inside_blocking_call_args_is_flagged() {
+        let out = run("fn f(&self) { self.tx.send(frame(self.engine.read().stats())); }");
+        assert!(
+            out.iter().any(|f| f.rule == "hold-across-blocking"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn rwlock_write_acquisition_is_not_a_blocking_write() {
+        let out = run("fn f(&self) { let g = self.engine.write(); g.go(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn undeclared_lock_is_flagged() {
+        let out = run("fn f(&self) { self.mystery.lock().go(); }");
+        assert!(out.iter().any(|f| f.rule == "undeclared-lock"), "{out:?}");
+    }
+
+    #[test]
+    fn for_loop_iterator_guard_lives_through_body() {
+        let out =
+            run("fn f(&self) { for x in self.queue.lock().iter() { self.engine.read().go(); } }");
+        assert!(out.iter().any(|f| f.rule == "lock-order"), "{out:?}");
+    }
+}

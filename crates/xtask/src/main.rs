@@ -1,0 +1,280 @@
+//! `cargo xtask` — purpose-built static analysis for the linkcast
+//! workspace.
+//!
+//! ```text
+//! cargo xtask check      # run all three passes against the repo
+//! cargo xtask selftest   # run the passes against seeded-violation fixtures
+//! ```
+//!
+//! The three passes (see DESIGN.md §9):
+//! 1. lock-order analysis over `crates/broker` + `crates/core` against the
+//!    hierarchy declared in `docs/LOCK_ORDER.md`;
+//! 2. hot-path panic lint over the broker dataflow modules;
+//! 3. wire-protocol exhaustiveness across `FrameTag`, the protocol codec,
+//!    and the dispatch sites.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lexer;
+mod locks;
+mod panics;
+mod source;
+mod wire;
+
+use source::SourceFile;
+
+/// One analyzer diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Rule id (`lock-order`, `hold-across-blocking`, `undeclared-lock`,
+    /// `panic`, `index`, `wire-exhaustiveness`, `allow-without-reason`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Broker dataflow modules covered by the panic lint.
+const HOT_MODULES: &[&str] = &[
+    "broker.rs",
+    "outbox.rs",
+    "engine.rs",
+    "protocol.rs",
+    "control.rs",
+];
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "check".into());
+    let root = workspace_root();
+    match mode.as_str() {
+        "check" => match run_check(&root) {
+            Ok(findings) if findings.is_empty() => {
+                println!("xtask check: all passes clean");
+                ExitCode::SUCCESS
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                }
+                println!("xtask check: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask check: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "selftest" => match run_selftest(&root) {
+            Ok(()) => {
+                println!("xtask selftest: all fixtures behave as expected");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xtask selftest: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("unknown mode `{other}` (expected `check` or `selftest`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/../.. == workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn load(root: &Path, rel: &str) -> Result<SourceFile, String> {
+    let src = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+    Ok(SourceFile::parse(rel, &src))
+}
+
+/// All `.rs` files (repo-relative) under `dir`, recursively, sorted.
+fn rust_files(root: &Path, dir: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(dir)];
+    while let Some(d) = stack.pop() {
+        let entries = std::fs::read_dir(&d).map_err(|e| format!("reading {}: {e}", d.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|x| x == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| e.to_string())?
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs all three passes against the real workspace.
+fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+
+    // Pass 1: lock-order over broker + core.
+    let hierarchy_md = std::fs::read_to_string(root.join("docs/LOCK_ORDER.md"))
+        .map_err(|e| format!("reading docs/LOCK_ORDER.md: {e}"))?;
+    let hierarchy = locks::Hierarchy::parse(&hierarchy_md)?;
+    let mut lock_files = Vec::new();
+    for dir in ["crates/broker/src", "crates/core/src"] {
+        for rel in rust_files(root, dir)? {
+            lock_files.push(load(root, &rel)?);
+        }
+    }
+    findings.extend(locks::check(&lock_files, &hierarchy));
+
+    // Pass 2: panic lint over the hot dataflow modules.
+    for file in &lock_files {
+        let name = file.path.rsplit('/').next().unwrap_or(&file.path);
+        if file.path.starts_with("crates/broker/src") && HOT_MODULES.contains(&name) {
+            findings.extend(panics::check(file));
+        }
+    }
+
+    // Pass 3: wire-protocol exhaustiveness.
+    let ws = wire::WireSources {
+        wire: load(root, "crates/types/src/wire.rs")?,
+        protocol: load(root, "crates/broker/src/protocol.rs")?,
+        broker: load(root, "crates/broker/src/broker.rs")?,
+        client: load(root, "crates/broker/src/client.rs")?,
+    };
+    findings.extend(wire::check(&ws));
+
+    // Hygiene: every allow comment must carry a reason.
+    for file in lock_files
+        .iter()
+        .chain([&ws.wire, &ws.protocol, &ws.broker, &ws.client])
+    {
+        for allow in &file.lexed.allows {
+            if !allow.has_reason {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: allow.line,
+                    rule: "allow-without-reason".into(),
+                    message: format!(
+                        "analyzer:allow({}) must state a reason after a colon",
+                        allow.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.dedup();
+    Ok(findings)
+}
+
+/// Each seeded-violation fixture must trip its pass, proving the passes
+/// actually detect what they claim to.
+fn run_selftest(root: &Path) -> Result<(), String> {
+    let fixtures = root.join("crates/xtask/fixtures");
+
+    // Fixture 1: a lock-order cycle (a→b in one function, b→a in another).
+    let hier_md = std::fs::read_to_string(fixtures.join("lock_cycle/LOCK_ORDER.md"))
+        .map_err(|e| format!("lock_cycle fixture: {e}"))?;
+    let hierarchy = locks::Hierarchy::parse(&hier_md)?;
+    let src = std::fs::read_to_string(fixtures.join("lock_cycle/src.rs"))
+        .map_err(|e| format!("lock_cycle fixture: {e}"))?;
+    let found = locks::check(
+        &[SourceFile::parse("fixtures/lock_cycle/src.rs", &src)],
+        &hierarchy,
+    );
+    expect_rule(&found, "lock-order", "lock_cycle")?;
+    expect_rule(&found, "hold-across-blocking", "lock_cycle")?;
+
+    // Fixture 2: hot-path unwrap/index/panic.
+    let src = std::fs::read_to_string(fixtures.join("hot_panic/src.rs"))
+        .map_err(|e| format!("hot_panic fixture: {e}"))?;
+    let file = SourceFile::parse("fixtures/hot_panic/src.rs", &src);
+    let found = panics::check(&file);
+    expect_rule(&found, "panic", "hot_panic")?;
+    expect_rule(&found, "index", "hot_panic")?;
+    // The fixture's only `.expect()` sits under an allow comment, and its
+    // only test-mod unwrap is `#[cfg(test)]`-masked: neither may be flagged.
+    if found.iter().any(|f| f.message.contains(".expect")) {
+        return Err(format!(
+            "hot_panic: flagged a line covered by an allow comment: {found:?}"
+        ));
+    }
+    if found.iter().filter(|f| f.rule == "panic").count() != 2 {
+        return Err(format!(
+            "hot_panic: expected exactly 2 panic findings (unwrap + panic!), got {found:?}"
+        ));
+    }
+
+    // Fixture 3: an unhandled Frame variant.
+    let read = |rel: &str| -> Result<SourceFile, String> {
+        let p = fixtures.join("wire").join(rel);
+        let src = std::fs::read_to_string(&p).map_err(|e| format!("wire fixture {rel}: {e}"))?;
+        Ok(SourceFile::parse(&format!("fixtures/wire/{rel}"), &src))
+    };
+    let ws = wire::WireSources {
+        wire: read("wire.rs")?,
+        protocol: read("protocol.rs")?,
+        broker: read("broker.rs")?,
+        client: read("client.rs")?,
+    };
+    let found = wire::check(&ws);
+    expect_rule(&found, "wire-exhaustiveness", "wire")?;
+    for needle in ["has no", "never encoded", "never dispatched"] {
+        if !found.iter().any(|f| f.message.contains(needle)) {
+            return Err(format!(
+                "wire fixture: expected a finding containing {needle:?}, got {found:?}"
+            ));
+        }
+    }
+
+    // And the real tree must be clean — the fixtures prove sensitivity,
+    // the repo proves specificity.
+    let repo = run_check(root)?;
+    if !repo.is_empty() {
+        return Err(format!(
+            "repo is expected to be clean but has {} finding(s): {repo:?}",
+            repo.len()
+        ));
+    }
+    Ok(())
+}
+
+fn expect_rule(found: &[Finding], rule: &str, fixture: &str) -> Result<(), String> {
+    if found.iter().any(|f| f.rule == rule) {
+        Ok(())
+    } else {
+        Err(format!(
+            "{fixture} fixture: expected a `{rule}` finding, got {found:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_runs_clean_on_this_repo() {
+        let findings = run_check(&workspace_root()).expect("check runs");
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn selftest_fixtures_trip_every_pass() {
+        run_selftest(&workspace_root()).expect("selftest passes");
+    }
+}

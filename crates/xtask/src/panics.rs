@@ -1,0 +1,130 @@
+//! Pass 2: hot-path panic lint.
+//!
+//! The broker dataflow modules must not contain `unwrap()`, `expect()`,
+//! panicking macros, or slice/array indexing outside `#[cfg(test)]` code: a
+//! panic on the engine loop or a sender thread takes the whole broker down
+//! with it, turning one malformed frame into a process-wide outage.
+//! `assert!`/`debug_assert!` are permitted (they guard programmer
+//! invariants, not input). The escape hatch is
+//! `// analyzer:allow(panic): <reason>` / `// analyzer:allow(index): <reason>`.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may directly precede a `[` that is *not* an indexing
+/// operation (slice patterns, array types, `in [..]` iterations).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "in", "as", "mut", "ref", "return", "if", "else", "match", "while", "for", "move",
+    "box", "dyn", "impl", "where", "break", "continue", "static", "const", "pub", "fn", "use",
+];
+
+/// Runs the panic lint over one hot-path file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = file.toks();
+    let mut findings = Vec::new();
+    let mut flag = |rule: &str, line: u32, message: String| {
+        if !file.lexed.allowed(rule, line) {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                rule: rule.into(),
+                message,
+            });
+        }
+    };
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if let Some(name) = t.ident() {
+            // `.unwrap()` / `.expect(...)`
+            if matches!(name, "unwrap" | "expect")
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                flag(
+                    "panic",
+                    t.line,
+                    format!("`.{name}()` in a hot-path module can kill the broker; return a typed error instead"),
+                );
+            }
+            // `panic!` and friends.
+            if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                flag(
+                    "panic",
+                    t.line,
+                    format!("`{name}!` in a hot-path module can kill the broker"),
+                );
+            }
+        } else if t.is_punct('[') && i > 0 {
+            let p = &toks[i - 1];
+            let is_index = match p.ident() {
+                Some(id) => !NON_INDEX_PRECEDERS.contains(&id),
+                None => p.is_punct(']') || p.is_punct(')'),
+            };
+            if is_index {
+                flag(
+                    "index",
+                    t.line,
+                    "indexing can panic on out-of-range values; use `.get()` or prove the bound"
+                        .into(),
+                );
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("mem.rs", src))
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_macros_are_flagged() {
+        let out = run("fn f(x: Option<u8>) { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); }");
+        assert_eq!(out.iter().filter(|f| f.rule == "panic").count(), 3);
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_patterns_and_types_are_not() {
+        let out = run("fn f(v: &[u8; 4]) -> u8 { let [a, ..] = v; let x: [u8; 2] = [0, 1]; v[3] }");
+        assert_eq!(out.iter().filter(|f| f.rule == "index").count(), 1);
+    }
+
+    #[test]
+    fn macro_brackets_and_attributes_are_not_indexing() {
+        let out = run("#[derive(Debug)]\nfn f() { let v = vec![1, 2]; }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_code_and_allows_are_exempt() {
+        let out = run("fn f(x: Option<u8>) {\n\
+             // analyzer:allow(panic): startup-only validation\n\
+             x.unwrap();\n\
+             }\n\
+             #[cfg(test)]\nmod tests { fn g() { None::<u8>.unwrap(); } }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn assert_is_permitted() {
+        let out = run("fn f(n: usize) { assert!(n > 0, \"invariant\"); debug_assert!(n < 10); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let out = run("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,265 @@
+//! A vendored, API-compatible **subset** of [`loom`](https://docs.rs/loom).
+//!
+//! The real loom exhaustively explores thread interleavings with DPOR
+//! model checking. This build environment has no crates.io access, so this
+//! facade keeps loom's API shape (`loom::model`, `loom::thread`,
+//! `loom::sync`) but explores schedules by *randomized yield injection*:
+//! every synchronization operation (lock acquisition, atomic access) may
+//! yield the OS thread, and [`model`] re-runs the closure many times with a
+//! different deterministic seed per iteration (`LOOM_ITERS` iterations,
+//! default 64).
+//!
+//! That makes these tests probabilistic schedule fuzzers rather than
+//! proofs: they reliably catch ordering bugs whose windows open under
+//! perturbation (lost wakeups, check-then-act races), while staying honest
+//! about not enumerating every interleaving. Swapping in the real loom
+//! later requires no source changes in the models.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Global per-iteration seed; mixed into each thread's local RNG.
+static MODEL_SEED: AtomicU64 = AtomicU64::new(0x9E3779B97F4A7C15);
+
+thread_local! {
+    static LOCAL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn maybe_yield() {
+    let mixed = LOCAL_RNG.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // Lazily derive a per-thread stream from the iteration seed.
+            x = MODEL_SEED.load(StdOrdering::Relaxed) ^ 0x5851F42D4C957F2D;
+        }
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        s.set(x);
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    });
+    // Yield at roughly half of all sync points; occasionally sleep to
+    // widen race windows past a bare `yield_now`.
+    match mixed % 8 {
+        0..=2 => std::thread::yield_now(),
+        3 => std::thread::sleep(std::time::Duration::from_micros(mixed % 50)),
+        _ => {}
+    }
+}
+
+/// Runs `f` under the schedule fuzzer: `LOOM_ITERS` iterations (default
+/// 64), each with a fresh deterministic seed that perturbs where threads
+/// yield. Panics from `f` (failed assertions in the model) propagate.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iters {
+        MODEL_SEED.store(
+            (i + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            StdOrdering::Relaxed,
+        );
+        LOCAL_RNG.with(|s| s.set(0));
+        f();
+    }
+}
+
+/// Thread spawning and scheduling hooks, mirroring `loom::thread`.
+pub mod thread {
+    /// Handle to a model thread (wraps [`std::thread::JoinHandle`]).
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawns a model thread; the child starts at a perturbed point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle(std::thread::spawn(move || {
+            super::LOCAL_RNG.with(|s| s.set(0));
+            super::maybe_yield();
+            f()
+        }))
+    }
+
+    /// Explicit scheduling point.
+    pub fn yield_now() {
+        super::maybe_yield();
+    }
+}
+
+/// Synchronization primitives with schedule points, mirroring `loom::sync`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// A mutex whose acquisition is a schedule point. Poisoning is
+    /// swallowed (loom has no poisoning either): a panicked model thread
+    /// already fails the test.
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the mutex, yielding around the acquisition so lock
+        /// handoff order varies between iterations.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            super::maybe_yield();
+            let guard = self
+                .0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            super::maybe_yield();
+            guard
+        }
+
+        /// Attempts the lock without blocking (still a schedule point).
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            super::maybe_yield();
+            match self.0.try_lock() {
+                Ok(g) => Some(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            }
+        }
+    }
+
+    /// Atomics whose every access is a schedule point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// Model `AtomicBool`: every access is a schedule point.
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates the atomic.
+            pub fn new(v: bool) -> AtomicBool {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::maybe_yield();
+                self.0.store(v, order);
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::maybe_yield();
+                self.0.swap(v, order)
+            }
+        }
+
+        /// Model `AtomicUsize`: every access is a schedule point.
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// Creates the atomic.
+            pub fn new(v: usize) -> AtomicUsize {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> usize {
+                crate::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: usize, order: Ordering) {
+                crate::maybe_yield();
+                self.0.store(v, order);
+            }
+
+            /// Adds, returning the previous value.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                crate::maybe_yield();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        /// Model `AtomicU64`: every access is a schedule point.
+        pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+        impl AtomicU64 {
+            /// Creates the atomic.
+            pub fn new(v: u64) -> AtomicU64 {
+                AtomicU64(std::sync::atomic::AtomicU64::new(v))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> u64 {
+                crate::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: u64, order: Ordering) {
+                crate::maybe_yield();
+                self.0.store(v, order);
+            }
+
+            /// Adds, returning the previous value.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                crate::maybe_yield();
+                self.0.fetch_add(v, order)
+            }
+        }
+    }
+}
+
+/// Mirrors `loom::hint`.
+pub mod hint {
+    /// Spin-loop hint; also a schedule point in the model.
+    pub fn spin_loop() {
+        super::maybe_yield();
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_and_threads_join() {
+        let ran = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let r = std::sync::Arc::clone(&ran);
+        std::env::set_var("LOOM_ITERS", "4");
+        super::model(move || {
+            let n = crate::sync::Arc::new(crate::sync::atomic::AtomicUsize::new(0));
+            let n2 = crate::sync::Arc::clone(&n);
+            let t = crate::thread::spawn(move || {
+                n2.fetch_add(1, crate::sync::atomic::Ordering::SeqCst)
+            });
+            n.fetch_add(1, crate::sync::atomic::Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(crate::sync::atomic::Ordering::SeqCst), 2);
+            r.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+}
