@@ -753,15 +753,25 @@ impl EngineLoop {
 
     /// A peer sent something undecodable. A corrupt payload means the
     /// stream's framing can no longer be trusted, so rather than guess at
-    /// the next message boundary the broker counts the error, tells the
-    /// peer why (best effort — the frame races the teardown), and drops
-    /// the connection. Semantically invalid but *well-formed* requests
-    /// (unknown schema on subscribe, publish before hello) go through
-    /// `client_error` instead and keep the connection.
+    /// the next message boundary the broker counts the error and drops the
+    /// connection — the socket shutdown is what the peer observes (a
+    /// dialing neighbor's link supervisor sees the EOF and redials with a
+    /// fresh handshake). Clients additionally get the reason as an `Error`
+    /// frame, flushed before the FIN; broker peers do not, because
+    /// `BrokerToClient::Error` is an unexpected tag on a broker-broker
+    /// link and would itself count as a protocol error on the remote side.
+    /// Semantically invalid but *well-formed* requests (unknown schema on
+    /// subscribe, publish before hello) go through `client_error` instead
+    /// and keep the connection.
     fn protocol_error_disconnect(&mut self, conn: ConnId, message: String) {
         self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        if matches!(self.conns.get(&conn), Some(Peer::Broker(_))) {
+            self.handle_disconnect(conn);
+            return;
+        }
         self.client_error(conn, message);
-        self.handle_disconnect(conn);
+        self.outbox.close_after_flush(conn);
+        self.forget_conn(conn);
     }
 
     fn handle_publish(&mut self, conn: ConnId, event: Event, body: Bytes) {
@@ -1314,6 +1324,14 @@ impl EngineLoop {
 
     fn handle_disconnect(&mut self, conn: ConnId) {
         self.outbox.unregister(conn);
+        self.forget_conn(conn);
+    }
+
+    /// Engine-side teardown shared by the immediate
+    /// ([`handle_disconnect`](Self::handle_disconnect)) and flush-then-
+    /// close (`protocol_error_disconnect`) paths: drops the routing state
+    /// for `conn` without touching the transport.
+    fn forget_conn(&mut self, conn: ConnId) {
         self.awaiting_hello.remove(&conn);
         match self.conns.remove(&conn) {
             Some(Peer::Client(client)) => {

@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -45,6 +45,22 @@ pub(crate) struct Conn {
     /// guarantees a single writer per sink.
     draining: AtomicBool,
     dead: AtomicBool,
+    /// Set by [`Outbox::close_after_flush`]: the drain loop shuts the sink
+    /// down once the queue empties instead of parking the connection.
+    closing: AtomicBool,
+}
+
+impl Conn {
+    /// Closes the underlying socket so both the peer and the local reader
+    /// thread (which holds a `try_clone` of the same fd, so merely dropping
+    /// our write half would never send a FIN) observe the disconnect. A
+    /// no-op for channel sinks — dropping the `Conn` drops the sender and
+    /// the receiver sees the hangup.
+    fn shutdown_sink(&self) {
+        if let Sink::Tcp(stream) = &self.sink {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
 }
 
 /// The send half of the transport: registry of connections plus the sender
@@ -87,13 +103,20 @@ impl Outbox {
         for i in 0..senders {
             let rx: Receiver<Arc<Conn>> = work_rx.clone();
             let ob = Arc::clone(&outbox);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("sender-{i}"))
                 .spawn(move || {
                     for conn in rx.iter() {
                         ob.drain_conn(&conn);
                     }
-                })?;
+                });
+            if let Err(e) = spawned {
+                // Threads 0..i hold `Arc<Outbox>` (and thus the work
+                // sender); drop it so their `rx.iter()` terminates instead
+                // of leaking blocked threads.
+                outbox.work_tx.lock().take();
+                return Err(e);
+            }
         }
         Ok(outbox)
     }
@@ -106,15 +129,42 @@ impl Outbox {
             queue: Mutex::new(VecDeque::new()),
             draining: AtomicBool::new(false),
             dead: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
         });
         self.conns.write().insert(id, conn);
     }
 
-    /// Removes a connection; queued frames are dropped.
+    /// Removes a connection immediately: queued frames are dropped and the
+    /// socket is shut down so the peer sees the disconnect right away.
     pub(crate) fn unregister(&self, id: ConnId) {
-        if let Some(conn) = self.conns.write().remove(&id) {
+        let removed = self.conns.write().remove(&id);
+        if let Some(conn) = removed {
             conn.dead.store(true, Ordering::Release);
             self.discard_queue(&conn);
+            conn.shutdown_sink();
+        }
+    }
+
+    /// Removes a connection once its queued frames have flushed: the entry
+    /// leaves the map immediately (no new frames can be enqueued), the
+    /// sender pool writes out whatever is already queued, and only then is
+    /// the socket shut down — so a final notification (e.g. a protocol
+    /// [`Error`](crate::protocol::BrokerToClient::Error) frame) reaches
+    /// the peer before the FIN.
+    pub(crate) fn close_after_flush(&self, id: ConnId) {
+        let removed = self.conns.write().remove(&id);
+        if let Some(conn) = removed {
+            // Set under the queue lock so the drain loop's locked re-check
+            // cannot miss it — the same lost-wakeup protocol that keeps a
+            // concurrently-enqueued frame from being stranded (modelled in
+            // `tests/loom_model.rs`).
+            {
+                let _queue = conn.queue.lock();
+                conn.closing.store(true, Ordering::Release);
+            }
+            // If a drain is mid-flight it observes `closing` when the
+            // queue empties; otherwise this schedules the final drain.
+            self.schedule(conn);
         }
     }
 
@@ -202,9 +252,11 @@ impl Outbox {
     /// broker's half of each socket so peers see EOF) and closes the work
     /// channel so the sender pool exits.
     pub(crate) fn close(&self) {
-        for (_, conn) in self.conns.write().drain() {
+        let drained: Vec<_> = self.conns.write().drain().collect();
+        for (_, conn) in drained {
             conn.dead.store(true, Ordering::Release);
             self.discard_queue(&conn);
+            conn.shutdown_sink();
         }
         self.work_tx.lock().take();
     }
@@ -214,16 +266,37 @@ impl Outbox {
     /// access).
     fn drain_conn(&self, conn: &Arc<Conn>) {
         loop {
-            let batch: Vec<Bytes> = {
+            // `closing` is read under the same lock that guards the queue:
+            // `close_after_flush` sets it under that lock, so a drain that
+            // sees the queue empty either sees `closing` too or is ordered
+            // before it — in which case the re-check below (or the drain
+            // scheduled by `close_after_flush`) picks it up.
+            let (batch, closing): (Vec<Bytes>, bool) = {
                 let mut q = conn.queue.lock();
                 let n = q.len().min(self.drain_batch);
-                q.drain(..n).collect()
+                (q.drain(..n).collect(), conn.closing.load(Ordering::Acquire))
             };
             if batch.is_empty() {
+                if closing {
+                    // Flush complete for a connection being closed
+                    // gracefully: now send the FIN. A sender that cloned
+                    // the conn before it left the map may still enqueue a
+                    // late frame; discard it so the depth counters stay
+                    // balanced (same as `unregister`).
+                    conn.dead.store(true, Ordering::Release);
+                    self.discard_queue(conn);
+                    conn.shutdown_sink();
+                    return;
+                }
                 conn.draining.store(false, Ordering::Release);
-                // Re-check: a frame may have been enqueued between the
-                // drain and the flag store.
-                if !conn.queue.lock().is_empty() && !conn.draining.swap(true, Ordering::AcqRel) {
+                // Re-check: a frame may have been enqueued (or the
+                // connection marked closing) between the drain and the
+                // flag store.
+                let retry = {
+                    let q = conn.queue.lock();
+                    !q.is_empty() || conn.closing.load(Ordering::Acquire)
+                };
+                if retry && !conn.draining.swap(true, Ordering::AcqRel) {
                     continue;
                 }
                 return;
@@ -244,6 +317,10 @@ impl Outbox {
             };
             if result.is_err() {
                 conn.dead.store(true, Ordering::Release);
+                // Close the socket now rather than when the engine
+                // processes the death: the local reader thread shares the
+                // fd and unblocks immediately.
+                conn.shutdown_sink();
                 let _ = self.dead_tx.send(conn.id);
                 return;
             }
@@ -423,6 +500,65 @@ mod tests {
         // Further sends are silently dropped.
         outbox.send(7, Bytes::from_static(b"y"));
         assert!(dead_rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn unregister_shuts_down_the_tcp_socket() {
+        use std::io::Read;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = [0u8; 1];
+            s.read(&mut buf)
+        });
+        let (stream, _) = listener.accept().unwrap();
+        // A second handle on the same fd, standing in for the broker's
+        // reader thread: dropping the outbox's write half alone would
+        // close neither.
+        let mut reader_half = stream.try_clone().unwrap();
+        reader_half
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let (dead_tx, _dead_rx) = unbounded();
+        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
+        outbox.register(1, Sink::Tcp(stream));
+        outbox.unregister(1);
+        // The remote peer sees the FIN...
+        assert_eq!(peer.join().unwrap().unwrap(), 0, "peer must observe EOF");
+        // ...and the local reader clone unblocks with EOF too.
+        let mut buf = [0u8; 1];
+        assert_eq!(reader_half.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn close_after_flush_delivers_queued_frames_then_hangs_up() {
+        let (dead_tx, _dead_rx) = unbounded();
+        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
+        let (tx, rx) = unbounded::<Bytes>();
+        outbox.register(1, Sink::Chan(tx));
+        let total = 2 * DRAIN_BATCH;
+        for i in 0..total {
+            outbox.send(1, Bytes::from(vec![i as u8]));
+        }
+        outbox.close_after_flush(1);
+        // Unlike unregister, everything queued still goes out...
+        for i in 0..total {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(2)).unwrap()[0],
+                i as u8
+            );
+        }
+        // ...and only then does the peer see the hangup.
+        match rx.recv_timeout(Duration::from_secs(2)) {
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {}
+            other => panic!("expected hangup after the flush, got {other:?}"),
+        }
+        assert_eq!(outbox.len(), 0);
+        // Late sends to the closed connection are dropped silently.
+        outbox.send(1, Bytes::from_static(b"late"));
+        assert_eq!(outbox.queue_depth(), (0, 0));
     }
 
     #[test]

@@ -139,19 +139,39 @@ fn ack_log_overflow_drop_races_cumulative_ack() {
 }
 
 /// The outbox handoff, verbatim from `Outbox::drain_conn`: drain in
-/// batches; on empty, clear the flag, then re-check the queue and try to
-/// re-take the flag — the re-check closes the window where a producer
-/// enqueues between the final drain and the flag store.
-fn drain(queue: &Mutex<VecDeque<u32>>, draining: &AtomicBool, drained: &Mutex<Vec<u32>>) {
+/// batches; on empty, close the sink if the connection was marked closing,
+/// otherwise clear the flag, then re-check the queue (and the closing
+/// mark) and try to re-take the flag — the re-check closes the window
+/// where a producer enqueues, or `close_after_flush` marks, between the
+/// final drain and the flag store. `closing` is read only under the queue
+/// lock, mirroring the implementation.
+fn drain(
+    queue: &Mutex<VecDeque<u32>>,
+    draining: &AtomicBool,
+    closing: &AtomicBool,
+    dead: &AtomicBool,
+    closed: &AtomicBool,
+    drained: &Mutex<Vec<u32>>,
+) {
     loop {
-        let batch: Vec<u32> = {
+        let (batch, close_now): (Vec<u32>, bool) = {
             let mut q = queue.lock();
             let n = q.len().min(2);
-            q.drain(..n).collect()
+            (q.drain(..n).collect(), closing.load(Ordering::Acquire))
         };
         if batch.is_empty() {
+            if close_now {
+                dead.store(true, Ordering::Release);
+                queue.lock().clear(); // discard_queue: late frames dropped
+                closed.store(true, Ordering::Release);
+                return;
+            }
             draining.store(false, Ordering::Release);
-            if !queue.lock().is_empty() && !draining.swap(true, Ordering::AcqRel) {
+            let retry = {
+                let q = queue.lock();
+                !q.is_empty() || closing.load(Ordering::Acquire)
+            };
+            if retry && !draining.swap(true, Ordering::AcqRel) {
                 continue;
             }
             return;
@@ -167,6 +187,10 @@ fn outbox_handoff_loses_no_wakeup() {
         let draining = Arc::new(AtomicBool::new(false));
         let drained = Arc::new(Mutex::new(Vec::new()));
 
+        let closing = Arc::new(AtomicBool::new(false));
+        let dead = Arc::new(AtomicBool::new(false));
+        let closed = Arc::new(AtomicBool::new(false));
+
         // Three producers, two frames each — `Outbox::send` verbatim: push,
         // then claim the draining flag; the winner stands in for the pool
         // thread the connection would be handed to.
@@ -174,12 +198,15 @@ fn outbox_handoff_loses_no_wakeup() {
             .map(|id| {
                 let queue = Arc::clone(&queue);
                 let draining = Arc::clone(&draining);
+                let closing = Arc::clone(&closing);
+                let dead = Arc::clone(&dead);
+                let closed = Arc::clone(&closed);
                 let drained = Arc::clone(&drained);
                 thread::spawn(move || {
                     for t in 0..2 {
                         queue.lock().push_back(id * 10 + t);
                         if !draining.swap(true, Ordering::AcqRel) {
-                            drain(&queue, &draining, &drained);
+                            drain(&queue, &draining, &closing, &dead, &closed, &drained);
                         }
                     }
                 })
@@ -196,5 +223,83 @@ fn outbox_handoff_loses_no_wakeup() {
         let mut out = drained.lock().clone();
         out.sort_unstable();
         assert_eq!(out, vec![0, 1, 10, 11, 20, 21]);
+    });
+}
+
+#[test]
+fn outbox_close_after_flush_flushes_then_closes() {
+    loom::model(|| {
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        let draining = Arc::new(AtomicBool::new(false));
+        let closing = Arc::new(AtomicBool::new(false));
+        let dead = Arc::new(AtomicBool::new(false));
+        let closed = Arc::new(AtomicBool::new(false));
+        let drained = Arc::new(Mutex::new(Vec::new()));
+
+        // A producer racing `Outbox::close_after_flush` — the producer
+        // stands in for a sender that cloned the conn before it left the
+        // map, so `Outbox::enqueue`'s dead-check (drop the frame) is part
+        // of the model. Returns how many frames it actually enqueued.
+        let producer = {
+            let queue = Arc::clone(&queue);
+            let draining = Arc::clone(&draining);
+            let closing = Arc::clone(&closing);
+            let dead = Arc::clone(&dead);
+            let closed = Arc::clone(&closed);
+            let drained = Arc::clone(&drained);
+            thread::spawn(move || {
+                let mut pushed = 0u32;
+                for t in 0..2u32 {
+                    if dead.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    queue.lock().push_back(t);
+                    pushed += 1;
+                    if !draining.swap(true, Ordering::AcqRel) {
+                        drain(&queue, &draining, &closing, &dead, &closed, &drained);
+                    }
+                }
+                pushed
+            })
+        };
+        // `close_after_flush` verbatim: mark under the queue lock, then
+        // claim the flag; winning stands in for handing the connection to
+        // a pool thread for its final drain.
+        let closer = {
+            let queue = Arc::clone(&queue);
+            let draining = Arc::clone(&draining);
+            let closing = Arc::clone(&closing);
+            let dead = Arc::clone(&dead);
+            let closed = Arc::clone(&closed);
+            let drained = Arc::clone(&drained);
+            thread::spawn(move || {
+                {
+                    let _q = queue.lock();
+                    closing.store(true, Ordering::Release);
+                }
+                if !draining.swap(true, Ordering::AcqRel) {
+                    drain(&queue, &draining, &closing, &dead, &closed, &drained);
+                }
+            })
+        };
+        let pushed = producer.join().unwrap();
+        closer.join().unwrap();
+
+        // The regression this guards: the close mark must never be lost —
+        // whatever the schedule, some drain observes it and shuts the sink.
+        assert!(closed.load(Ordering::Acquire), "sink never shut down");
+        // Conservation: every enqueued frame was either flushed before the
+        // close or discarded by it (a frame can slip past the dead-check
+        // and land after the discard, but never duplicate or reorder).
+        let out = drained.lock().clone();
+        assert!(
+            out.len() as u32 + queue.lock().len() as u32 <= pushed,
+            "frames appeared from nowhere"
+        );
+        // Flushed frames keep their order.
+        assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "flush reordered frames: {out:?}"
+        );
     });
 }

@@ -159,6 +159,101 @@ fn garbage_bytes_do_not_take_down_the_broker() {
 }
 
 #[test]
+fn protocol_error_sends_reason_then_closes_the_socket() {
+    use std::io::Read;
+    let (node, registry, _clients) = single_broker(1);
+
+    let mut stream = std::net::TcpStream::connect(node.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // An undecodable client frame: plausible length, garbage payload.
+    let mut frame = vec![];
+    frame.extend_from_slice(&4u32.to_le_bytes());
+    frame.extend_from_slice(&[0x0e, 0xad, 0xbe, 0xef]);
+    stream.write_all(&frame).unwrap();
+
+    // Flush-then-close: the reason arrives as an Error frame, then EOF.
+    // `read_to_end` returning Ok proves the broker really shut the socket
+    // (the read timeout turns a black-holed connection into a failure
+    // instead of a hang).
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    assert!(buf.len() > 4, "no Error frame before the close: {buf:?}");
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let payload = bytes::Bytes::copy_from_slice(&buf[4..4 + len]);
+    match linkcast_broker::BrokerToClient::decode(payload, &registry) {
+        Ok(linkcast_broker::BrokerToClient::Error { message }) => {
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while node.stats().protocol_errors < 1 {
+        assert!(Instant::now() < deadline, "protocol error not counted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn broker_peer_protocol_error_closes_link_without_error_frame() {
+    use std::io::Read;
+    use linkcast_broker::BrokerToBroker;
+    use linkcast_types::wire::FrameTag;
+
+    let mut net = NetworkBuilder::new();
+    let a = net.add_broker();
+    let b = net.add_broker();
+    net.connect(a, b, 5.0).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = two_space_registry();
+    let node =
+        BrokerNode::start(BrokerConfig::localhost(a, fabric, Arc::clone(&registry))).unwrap();
+
+    // Impersonate broker B over a raw socket: a valid handshake makes this
+    // connection a registered broker peer, then a corrupt B2B frame forces
+    // a protocol error.
+    let mut stream = std::net::TcpStream::connect(node.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let hello = BrokerToBroker::Hello {
+        broker: b,
+        last_recv: 0,
+        send_seq: 0,
+    }
+    .encode();
+    stream.write_all(&hello).unwrap();
+    let mut garbage = vec![];
+    garbage.extend_from_slice(&2u32.to_le_bytes());
+    garbage.extend_from_slice(&[0x2e, 0xff]);
+    stream.write_all(&garbage).unwrap();
+
+    // The link must actually close — a dial-side supervisor only redials
+    // once it observes the EOF — and no client-protocol Error frame may
+    // leak onto the broker-broker link (the peer would treat the
+    // unexpected tag as a protocol error of its own).
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    let mut off = 0;
+    while off + 4 <= buf.len() {
+        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        assert!(off + 4 + len <= buf.len(), "truncated frame in {buf:?}");
+        assert_ne!(
+            buf[off + 4],
+            FrameTag::Error as u8,
+            "B2C Error frame leaked onto a broker-broker link"
+        );
+        off += 4 + len;
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while node.stats().protocol_errors < 1 {
+        assert!(Instant::now() < deadline, "protocol error not counted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
 fn many_subscribing_clients_on_one_broker() {
     let (node, registry, clients) = single_broker(21);
     let trades = SchemaId::new(0);
