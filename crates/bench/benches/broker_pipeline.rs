@@ -4,9 +4,12 @@
 //! (`BrokerConfig::seed_dataflow`: one event serialization and one write
 //! syscall per outgoing frame, matching inline on the engine thread); the
 //! "after" leg runs the pipelined dataflow (encode-once stitched frames,
-//! batched vectored writes, schema-sharded matching workers). Results are
-//! recorded as a baseline in `BENCH_broker_pipeline.json` at the
-//! repository root.
+//! batched vectored writes, schema-sharded matching workers). A third leg
+//! re-runs the pipelined dataflow with an aggressive 50 ms heartbeat
+//! interval: the A/B against the default leg records what the liveness
+//! machinery costs at saturation (expected: well under 1% — busy links
+//! never go idle, so the sweep only reads a clock). Results are recorded
+//! as a baseline in `BENCH_broker_pipeline.json` at the repository root.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use linkcast::{NetworkBuilder, RoutingFabric};
@@ -54,7 +57,12 @@ struct Cluster {
 }
 
 impl Cluster {
-    fn start(seed_dataflow: bool, match_shards: usize, match_threads: usize) -> Cluster {
+    fn start(
+        seed_dataflow: bool,
+        match_shards: usize,
+        match_threads: usize,
+        heartbeat_interval: Duration,
+    ) -> Cluster {
         let registry = registry();
         let mut net = NetworkBuilder::new();
         let brokers: Vec<_> = (0..BROKERS).map(|_| net.add_broker()).collect();
@@ -77,6 +85,7 @@ impl Cluster {
                 config.seed_dataflow = seed_dataflow;
                 config.match_shards = match_shards;
                 config.match_threads = match_threads;
+                config.heartbeat_interval = heartbeat_interval;
                 BrokerNode::start(config).unwrap()
             })
             .collect();
@@ -159,41 +168,144 @@ impl Cluster {
         }
     }
 
-    /// Stops the cluster, returning the summed link-spool counters
-    /// `(spooled, retransmitted, dropped_spool_overflow)` across all
-    /// brokers so the bench records the reliability layer's overhead.
-    fn shutdown(self) -> (u64, u64, u64) {
+    /// Stops the cluster, returning the summed reliability counters
+    /// across all brokers so the bench records both the spool layer's and
+    /// the liveness/overload layer's footprint.
+    fn shutdown(self) -> Counters {
         self.stop.store(true, Ordering::Relaxed);
         for handle in self.receivers {
             handle.join().unwrap();
         }
-        let mut spool_totals = (0u64, 0u64, 0u64);
+        let mut totals = Counters::default();
         for node in &self.nodes {
             let stats = node.stats();
-            spool_totals.0 += stats.spooled;
-            spool_totals.1 += stats.retransmitted;
-            spool_totals.2 += stats.dropped_spool_overflow;
+            totals.spooled += stats.spooled;
+            totals.retransmitted += stats.retransmitted;
+            totals.dropped_spool_overflow += stats.dropped_spool_overflow;
+            totals.pings_sent += stats.pings_sent;
+            totals.liveness_timeouts += stats.liveness_timeouts;
+            totals.evicted_slow_consumers += stats.evicted_slow_consumers;
+            totals.peer_overflow_disconnects += stats.peer_overflow_disconnects;
         }
         for node in self.nodes {
             node.shutdown();
         }
-        spool_totals
+        totals
     }
+}
+
+/// Cluster-wide reliability counters recorded alongside the throughput.
+#[derive(Default)]
+struct Counters {
+    spooled: u64,
+    retransmitted: u64,
+    dropped_spool_overflow: u64,
+    pings_sent: u64,
+    liveness_timeouts: u64,
+    evicted_slow_consumers: u64,
+    peer_overflow_disconnects: u64,
+}
+
+/// One measured configuration's outcome.
+struct Leg {
+    name: &'static str,
+    seed_dataflow: bool,
+    match_shards: usize,
+    match_threads: usize,
+    heartbeat_ms: u64,
+    median_ns: f64,
+    events_per_sec: f64,
+    counters: Counters,
+}
+
+/// The liveness machinery's cost at saturation, measured as a paired
+/// single-cluster A/B: the *same* running cluster alternates between
+/// heartbeats effectively off (one-hour interval) and an aggressive 50 ms
+/// sweep via `set_heartbeat_interval`, so neither machine-wide drift nor
+/// per-cluster placement luck (ports, thread pinning) can masquerade as
+/// heartbeat cost. Each phase starts with a short idle gap — that is when
+/// a 50 ms sweep actually pings the quiet links — and then times a burst
+/// of batches. Returns `(overhead_pct, measured_batches_per_side)`;
+/// positive = heartbeats cost throughput.
+fn heartbeat_overhead(registry: &SchemaRegistry) -> (f64, usize) {
+    const ROUNDS: usize = 40;
+    /// One batch is ~10 ms of work — small enough that scheduler jitter
+    /// swamps a sub-1% signal; timing several per sample amortizes it.
+    const BATCHES_PER_ROUND: usize = 15;
+    /// Long enough that every broker link goes idle past the 50 ms
+    /// interval and gets pinged before the timed burst begins.
+    const IDLE_GAP: Duration = Duration::from_millis(150);
+    let off = Duration::from_secs(3600);
+    let on = Duration::from_millis(50);
+    let mut cluster = Cluster::start(false, 4, 2, off);
+    for _ in 0..3 {
+        cluster.pump_batch(registry);
+    }
+    // Rounds alternate phases adjacent in time (order swapping each
+    // round, so a warmed-cache advantage for whichever phase runs second
+    // cancels). The summary compares low percentiles of the two burst
+    // distributions rather than medians: subscriber receive loops park in
+    // 100 ms poll timeouts, so individual bursts carry occasional
+    // ~100 ms scheduler hiccups that fat-tail every central statistic,
+    // while the fast tail is the steady-state cost the claim is about.
+    let mut base_ns: Vec<u64> = Vec::with_capacity(ROUNDS);
+    let mut hb_ns: Vec<u64> = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        let mut pair = [0u64; 2];
+        let mut phases = [false, true];
+        if round % 2 == 1 {
+            phases.reverse();
+        }
+        for heartbeats_on in phases {
+            let interval = if heartbeats_on { on } else { off };
+            for node in &cluster.nodes {
+                node.set_heartbeat_interval(interval);
+            }
+            std::thread::sleep(IDLE_GAP);
+            let t = Instant::now();
+            for _ in 0..BATCHES_PER_ROUND {
+                cluster.pump_batch(registry);
+            }
+            pair[usize::from(heartbeats_on)] = u64::try_from(t.elapsed().as_nanos()).unwrap();
+        }
+        base_ns.push(pair[0]);
+        hb_ns.push(pair[1]);
+    }
+    let pings = cluster
+        .nodes
+        .iter()
+        .map(|n| n.stats().pings_sent)
+        .sum::<u64>();
+    assert!(pings > 0, "the 50 ms sweep never pinged an idle link");
+    cluster.shutdown();
+    base_ns.sort_unstable();
+    hb_ns.sort_unstable();
+    let p10 = |v: &[u64]| v[v.len() / 10] as f64;
+    (
+        (p10(&hb_ns) / p10(&base_ns) - 1.0) * 100.0,
+        ROUNDS * BATCHES_PER_ROUND,
+    )
 }
 
 fn bench_chain(c: &mut Criterion) {
     let configs = [
         // The seed dataflow: per-frame serialization, per-frame writes,
-        // inline matching.
-        ("seed_dataflow", true, 1usize, 1usize),
+        // inline matching. Heartbeats at the localhost default.
+        ("seed_dataflow", true, 1usize, 1usize, 500u64),
         // The pipelined dataflow: encode-once, batched vectored writes,
         // schema-sharded matching workers.
-        ("pipelined", false, 4, 2),
+        ("pipelined", false, 4, 2, 500),
+        // The pipelined dataflow under an aggressive heartbeat sweep: the
+        // A/B against the previous leg is the liveness machinery's cost
+        // at saturation (busy links never idle past the interval, so the
+        // sweep should only ever read a clock).
+        ("pipelined_heartbeat_50ms", false, 4, 2, 50),
     ];
     let registry = registry();
-    let mut results = Vec::new();
-    for (name, seed, shards, threads) in configs {
-        let mut cluster = Cluster::start(seed, shards, threads);
+    let mut results: Vec<Leg> = Vec::new();
+    for (name, seed, shards, threads, heartbeat_ms) in configs {
+        let mut cluster =
+            Cluster::start(seed, shards, threads, Duration::from_millis(heartbeat_ms));
         let median = Cell::new(0.0f64);
         let mut group = c.benchmark_group("broker_pipeline_chain");
         group.sample_size(10);
@@ -205,30 +317,47 @@ fn bench_chain(c: &mut Criterion) {
             median.set(b.median_ns());
         });
         group.finish();
-        let spool = cluster.shutdown();
+        let counters = cluster.shutdown();
         let events_per_sec = BATCH as f64 / (median.get() * 1e-9);
-        results.push((
+        results.push(Leg {
             name,
-            seed,
-            shards,
-            threads,
-            median.get(),
+            seed_dataflow: seed,
+            match_shards: shards,
+            match_threads: threads,
+            heartbeat_ms,
+            median_ns: median.get(),
             events_per_sec,
-            spool,
-        ));
+            counters,
+        });
     }
 
-    let speedup = results[1].5 / results[0].5;
+    let speedup = results[1].events_per_sec / results[0].events_per_sec;
+    let (heartbeat_overhead_pct, paired_rounds) = heartbeat_overhead(&registry);
     let configs_json: Vec<String> = results
         .iter()
-        .map(|(name, seed, shards, threads, ns, eps, (spooled, retransmitted, dropped))| {
+        .map(|leg| {
+            let c = &leg.counters;
             format!(
-                "    {{ \"name\": \"{name}\", \"seed_dataflow\": {seed}, \"match_shards\": {shards}, \"match_threads\": {threads}, \"median_ns_per_batch\": {ns:.0}, \"events_per_sec\": {eps:.0}, \"spooled\": {spooled}, \"retransmitted\": {retransmitted}, \"dropped_spool_overflow\": {dropped} }}"
+                "    {{ \"name\": \"{}\", \"seed_dataflow\": {}, \"match_shards\": {}, \"match_threads\": {}, \"heartbeat_interval_ms\": {}, \"median_ns_per_batch\": {:.0}, \"events_per_sec\": {:.0}, \"spooled\": {}, \"retransmitted\": {}, \"dropped_spool_overflow\": {}, \"pings_sent\": {}, \"liveness_timeouts\": {}, \"evicted_slow_consumers\": {}, \"peer_overflow_disconnects\": {} }}",
+                leg.name,
+                leg.seed_dataflow,
+                leg.match_shards,
+                leg.match_threads,
+                leg.heartbeat_ms,
+                leg.median_ns,
+                leg.events_per_sec,
+                c.spooled,
+                c.retransmitted,
+                c.dropped_spool_overflow,
+                c.pings_sent,
+                c.liveness_timeouts,
+                c.evicted_slow_consumers,
+                c.peer_overflow_disconnects,
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"broker_pipeline\",\n  \"topology\": \"{BROKERS}-broker TCP chain, {SUBSCRIBERS_PER_BROKER} subscribers per broker, {SPACES} information spaces\",\n  \"batch_events\": {BATCH},\n  \"deliveries_per_event\": {},\n  \"configs\": [\n{}\n  ],\n  \"speedup_events_per_sec\": {speedup:.2}\n}}\n",
+        "{{\n  \"bench\": \"broker_pipeline\",\n  \"topology\": \"{BROKERS}-broker TCP chain, {SUBSCRIBERS_PER_BROKER} subscribers per broker, {SPACES} information spaces\",\n  \"batch_events\": {BATCH},\n  \"deliveries_per_event\": {},\n  \"configs\": [\n{}\n  ],\n  \"speedup_events_per_sec\": {speedup:.2},\n  \"heartbeat_overhead_pct\": {heartbeat_overhead_pct:.2},\n  \"heartbeat_overhead_paired_batches\": {paired_rounds}\n}}\n",
         BROKERS * SUBSCRIBERS_PER_BROKER as u64,
         configs_json.join(",\n"),
     );

@@ -38,6 +38,11 @@ const LINK_REDIAL_MAX: Duration = Duration::from_secs(2);
 /// hot-redialed at the minimum interval forever.
 const LINK_STABILITY_WINDOW: Duration = Duration::from_secs(2);
 
+/// Saturating millisecond conversion for intervals stored in atomics.
+fn duration_to_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
+}
+
 /// Configuration of one broker node.
 #[derive(Debug, Clone)]
 pub struct BrokerConfig {
@@ -82,6 +87,37 @@ pub struct BrokerConfig {
     /// unacknowledged frames are dropped and counted in
     /// [`BrokerStats::dropped_spool_overflow`].
     pub link_spool_bound: usize,
+    /// How long a broker link may sit with no *received* traffic before the
+    /// engine probes it with a `Ping`. Doubles as the heartbeat timer's
+    /// tick period, so detection granularity is one interval. This is the
+    /// initial value; [`BrokerNode::set_heartbeat_interval`] retunes a
+    /// running node.
+    pub heartbeat_interval: Duration,
+    /// How long a broker link may stay completely silent (no frames at
+    /// all — a live peer answers pings) before it is declared dead and torn
+    /// down. The link spool keeps every unacknowledged frame, so the redial
+    /// handshake retransmits and nothing is lost. Should be several
+    /// heartbeat intervals.
+    pub liveness_timeout: Duration,
+    /// Per-connection cap on queued outgoing bytes. A client that crosses
+    /// it (a subscriber that stopped reading) is evicted with a final
+    /// `Error` frame; a broker peer that crosses it is disconnected and its
+    /// spool retransmits after the redial. Either way one stalled consumer
+    /// costs at most this much memory, not the broker.
+    pub conn_queue_bound: u64,
+    /// Graceful-shutdown drain deadline: how long [`BrokerNode::shutdown`]
+    /// waits for queued frames (final acks, tail-of-stream deliveries) to
+    /// flush before cutting stragglers off.
+    pub drain_timeout: Duration,
+    /// How long a dialed neighbor may take to send its first frame (the
+    /// `Hello` handshake answer) before the link supervisor gives up and
+    /// redials with backoff. A peer that accepts the TCP connection and
+    /// then stalls would otherwise wedge the link forever.
+    pub link_handshake_timeout: Duration,
+    /// SO_SNDTIMEO applied to every TCP connection: a peer that stops
+    /// reading while the kernel send buffer is full fails the write (and is
+    /// disconnected) instead of wedging a sender-pool thread indefinitely.
+    pub write_stall_timeout: Duration,
     /// Reproduces the pre-pipeline dataflow for A/B measurement: every
     /// outgoing `Forward`/`Deliver` frame re-serializes the event through
     /// the protocol enums, and the outbox writes one frame per syscall
@@ -113,6 +149,12 @@ impl BrokerConfig {
             match_shards: 1,
             match_threads: 1,
             link_spool_bound: 32768,
+            heartbeat_interval: Duration::from_millis(500),
+            liveness_timeout: Duration::from_secs(5),
+            conn_queue_bound: 8 * 1024 * 1024,
+            drain_timeout: Duration::from_secs(1),
+            link_handshake_timeout: Duration::from_secs(2),
+            write_stall_timeout: Duration::from_secs(5),
             seed_dataflow: false,
         }
     }
@@ -152,6 +194,21 @@ pub struct BrokerStats {
     /// (a corrupt stream cannot be re-framed, so the broker cuts it loose
     /// rather than guess at message boundaries).
     pub protocol_errors: u64,
+    /// Liveness probes sent on broker links idle past
+    /// [`BrokerConfig::heartbeat_interval`].
+    pub pings_sent: u64,
+    /// Broker links torn down after staying silent past
+    /// [`BrokerConfig::liveness_timeout`] — half-open and stalled peers the
+    /// kernel would never report.
+    pub liveness_timeouts: u64,
+    /// Client connections evicted for overrunning
+    /// [`BrokerConfig::conn_queue_bound`] (subscribers that stopped
+    /// reading; their logs still replay on reconnect).
+    pub evicted_slow_consumers: u64,
+    /// Broker links disconnected for overrunning
+    /// [`BrokerConfig::conn_queue_bound`]; their spools keep the frames for
+    /// retransmit after the redial.
+    pub peer_overflow_disconnects: u64,
 }
 
 #[derive(Debug, Default)]
@@ -165,6 +222,10 @@ struct StatsInner {
     retransmitted: AtomicU64,
     dropped_spool_overflow: AtomicU64,
     protocol_errors: AtomicU64,
+    pings_sent: AtomicU64,
+    liveness_timeouts: AtomicU64,
+    evicted_slow_consumers: AtomicU64,
+    peer_overflow_disconnects: AtomicU64,
 }
 
 pub(crate) enum Command {
@@ -186,6 +247,13 @@ pub(crate) enum Command {
     },
     /// Periodic garbage collection of client logs.
     GcTick,
+    /// Periodic liveness timer: ping idle broker links, tear down links
+    /// silent past the liveness timeout.
+    HeartbeatTick,
+    /// A connection's outgoing queue crossed
+    /// [`BrokerConfig::conn_queue_bound`] (reported once by the outbox);
+    /// the engine picks the policy — client eviction or peer disconnect.
+    QueueOverflow(ConnId),
     /// Stop the engine loop.
     Shutdown,
 }
@@ -249,6 +317,13 @@ pub struct BrokerNode {
     match_stats: Arc<Vec<Mutex<MatchStats>>>,
     shutdown: Arc<AtomicBool>,
     next_conn: Arc<AtomicU64>,
+    /// [`BrokerConfig::drain_timeout`], kept for the shutdown path.
+    drain_timeout: Duration,
+    /// [`BrokerConfig::link_handshake_timeout`], kept for link supervisors.
+    link_handshake_timeout: Duration,
+    /// Current heartbeat probe interval in milliseconds, shared with the
+    /// ticker thread and the engine loop so it can be retuned at runtime.
+    heartbeat_ms: Arc<AtomicU64>,
     engine_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -266,12 +341,20 @@ impl BrokerNode {
 
         let (cmd_tx, cmd_rx) = unbounded::<Command>();
         let (dead_tx, dead_rx) = unbounded::<ConnId>();
+        let (overflow_tx, overflow_rx) = unbounded::<ConnId>();
         let drain_batch = if config.seed_dataflow {
             1
         } else {
             crate::outbox::DRAIN_BATCH
         };
-        let outbox = Outbox::new(config.sender_threads.max(1), drain_batch, dead_tx)?;
+        let outbox = Outbox::new(
+            config.sender_threads.max(1),
+            drain_batch,
+            config.conn_queue_bound,
+            Some(config.write_stall_timeout),
+            dead_tx,
+            overflow_tx,
+        )?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
         let next_conn = Arc::new(AtomicU64::new(1));
@@ -290,6 +373,21 @@ impl BrokerNode {
                 })?;
         }
 
+        // Forward queue overflows into the command stream (the engine owns
+        // the peer table, so only it can pick eviction vs. disconnect).
+        {
+            let cmd_tx = cmd_tx.clone();
+            std::thread::Builder::new()
+                .name("overflow-fwd".into())
+                .spawn(move || {
+                    for conn in overflow_rx.iter() {
+                        if cmd_tx.send(Command::QueueOverflow(conn)).is_err() {
+                            break;
+                        }
+                    }
+                })?;
+        }
+
         // GC ticker.
         {
             let cmd_tx = cmd_tx.clone();
@@ -301,6 +399,35 @@ impl BrokerNode {
                     while !shutdown.load(Ordering::Acquire) {
                         std::thread::sleep(interval);
                         if cmd_tx.send(Command::GcTick).is_err() {
+                            break;
+                        }
+                    }
+                })?;
+        }
+
+        // Heartbeat ticker: the engine thread does the actual liveness
+        // bookkeeping; this thread only provides the clock edge. The
+        // interval lives in a shared atomic so `set_heartbeat_interval`
+        // can retune a running node; sleeping in short quanta (rather
+        // than one full interval) bounds how long a retune takes to bite.
+        let heartbeat_ms = Arc::new(AtomicU64::new(duration_to_ms(config.heartbeat_interval)));
+        {
+            let cmd_tx = cmd_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let heartbeat_ms = Arc::clone(&heartbeat_ms);
+            std::thread::Builder::new()
+                .name("heartbeat-ticker".into())
+                .spawn(move || {
+                    let mut last_tick = std::time::Instant::now();
+                    while !shutdown.load(Ordering::Acquire) {
+                        let interval =
+                            Duration::from_millis(heartbeat_ms.load(Ordering::Relaxed).max(1));
+                        std::thread::sleep(interval.min(Duration::from_millis(100)));
+                        if last_tick.elapsed() < interval {
+                            continue;
+                        }
+                        last_tick = std::time::Instant::now();
+                        if cmd_tx.send(Command::HeartbeatTick).is_err() {
                             break;
                         }
                     }
@@ -372,6 +499,7 @@ impl BrokerNode {
             let stats = Arc::clone(&stats);
             let match_stats = Arc::clone(&match_stats);
             let config2 = config.clone();
+            let heartbeat_ms = Arc::clone(&heartbeat_ms);
             std::thread::Builder::new()
                 .name(format!("broker-{}", config.broker))
                 .spawn(move || {
@@ -390,6 +518,8 @@ impl BrokerNode {
                         recv_from: HashMap::new(),
                         tombstones: TombstoneSet::default(),
                         sub_ids: SubIdAllocator::new(),
+                        last_heard: HashMap::new(),
+                        heartbeat_ms,
                     }
                     .run(cmd_rx)
                 })?
@@ -405,6 +535,9 @@ impl BrokerNode {
             match_stats,
             shutdown,
             next_conn,
+            drain_timeout: config.drain_timeout,
+            link_handshake_timeout: config.link_handshake_timeout,
+            heartbeat_ms,
             engine_thread: Some(engine_thread),
         })
     }
@@ -412,6 +545,15 @@ impl BrokerNode {
     /// This broker's id.
     pub fn broker(&self) -> BrokerId {
         self.broker
+    }
+
+    /// Retunes the heartbeat probe interval on a running node (ops tuning
+    /// without a restart; benches use it to toggle the sweep). Takes
+    /// effect within one ticker quantum (at most ~100 ms). The liveness
+    /// timeout is a detection policy, not a tuning knob, and stays fixed.
+    pub fn set_heartbeat_interval(&self, interval: Duration) {
+        self.heartbeat_ms
+            .store(duration_to_ms(interval), Ordering::Relaxed);
     }
 
     /// The bound listen address.
@@ -468,6 +610,7 @@ impl BrokerNode {
         let outbox = Arc::clone(&self.outbox);
         let next_conn = Arc::clone(&self.next_conn);
         let shutdown = Arc::clone(&self.shutdown);
+        let handshake_timeout = self.link_handshake_timeout;
         let me = self.broker;
         let _ = std::thread::Builder::new()
             .name(format!("link-{me}-{neighbor}"))
@@ -503,6 +646,11 @@ impl BrokerNode {
                         return;
                     }
                     let established = std::time::Instant::now();
+                    // A peer that accepted the dial owes us its `Hello` (its
+                    // first frame) within the handshake deadline; one that
+                    // accepts and then stalls must not wedge this supervisor.
+                    let handshake_deadline = established + handshake_timeout;
+                    let mut greeted = false;
                     // Inline read loop; on link death, fall through to redial.
                     loop {
                         if shutdown.load(Ordering::Acquire) {
@@ -510,20 +658,32 @@ impl BrokerNode {
                         }
                         match crate::tcp::read_frame(&mut reader) {
                             Ok(Some(payload)) => {
+                                greeted = true;
                                 if cmd_tx.send(Command::Frame(conn, payload)).is_err() {
                                     return;
                                 }
                             }
-                            Ok(None) => continue,
+                            Ok(None) => {
+                                if !greeted && std::time::Instant::now() >= handshake_deadline {
+                                    // Handshake never completed: tear the
+                                    // conn down (the engine unregisters it,
+                                    // closing the socket) and take the
+                                    // backoff path like a failed dial.
+                                    let _ = cmd_tx.send(Command::Disconnected(conn));
+                                    break;
+                                }
+                                continue;
+                            }
                             Err(_) => {
                                 let _ = cmd_tx.send(Command::Disconnected(conn));
                                 break;
                             }
                         }
                     }
-                    // Only a link that proved stable earns a backoff reset;
-                    // an accept-then-die neighbor keeps escalating.
-                    backoff = if established.elapsed() >= LINK_STABILITY_WINDOW {
+                    // Only a link that proved stable (handshake included)
+                    // earns a backoff reset; an accept-then-die or
+                    // accept-then-stall neighbor keeps escalating.
+                    backoff = if greeted && established.elapsed() >= LINK_STABILITY_WINDOW {
                         LINK_REDIAL_MIN
                     } else {
                         (backoff * 2).min(LINK_REDIAL_MAX)
@@ -564,6 +724,10 @@ impl BrokerNode {
             queued_frames,
             queued_bytes,
             protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+            pings_sent: self.stats.pings_sent.load(Ordering::Relaxed),
+            liveness_timeouts: self.stats.liveness_timeouts.load(Ordering::Relaxed),
+            evicted_slow_consumers: self.stats.evicted_slow_consumers.load(Ordering::Relaxed),
+            peer_overflow_disconnects: self.stats.peer_overflow_disconnects.load(Ordering::Relaxed),
         }
     }
 
@@ -584,14 +748,20 @@ impl BrokerNode {
     }
 
     fn shutdown_inner(&mut self) {
+        // The flag stops the acceptor (no new connections join the drain)
+        // and winds reader threads down at their next poll.
         self.shutdown.store(true, Ordering::Release);
         let _ = self.cmd_tx.send(Command::Shutdown);
         if let Some(t) = self.engine_thread.take() {
+            // The engine flushes its final cumulative acks before exiting,
+            // so they are in the outbox queues when the drain starts.
             let _ = t.join();
         }
-        // Close every connection (peers see EOF and can react, e.g. a
-        // supervised link redials) and wind the sender pool down.
-        self.outbox.close();
+        // Drain phase: flush every queue with a deadline and FIN each peer
+        // as its queue empties, so neighbors trim their spools and restarts
+        // don't open on avoidable retransmit storms. Stragglers past the
+        // deadline are cut off; the sender pool winds down either way.
+        self.outbox.drain_all(self.drain_timeout);
     }
 }
 
@@ -678,6 +848,14 @@ struct EngineLoop {
     /// resurrect an unsubscribe that flooded while a link was down.
     tombstones: TombstoneSet,
     sub_ids: SubIdAllocator,
+    /// When each connection last produced a frame (any frame — heartbeats
+    /// only guarantee an idle link still produces *some*). The heartbeat
+    /// tick reads the broker-link entries; client entries exist only so
+    /// `handle_frame` can update blindly, and are dropped in `forget_conn`.
+    last_heard: HashMap<ConnId, std::time::Instant>,
+    /// Current heartbeat probe interval in milliseconds (shared with the
+    /// ticker thread; retunable via [`BrokerNode::set_heartbeat_interval`]).
+    heartbeat_ms: Arc<AtomicU64>,
 }
 
 /// Receive-side state for one neighbor link.
@@ -699,6 +877,8 @@ impl EngineLoop {
                 Command::DialedNeighbor(conn, neighbor) => {
                     self.conns.insert(conn, Peer::Broker(neighbor));
                     self.install_neighbor_conn(neighbor, conn);
+                    // Start the liveness clock: the peer owes us its Hello.
+                    self.last_heard.insert(conn, std::time::Instant::now());
                     // Control traffic (Hello, resync, floods) flows right
                     // away, but Forward dispatch stays spooled-only until
                     // the peer's Hello arrives and the spool is replayed —
@@ -715,7 +895,16 @@ impl EngineLoop {
                     links,
                 } => self.dispatch(&event, tree, &body, links),
                 Command::GcTick => self.collect_garbage(),
-                Command::Shutdown => break,
+                Command::HeartbeatTick => self.heartbeat_tick(),
+                Command::QueueOverflow(conn) => self.handle_queue_overflow(conn),
+                Command::Shutdown => {
+                    // Final courtesy: push cumulative acks for everything
+                    // received but not yet acked, so surviving neighbors
+                    // trim their spools instead of retransmitting the tail
+                    // at our restart. The frames flush in the drain phase.
+                    self.flush_forward_acks();
+                    break;
+                }
             }
         }
         // Dropping self drops the shard senders; workers drain and exit.
@@ -725,6 +914,9 @@ impl EngineLoop {
         let Some(&tag) = payload.first() else {
             return;
         };
+        // Any decodable-or-not frame proves the peer's send path is alive;
+        // the heartbeat tick consumes this for broker links.
+        self.last_heard.insert(conn, std::time::Instant::now());
         if tag < 0x10 {
             // `payload` is cloned (a refcount bump) so the data-plane arms
             // can slice the already-encoded event body out of it instead of
@@ -952,6 +1144,16 @@ impl EngineLoop {
                         .dropped_spool_overflow
                         .load(Ordering::Relaxed),
                     protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+                    pings_sent: self.stats.pings_sent.load(Ordering::Relaxed),
+                    liveness_timeouts: self.stats.liveness_timeouts.load(Ordering::Relaxed),
+                    evicted_slow_consumers: self
+                        .stats
+                        .evicted_slow_consumers
+                        .load(Ordering::Relaxed),
+                    peer_overflow_disconnects: self
+                        .stats
+                        .peer_overflow_disconnects
+                        .load(Ordering::Relaxed),
                 }
                 .encode();
                 self.outbox.send(conn, frame);
@@ -1050,6 +1252,15 @@ impl EngineLoop {
                     debug_assert!(false, "replicated subscription {id} failed to install");
                 }
             }
+            BrokerToBroker::Ping => {
+                // Answer on the same conn: the pong's arrival refreshes the
+                // peer's liveness clock for this link.
+                self.outbox.send(conn, BrokerToBroker::Pong.encode());
+            }
+            BrokerToBroker::Pong => {
+                // Its arrival already refreshed `last_heard` in
+                // `handle_frame`; there is nothing else to do.
+            }
             BrokerToBroker::SubRemove { id } => {
                 // Tombstone-insert doubles as flood dedup: a removal we
                 // already tombstoned has already been flooded onward.
@@ -1081,6 +1292,7 @@ impl EngineLoop {
                 self.outbox.unregister(old);
                 self.conns.remove(&old);
                 self.awaiting_hello.remove(&old);
+                self.last_heard.remove(&old);
             }
         }
     }
@@ -1322,6 +1534,87 @@ impl EngineLoop {
             .send(conn, BrokerToClient::Error { message }.encode());
     }
 
+    /// One heartbeat-timer edge: walk the broker links, tear down any that
+    /// stayed completely silent past the liveness timeout (half-open and
+    /// stalled peers the kernel never reports — the spool keeps their
+    /// frames and the redial handshake retransmits), and ping the merely
+    /// idle ones so a live peer always has something to answer.
+    fn heartbeat_tick(&mut self) {
+        let now = std::time::Instant::now();
+        // Snapshot: teardown mutates `neighbors`.
+        let links: Vec<ConnId> = self.neighbors.values().copied().collect();
+        for conn in links {
+            let idle = match self.last_heard.get(&conn) {
+                Some(&at) => now.saturating_duration_since(at),
+                None => {
+                    // A link installed before this feature had a clock (or
+                    // raced the tick): start one now.
+                    self.last_heard.insert(conn, now);
+                    continue;
+                }
+            };
+            if idle >= self.config.liveness_timeout {
+                self.stats.liveness_timeouts.fetch_add(1, Ordering::Relaxed);
+                // Immediate teardown (not flush-then-close): the peer is
+                // unresponsive, and unregistering shuts the socket so both
+                // our reader and a dialing supervisor notice and redial.
+                self.handle_disconnect(conn);
+            } else if idle.as_millis()
+                >= u128::from(self.heartbeat_ms.load(Ordering::Relaxed).max(1))
+            {
+                self.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
+                self.outbox.send(conn, BrokerToBroker::Ping.encode());
+            }
+        }
+    }
+
+    /// A connection overran [`BrokerConfig::conn_queue_bound`]. Clients are
+    /// evicted with a final flushed `Error` frame (their event logs survive
+    /// for replay on reconnect); broker peers are disconnected without
+    /// ceremony — their spools hold every unacknowledged frame and the
+    /// redial handshake retransmits, so overflow costs a reconnect, not
+    /// events.
+    fn handle_queue_overflow(&mut self, conn: ConnId) {
+        match self.conns.get(&conn) {
+            Some(Peer::Client(_)) => {
+                self.stats
+                    .evicted_slow_consumers
+                    .fetch_add(1, Ordering::Relaxed);
+                let notice = BrokerToClient::Error {
+                    message: "evicted: outgoing queue exceeded conn_queue_bound".into(),
+                }
+                .encode();
+                self.outbox.evict(conn, Some(notice));
+                self.forget_conn(conn);
+            }
+            Some(Peer::Broker(_)) => {
+                self.stats
+                    .peer_overflow_disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                self.handle_disconnect(conn);
+            }
+            None => {
+                // Overflow before the peer even said hello: nothing owed.
+                self.outbox.evict(conn, None);
+            }
+        }
+    }
+
+    /// Pushes a cumulative `FwdAck` to every neighbor we owe one (received
+    /// frames not yet acknowledged). Shared by the GC tick (idle links
+    /// below the ack cadence) and the shutdown path.
+    fn flush_forward_acks(&mut self) {
+        for (&broker, recv) in self.recv_from.iter_mut() {
+            if recv.seq > recv.acked_sent {
+                if let Some(&conn) = self.neighbors.get(&broker) {
+                    recv.acked_sent = recv.seq;
+                    self.outbox
+                        .send(conn, BrokerToBroker::FwdAck { seq: recv.seq }.encode());
+                }
+            }
+        }
+    }
+
     fn handle_disconnect(&mut self, conn: ConnId) {
         self.outbox.unregister(conn);
         self.forget_conn(conn);
@@ -1333,6 +1626,7 @@ impl EngineLoop {
     /// for `conn` without touching the transport.
     fn forget_conn(&mut self, conn: ConnId) {
         self.awaiting_hello.remove(&conn);
+        self.last_heard.remove(&conn);
         match self.conns.remove(&conn) {
             Some(Peer::Client(client)) => {
                 if let Some(state) = self.clients.get_mut(&client) {
@@ -1361,15 +1655,7 @@ impl EngineLoop {
         });
         // Flush pending forward acks, so a link that went quiet below the
         // ack cadence still lets the neighbor trim its spool.
-        for (&broker, recv) in self.recv_from.iter_mut() {
-            if recv.seq > recv.acked_sent {
-                if let Some(&conn) = self.neighbors.get(&broker) {
-                    recv.acked_sent = recv.seq;
-                    self.outbox
-                        .send(conn, BrokerToBroker::FwdAck { seq: recv.seq }.encode());
-                }
-            }
-        }
+        self.flush_forward_acks();
         // Trim acknowledged spool entries and enforce the per-link bound
         // for neighbors that stay down.
         for spool in self.spools.values_mut() {

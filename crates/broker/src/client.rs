@@ -71,6 +71,14 @@ pub struct NodeCounters {
     pub dropped_spool_overflow: u64,
     /// Undecodable frames that cost their sender the connection.
     pub protocol_errors: u64,
+    /// Liveness probes sent on idle broker links.
+    pub pings_sent: u64,
+    /// Broker links torn down for silence past the liveness timeout.
+    pub liveness_timeouts: u64,
+    /// Client connections evicted at the per-connection queue bound.
+    pub evicted_slow_consumers: u64,
+    /// Broker links disconnected at the per-connection queue bound.
+    pub peer_overflow_disconnects: u64,
 }
 
 /// A connected pub/sub client.
@@ -281,6 +289,10 @@ impl Client {
                     retransmitted,
                     dropped_spool_overflow,
                     protocol_errors,
+                    pings_sent,
+                    liveness_timeouts,
+                    evicted_slow_consumers,
+                    peer_overflow_disconnects,
                 } => {
                     return Ok(NodeCounters {
                         published,
@@ -292,6 +304,10 @@ impl Client {
                         retransmitted,
                         dropped_spool_overflow,
                         protocol_errors,
+                        pings_sent,
+                        liveness_timeouts,
+                        evicted_slow_consumers,
+                        peer_overflow_disconnects,
                     })
                 }
                 BrokerToClient::Deliver { seq, event } => {

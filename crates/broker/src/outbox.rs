@@ -14,6 +14,7 @@ use std::io::{self, IoSlice, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -48,6 +49,12 @@ pub(crate) struct Conn {
     /// Set by [`Outbox::close_after_flush`]: the drain loop shuts the sink
     /// down once the queue empties instead of parking the connection.
     closing: AtomicBool,
+    /// Bytes currently queued on this connection — the per-connection half
+    /// of the depth counters, read by the overflow check on every enqueue.
+    queued_bytes: AtomicU64,
+    /// Whether this connection has already been reported on `overflow_tx`
+    /// (the engine is told exactly once; its policy decides what follows).
+    overflowed: AtomicBool,
 }
 
 impl Conn {
@@ -72,10 +79,22 @@ pub(crate) struct Outbox {
     /// Write failures are reported here (the engine treats them as
     /// disconnects).
     dead_tx: Sender<ConnId>,
+    /// Connections whose queue crossed `conn_queue_bound` are reported here
+    /// (once each); the engine decides between eviction and disconnect.
+    overflow_tx: Sender<ConnId>,
     /// Frames currently enqueued across all connections.
     queued_frames: AtomicU64,
     /// Bytes currently enqueued across all connections.
     queued_bytes: AtomicU64,
+    /// Per-connection cap on queued bytes. Frames enqueued past the cap are
+    /// dropped (broker peers replay from their spool, clients from their
+    /// log) so one stalled consumer bounds the broker's memory instead of
+    /// exhausting it.
+    conn_queue_bound: u64,
+    /// SO_SNDTIMEO applied to TCP sinks at registration: a peer that stops
+    /// reading while the kernel buffer is full fails the write instead of
+    /// wedging a sender-pool thread forever.
+    write_stall_timeout: Option<Duration>,
     /// Frames per drain turn ([`DRAIN_BATCH`] normally; 1 reproduces the
     /// seed's frame-at-a-time writes for A/B benchmarking).
     drain_batch: usize,
@@ -84,11 +103,15 @@ pub(crate) struct Outbox {
 impl Outbox {
     /// Creates the outbox and spawns `senders` pool threads, each draining
     /// up to `drain_batch` frames per connection turn. Dead connections are
-    /// announced on the returned receiver's sender side.
+    /// announced on `dead_tx`; connections crossing `conn_queue_bound`
+    /// queued bytes are announced (once each) on `overflow_tx`.
     pub(crate) fn new(
         senders: usize,
         drain_batch: usize,
+        conn_queue_bound: u64,
+        write_stall_timeout: Option<Duration>,
         dead_tx: Sender<ConnId>,
+        overflow_tx: Sender<ConnId>,
     ) -> io::Result<Arc<Outbox>> {
         assert!(senders > 0, "at least one sender thread required");
         let (work_tx, work_rx) = unbounded::<Arc<Conn>>();
@@ -96,8 +119,11 @@ impl Outbox {
             conns: RwLock::new(HashMap::new()),
             work_tx: Mutex::new(Some(work_tx)),
             dead_tx,
+            overflow_tx,
             queued_frames: AtomicU64::new(0),
             queued_bytes: AtomicU64::new(0),
+            conn_queue_bound: conn_queue_bound.max(1),
+            write_stall_timeout,
             drain_batch: drain_batch.max(1),
         });
         for i in 0..senders {
@@ -123,6 +149,11 @@ impl Outbox {
 
     /// Registers a connection.
     pub(crate) fn register(&self, id: ConnId, sink: Sink) {
+        if let Sink::Tcp(stream) = &sink {
+            // Best effort: a socket we cannot time-stamp still works, it
+            // just loses the stalled-writer protection.
+            let _ = stream.set_write_timeout(self.write_stall_timeout);
+        }
         let conn = Arc::new(Conn {
             id,
             sink,
@@ -130,6 +161,8 @@ impl Outbox {
             draining: AtomicBool::new(false),
             dead: AtomicBool::new(false),
             closing: AtomicBool::new(false),
+            queued_bytes: AtomicU64::new(0),
+            overflowed: AtomicBool::new(false),
         });
         self.conns.write().insert(id, conn);
     }
@@ -166,6 +199,68 @@ impl Outbox {
             // queue empties; otherwise this schedules the final drain.
             self.schedule(conn);
         }
+    }
+
+    /// Evicts a connection that overran its queue bound: the backlog is
+    /// discarded (a slow consumer's own socket is what backed it up — it
+    /// cannot be flushed), the optional `notice` frame is written out, and
+    /// the socket is shut down. The write-stall timeout bounds how long the
+    /// notice write can occupy a pool thread against a full kernel buffer.
+    pub(crate) fn evict(&self, id: ConnId, notice: Option<Bytes>) {
+        let removed = self.conns.write().remove(&id);
+        let Some(conn) = removed else {
+            return;
+        };
+        self.discard_queue(&conn);
+        match notice {
+            Some(frame) => {
+                {
+                    let mut q = conn.queue.lock();
+                    self.queued_frames.fetch_add(1, Ordering::Relaxed);
+                    self.queued_bytes
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    conn.queued_bytes
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    q.push_back(frame);
+                    // Same lost-wakeup protocol as `close_after_flush`: set
+                    // under the queue lock so a mid-flight drain cannot
+                    // park without observing it.
+                    conn.closing.store(true, Ordering::Release);
+                }
+                self.schedule(conn);
+            }
+            None => {
+                conn.dead.store(true, Ordering::Release);
+                conn.shutdown_sink();
+            }
+        }
+    }
+
+    /// Graceful-shutdown drain: switches every connection to
+    /// close-after-flush (each FINs as its queue empties) and blocks until
+    /// all of them have finished or `deadline` passes, after which the
+    /// stragglers are cut off. Always closes the work channel so the
+    /// sender pool exits. Returns whether every queue flushed in time.
+    pub(crate) fn drain_all(&self, deadline: Duration) -> bool {
+        let conns: Vec<Arc<Conn>> = self.conns.read().values().cloned().collect();
+        for conn in &conns {
+            self.close_after_flush(conn.id);
+        }
+        let start = std::time::Instant::now();
+        let mut clean = true;
+        for conn in &conns {
+            // `dead` is the drain loop's completion mark: set only after
+            // the queue emptied (or the write failed) and the FIN went out.
+            while !conn.dead.load(Ordering::Acquire) {
+                if start.elapsed() >= deadline {
+                    clean = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        self.close();
+        clean
     }
 
     /// Enqueues a frame for asynchronous sending. Unknown or dead
@@ -221,9 +316,21 @@ impl Outbox {
         if conn.dead.load(Ordering::Acquire) {
             return;
         }
+        let len = frame.len() as u64;
+        let queued = conn.queued_bytes.fetch_add(len, Ordering::Relaxed) + len;
+        if queued > self.conn_queue_bound {
+            // Past the cap: drop the frame (reliability lives upstream —
+            // broker links replay from their spool, clients from their
+            // log) and tell the engine once so it can apply its policy.
+            conn.queued_bytes.fetch_sub(len, Ordering::Relaxed);
+            if !conn.overflowed.swap(true, Ordering::AcqRel) {
+                // analyzer:allow(hold-across-blocking): unbounded channel, the send never blocks
+                let _ = self.overflow_tx.send(conn.id);
+            }
+            return;
+        }
         self.queued_frames.fetch_add(1, Ordering::Relaxed);
-        self.queued_bytes
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.queued_bytes.fetch_add(len, Ordering::Relaxed);
         conn.queue.lock().push_back(frame);
         self.schedule(conn);
     }
@@ -245,6 +352,7 @@ impl Outbox {
         self.queued_frames
             .fetch_sub(q.len() as u64, Ordering::Relaxed);
         self.queued_bytes.fetch_sub(bytes as u64, Ordering::Relaxed);
+        conn.queued_bytes.fetch_sub(bytes as u64, Ordering::Relaxed);
         q.clear();
     }
 
@@ -305,6 +413,7 @@ impl Outbox {
             self.queued_frames
                 .fetch_sub(batch.len() as u64, Ordering::Relaxed);
             self.queued_bytes.fetch_sub(bytes as u64, Ordering::Relaxed);
+            conn.queued_bytes.fetch_sub(bytes as u64, Ordering::Relaxed);
             if conn.dead.load(Ordering::Acquire) {
                 return;
             }
@@ -376,10 +485,17 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    /// An outbox with no overflow cap and no overflow listener — the shape
+    /// every pre-existing test wants.
+    fn test_outbox(senders: usize, dead_tx: Sender<ConnId>) -> Arc<Outbox> {
+        let (overflow_tx, _overflow_rx) = unbounded();
+        Outbox::new(senders, DRAIN_BATCH, u64::MAX, None, dead_tx, overflow_tx).unwrap()
+    }
+
     #[test]
     fn frames_arrive_in_order_per_connection() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(4, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(4, dead_tx);
         let (tx, rx) = unbounded::<Bytes>();
         outbox.register(1, Sink::Chan(tx));
         for i in 0..100u8 {
@@ -396,7 +512,7 @@ mod tests {
     #[test]
     fn many_connections_share_the_pool() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(2, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(2, dead_tx);
         let mut receivers = Vec::new();
         for id in 0..20u64 {
             let (tx, rx) = unbounded::<Bytes>();
@@ -418,7 +534,7 @@ mod tests {
     #[test]
     fn send_many_shares_one_buffer_across_links() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(2, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(2, dead_tx);
         let mut receivers = Vec::new();
         for id in 0..8u64 {
             let (tx, rx) = unbounded::<Bytes>();
@@ -438,7 +554,7 @@ mod tests {
     #[test]
     fn queue_depth_returns_to_zero_after_drain() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(1, dead_tx);
         let (tx, rx) = unbounded::<Bytes>();
         outbox.register(1, Sink::Chan(tx));
         // 3 * DRAIN_BATCH frames exercises the bounded-batch path.
@@ -491,7 +607,7 @@ mod tests {
     #[test]
     fn dead_peers_are_reported_once_and_dropped() {
         let (dead_tx, dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(1, dead_tx);
         let (tx, rx) = unbounded::<Bytes>();
         outbox.register(7, Sink::Chan(tx));
         drop(rx); // peer hangs up
@@ -522,7 +638,7 @@ mod tests {
             .set_read_timeout(Some(Duration::from_secs(5)))
             .unwrap();
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(1, dead_tx);
         outbox.register(1, Sink::Tcp(stream));
         outbox.unregister(1);
         // The remote peer sees the FIN...
@@ -535,7 +651,7 @@ mod tests {
     #[test]
     fn close_after_flush_delivers_queued_frames_then_hangs_up() {
         let (dead_tx, _dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(1, dead_tx);
         let (tx, rx) = unbounded::<Bytes>();
         outbox.register(1, Sink::Chan(tx));
         let total = 2 * DRAIN_BATCH;
@@ -545,10 +661,7 @@ mod tests {
         outbox.close_after_flush(1);
         // Unlike unregister, everything queued still goes out...
         for i in 0..total {
-            assert_eq!(
-                rx.recv_timeout(Duration::from_secs(2)).unwrap()[0],
-                i as u8
-            );
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap()[0], i as u8);
         }
         // ...and only then does the peer see the hangup.
         match rx.recv_timeout(Duration::from_secs(2)) {
@@ -562,9 +675,186 @@ mod tests {
     }
 
     #[test]
+    fn overflow_is_reported_once_and_excess_frames_drop() {
+        let (dead_tx, _dead_rx) = unbounded();
+        let (overflow_tx, overflow_rx) = unbounded();
+        // 1 KiB cap; the sink is a rendezvous-ish bounded channel so the
+        // drain thread wedges on the first frame and the queue backs up —
+        // the same shape as a TCP peer that stopped reading.
+        let outbox = Outbox::new(1, DRAIN_BATCH, 1024, None, dead_tx, overflow_tx).unwrap();
+        let (tx, rx) = crossbeam::channel::bounded::<Bytes>(1);
+        outbox.register(1, Sink::Chan(tx));
+        for _ in 0..16 {
+            outbox.send(1, Bytes::from(vec![0u8; 256]));
+        }
+        assert_eq!(
+            overflow_rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            1,
+            "crossing the cap must be reported"
+        );
+        // Reported exactly once, no matter how much more is offered.
+        outbox.send(1, Bytes::from(vec![0u8; 4096]));
+        assert!(overflow_rx
+            .recv_timeout(Duration::from_millis(100))
+            .is_err());
+        // The queue never grew past the cap: everything offered beyond it
+        // was dropped, not buffered.
+        let (_, queued) = outbox.queue_depth();
+        assert!(queued <= 1024, "queued {queued} bytes exceeds the cap");
+        // Eviction sheds the backlog and the depth counters balance.
+        outbox.evict(1, None);
+        assert_eq!(outbox.queue_depth(), (0, 0));
+        assert_eq!(outbox.len(), 0);
+        drop(rx); // unwedge the pool thread
+    }
+
+    #[test]
+    fn evict_discards_backlog_but_flushes_the_notice() {
+        let (dead_tx, _dead_rx) = unbounded();
+        let outbox = test_outbox(1, dead_tx);
+        // A one-slot sink holding the drain thread on frame 0 keeps the
+        // rest of the backlog in the queue, so the eviction has something
+        // to discard.
+        let (tx, rx) = crossbeam::channel::bounded::<Bytes>(1);
+        outbox.register(1, Sink::Chan(tx));
+        // Far more than one drain batch: at most DRAIN_BATCH frames can be
+        // in flight (popped into a pool thread's local batch); the rest
+        // must still be in the queue when the eviction lands.
+        let total = 3 * DRAIN_BATCH;
+        for i in 0..total {
+            outbox.send(1, Bytes::from(vec![i as u8]));
+        }
+        // Wait for the drain thread to park on the full channel.
+        for _ in 0..200 {
+            if rx.len() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        outbox.evict(1, Some(Bytes::from_static(b"notice")));
+        // Everything still queued was discarded; the notice is the last
+        // thing the peer sees before the hangup. (Frames already popped
+        // into the in-flight drain batch may precede it.)
+        let mut seen = Vec::new();
+        loop {
+            match rx.recv_timeout(Duration::from_secs(2)) {
+                Ok(frame) => seen.push(frame),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                Err(e) => panic!("expected hangup after the notice, got {e:?}"),
+            }
+        }
+        assert_eq!(seen.last().map(|b| &b[..]), Some(&b"notice"[..]));
+        assert!(
+            seen.len() <= DRAIN_BATCH + 1,
+            "only the in-flight batch and the notice may survive an \
+             eviction, got {} frames",
+            seen.len()
+        );
+        assert_eq!(outbox.queue_depth(), (0, 0));
+        assert_eq!(outbox.len(), 0);
+    }
+
+    #[test]
+    fn drain_all_flushes_queues_then_hangs_up() {
+        let (dead_tx, _dead_rx) = unbounded();
+        let outbox = test_outbox(2, dead_tx);
+        let mut receivers = Vec::new();
+        for id in 0..4u64 {
+            let (tx, rx) = unbounded::<Bytes>();
+            outbox.register(id, Sink::Chan(tx));
+            receivers.push(rx);
+        }
+        let total = 2 * DRAIN_BATCH;
+        for id in 0..4u64 {
+            for i in 0..total {
+                outbox.send(id, Bytes::from(vec![i as u8]));
+            }
+        }
+        assert!(
+            outbox.drain_all(Duration::from_secs(5)),
+            "drain must finish"
+        );
+        for rx in &receivers {
+            for i in 0..total {
+                assert_eq!(
+                    rx.recv_timeout(Duration::from_secs(2)).unwrap()[0],
+                    i as u8,
+                    "every queued frame flushes before the FIN"
+                );
+            }
+            match rx.recv_timeout(Duration::from_secs(2)) {
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {}
+                other => panic!("expected hangup after the drain, got {other:?}"),
+            }
+        }
+        assert_eq!(outbox.queue_depth(), (0, 0));
+        assert_eq!(outbox.len(), 0);
+    }
+
+    #[test]
+    fn drain_all_gives_up_on_wedged_peers_at_the_deadline() {
+        let (dead_tx, _dead_rx) = unbounded();
+        let outbox = test_outbox(1, dead_tx);
+        // A one-slot channel nobody drains: the first frame fills the
+        // slot, the second wedges the pool thread, so the flush can never
+        // complete.
+        let (tx, rx) = crossbeam::channel::bounded::<Bytes>(1);
+        outbox.register(1, Sink::Chan(tx));
+        outbox.send(1, Bytes::from_static(b"fills"));
+        outbox.send(1, Bytes::from_static(b"stuck"));
+        let start = std::time::Instant::now();
+        assert!(
+            !outbox.drain_all(Duration::from_millis(200)),
+            "a wedged peer must not drain cleanly"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the deadline bounds the drain"
+        );
+        drop(rx); // unwedge the pool thread
+    }
+
+    #[test]
+    fn write_stall_timeout_fails_the_writer_instead_of_wedging_it() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let (dead_tx, dead_rx) = unbounded();
+        let (overflow_tx, _overflow_rx) = unbounded();
+        let outbox = Outbox::new(
+            1,
+            DRAIN_BATCH,
+            u64::MAX,
+            Some(Duration::from_millis(300)),
+            dead_tx,
+            overflow_tx,
+        )
+        .unwrap();
+        outbox.register(1, Sink::Tcp(stream));
+        // `client` never reads: the kernel buffers fill and the blocking
+        // write must fail at the stall timeout instead of parking the pool
+        // thread forever.
+        let chunk = vec![0u8; 64 * 1024];
+        let start = std::time::Instant::now();
+        loop {
+            outbox.send(1, Bytes::from(chunk.clone()));
+            match dead_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(id) => {
+                    assert_eq!(id, 1);
+                    break;
+                }
+                Err(_) if start.elapsed() < Duration::from_secs(30) => continue,
+                Err(e) => panic!("writer never failed over a stalled peer: {e:?}"),
+            }
+        }
+        drop(client);
+    }
+
+    #[test]
     fn unregistered_connections_drop_frames() {
         let (dead_tx, dead_rx) = unbounded();
-        let outbox = Outbox::new(1, DRAIN_BATCH, dead_tx).unwrap();
+        let outbox = test_outbox(1, dead_tx);
         outbox.send(99, Bytes::from_static(b"x"));
         assert!(dead_rx.recv_timeout(Duration::from_millis(50)).is_err());
 

@@ -136,6 +136,15 @@ pub enum BrokerToClient {
         dropped_spool_overflow: u64,
         /// Undecodable frames that cost their sender the connection.
         protocol_errors: u64,
+        /// Liveness probes sent on idle broker links.
+        pings_sent: u64,
+        /// Broker links torn down for silence past the liveness timeout.
+        liveness_timeouts: u64,
+        /// Client connections evicted at the per-connection queue bound.
+        evicted_slow_consumers: u64,
+        /// Broker links disconnected at the per-connection queue bound
+        /// (their spools keep the frames for retransmit-on-redial).
+        peer_overflow_disconnects: u64,
     },
 }
 
@@ -200,6 +209,14 @@ pub enum BrokerToBroker {
         /// The subscription to remove.
         id: SubscriptionId,
     },
+    /// Liveness probe. Sent on a link with no received traffic for a
+    /// heartbeat interval; the peer answers with [`Pong`](Self::Pong).
+    /// Carries no state — any frame arrival refreshes the receiver's
+    /// liveness clock, a `Ping` merely guarantees there is one.
+    Ping,
+    /// Liveness probe answer. Like `Ping`, its only payload is its
+    /// arrival.
+    Pong,
 }
 
 // Tag bytes are owned by `FrameTag` in `linkcast_types::wire` — the consts
@@ -224,6 +241,8 @@ const B2B_FORWARD: u8 = FrameTag::Forward as u8;
 const B2B_SUBADD: u8 = FrameTag::SubAdd as u8;
 const B2B_SUBREMOVE: u8 = FrameTag::SubRemove as u8;
 const B2B_FWDACK: u8 = FrameTag::FwdAck as u8;
+const B2B_PING: u8 = FrameTag::Ping as u8;
+const B2B_PONG: u8 = FrameTag::Pong as u8;
 
 fn frame(payload: BytesMut) -> Bytes {
     let mut out = BytesMut::with_capacity(payload.len() + 4);
@@ -417,6 +436,10 @@ impl BrokerToClient {
                 retransmitted,
                 dropped_spool_overflow,
                 protocol_errors,
+                pings_sent,
+                liveness_timeouts,
+                evicted_slow_consumers,
+                peer_overflow_disconnects,
             } => {
                 b.put_u8(B2C_STATS);
                 b.put_u64_le(*published);
@@ -428,6 +451,10 @@ impl BrokerToClient {
                 b.put_u64_le(*retransmitted);
                 b.put_u64_le(*dropped_spool_overflow);
                 b.put_u64_le(*protocol_errors);
+                b.put_u64_le(*pings_sent);
+                b.put_u64_le(*liveness_timeouts);
+                b.put_u64_le(*evicted_slow_consumers);
+                b.put_u64_le(*peer_overflow_disconnects);
             }
         }
         frame(b)
@@ -482,7 +509,7 @@ impl BrokerToClient {
                 message: wire::get_str(buf)?,
             }),
             B2C_STATS => {
-                if buf.remaining() < 72 {
+                if buf.remaining() < 104 {
                     return Err(ProtocolError::Malformed("short stats".into()));
                 }
                 Ok(BrokerToClient::Stats {
@@ -495,6 +522,10 @@ impl BrokerToClient {
                     retransmitted: buf.get_u64_le(),
                     dropped_spool_overflow: buf.get_u64_le(),
                     protocol_errors: buf.get_u64_le(),
+                    pings_sent: buf.get_u64_le(),
+                    liveness_timeouts: buf.get_u64_le(),
+                    evicted_slow_consumers: buf.get_u64_le(),
+                    peer_overflow_disconnects: buf.get_u64_le(),
                 })
             }
             tag => Err(ProtocolError::Malformed(format!(
@@ -542,6 +573,12 @@ impl BrokerToBroker {
             BrokerToBroker::SubRemove { id } => {
                 b.put_u8(B2B_SUBREMOVE);
                 b.put_u32_le(id.raw());
+            }
+            BrokerToBroker::Ping => {
+                b.put_u8(B2B_PING);
+            }
+            BrokerToBroker::Pong => {
+                b.put_u8(B2B_PONG);
             }
         }
         frame(b)
@@ -610,6 +647,8 @@ impl BrokerToBroker {
                     id: SubscriptionId::new(buf.get_u32_le()),
                 })
             }
+            B2B_PING => Ok(BrokerToBroker::Ping),
+            B2B_PONG => Ok(BrokerToBroker::Pong),
             tag => Err(ProtocolError::Malformed(format!(
                 "unknown broker-to-broker tag {tag:#x}"
             ))),
@@ -707,6 +746,10 @@ mod tests {
                 retransmitted: 7,
                 dropped_spool_overflow: 8,
                 protocol_errors: 9,
+                pings_sent: 10,
+                liveness_timeouts: 11,
+                evicted_slow_consumers: 12,
+                peer_overflow_disconnects: 13,
             },
         ];
         for m in messages {
@@ -755,6 +798,12 @@ mod tests {
             BrokerToBroker::decode(strip(ack.encode()), &reg).unwrap(),
             ack
         );
+        for probe in [BrokerToBroker::Ping, BrokerToBroker::Pong] {
+            assert_eq!(
+                BrokerToBroker::decode(strip(probe.encode()), &reg).unwrap(),
+                probe
+            );
+        }
 
         let event = Event::from_values(schema, [Value::str("X"), Value::Int(2)]).unwrap();
         let fwd = BrokerToBroker::Forward {

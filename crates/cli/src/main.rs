@@ -218,6 +218,16 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         counters.dropped_spool_overflow
     );
     println!("  protocol_errors:        {}", counters.protocol_errors);
+    println!("  pings_sent:             {}", counters.pings_sent);
+    println!("  liveness_timeouts:      {}", counters.liveness_timeouts);
+    println!(
+        "  evicted_slow_consumers: {}",
+        counters.evicted_slow_consumers
+    );
+    println!(
+        "  peer_overflow_disconnects: {}",
+        counters.peer_overflow_disconnects
+    );
     Ok(())
 }
 

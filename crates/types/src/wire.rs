@@ -76,6 +76,14 @@ pub enum FrameTag {
     SubRemove = 0x24,
     /// Cumulative `Forward` acknowledgment (broker ↔ broker).
     FwdAck = 0x25,
+    /// Liveness probe on an idle link (broker ↔ broker). A broker that has
+    /// heard nothing from a neighbor for a heartbeat interval sends one;
+    /// a silent link past the liveness timeout is torn down.
+    Ping = 0x26,
+    /// Liveness probe answer (broker ↔ broker). Any received frame proves
+    /// liveness, but `Pong` is the guaranteed answer to a `Ping` on an
+    /// otherwise idle link.
+    Pong = 0x27,
 }
 
 fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {

@@ -1,15 +1,18 @@
 // Part of the seeded wire fixture: T_DATA is decoded but never encoded,
-// and FrameTag::Orphan has no const at all.
+// FrameTag::Orphan has no const at all, and T_PROBE is encoded but has
+// no decode arm (a heartbeat the peer would count as a protocol error).
 
 const T_PING: u8 = FrameTag::Ping as u8;
 const T_PONG: u8 = FrameTag::Pong as u8;
 const T_DATA: u8 = FrameTag::Data as u8;
+const T_PROBE: u8 = FrameTag::Probe as u8;
 
 pub enum ClientToBroker {
     Ping,
     Data,
 }
 pub enum BrokerToBroker {
+    Ping, // seeded: decoded but never dispatched (a Ping nobody answers)
     Pong,
 }
 pub enum BrokerToClient {
@@ -19,6 +22,7 @@ pub enum BrokerToClient {
 fn encode(out: &mut Vec<u8>) {
     out.put_u8(T_PING);
     out.put_u8(T_PONG);
+    out.put_u8(T_PROBE);
 }
 
 fn decode(tag: u8) {

@@ -7,4 +7,5 @@ pub enum FrameTag {
     Pong = 0x02,
     Data = 0x03,
     Orphan = 0x04, // seeded: no tag const binds this variant
+    Probe = 0x05,  // seeded: encoded but missing from the decode match
 }

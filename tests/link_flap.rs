@@ -1,198 +1,27 @@
 //! Fault injection for broker–broker links.
 //!
-//! Each inter-broker link runs through a [`FlakyLink`] TCP proxy that the
-//! test kills and revives mid-publish. With the per-link spool (PR 2) the
-//! broker mesh must deliver exactly the flooding-baseline event set through
-//! repeated flaps: nothing lost (the spool retransmits after the reconnect
-//! handshake), nothing duplicated (the receive window dedups), and
-//! unsubscribes must not be resurrected by the anti-entropy resync (the
-//! tombstone filter).
+//! Each inter-broker link runs through a [`FaultLink`] TCP proxy (the
+//! shared harness in `tests/fault/mod.rs`) that the test kills and revives
+//! mid-publish. With the per-link spool (PR 2) the broker mesh must
+//! deliver exactly the flooding-baseline event set through repeated flaps:
+//! nothing lost (the spool retransmits after the reconnect handshake),
+//! nothing duplicated (the receive window dedups), and unsubscribes must
+//! not be resurrected by the anti-entropy resync (the tombstone filter).
+//! The wider fault matrix (half-open stalls, partial writes, corruption,
+//! delays) lives in `tests/fault_matrix.rs`.
 //!
 //! The flap schedule is driven by a seeded LCG; `LINKFLAP_SEED` selects the
 //! seed (default 42) so CI can run a fixed matrix.
 
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+mod fault;
+
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fault::{await_subscriptions, registry, seed_from_env, tick, FaultLink, Lcg};
 use linkcast::{NetworkBuilder, RoutingFabric};
 use linkcast_broker::{BrokerConfig, BrokerNode, Client};
-use linkcast_types::{
-    BrokerId, ClientId, Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind,
-};
-
-/// A deterministic flap schedule (64-bit LCG, Knuth's constants).
-struct Lcg(u64);
-
-impl Lcg {
-    fn new(seed: u64) -> Lcg {
-        Lcg(seed
-            .wrapping_mul(2862933555777941757)
-            .wrapping_add(3037000493))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 16
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-fn seed_from_env() -> u64 {
-    std::env::var("LINKFLAP_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
-}
-
-/// A killable TCP proxy standing in for one broker–broker link.
-///
-/// While up, accepted connections are pumped byte-for-byte to the upstream
-/// broker. [`FlakyLink::kill`] severs every proxied connection (both sides
-/// see EOF, exactly like a cut cable); while down, new dials are accepted
-/// and immediately dropped, so the supervisor's redial loop keeps spinning
-/// against a flapping endpoint. [`FlakyLink::revive`] restores service for
-/// subsequent dials.
-struct FlakyLink {
-    addr: SocketAddr,
-    up: Arc<AtomicBool>,
-    stall: Arc<AtomicBool>,
-    streams: Arc<Mutex<Vec<TcpStream>>>,
-}
-
-impl FlakyLink {
-    fn start(upstream: SocketAddr) -> FlakyLink {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let up = Arc::new(AtomicBool::new(true));
-        let stall = Arc::new(AtomicBool::new(false));
-        let streams = Arc::new(Mutex::new(Vec::<TcpStream>::new()));
-        {
-            let up = Arc::clone(&up);
-            let stall = Arc::clone(&stall);
-            let streams = Arc::clone(&streams);
-            std::thread::spawn(move || {
-                for incoming in listener.incoming() {
-                    let Ok(client) = incoming else { break };
-                    if !up.load(Ordering::Acquire) {
-                        // Down: accept-and-drop, the dialer sees instant EOF.
-                        drop(client);
-                        continue;
-                    }
-                    let Ok(server) = TcpStream::connect(upstream) else {
-                        drop(client);
-                        continue;
-                    };
-                    let _ = client.set_nodelay(true);
-                    let _ = server.set_nodelay(true);
-                    {
-                        let mut held = streams.lock().unwrap();
-                        held.push(client.try_clone().unwrap());
-                        held.push(server.try_clone().unwrap());
-                    }
-                    pump(
-                        client.try_clone().unwrap(),
-                        server.try_clone().unwrap(),
-                        None,
-                    );
-                    // The upstream→dialer direction is stallable, so tests
-                    // can hold a reconnect handshake reply in flight.
-                    pump(server, client, Some(Arc::clone(&stall)));
-                }
-            });
-        }
-        FlakyLink {
-            addr,
-            up,
-            stall,
-            streams,
-        }
-    }
-
-    /// The address brokers dial instead of the real neighbor.
-    fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Cuts the link: every proxied connection dies, new dials are dropped.
-    fn kill(&self) {
-        self.up.store(false, Ordering::Release);
-        for stream in self.streams.lock().unwrap().drain(..) {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
-
-    /// Restores the link for future dials.
-    fn revive(&self) {
-        self.up.store(true, Ordering::Release);
-    }
-
-    /// Holds back upstream→dialer bytes (e.g. the acceptor's `Hello`
-    /// reply) while set, widening the dialer's reconnect window
-    /// deterministically. Dialer→upstream traffic keeps flowing.
-    fn stall_replies(&self, on: bool) {
-        self.stall.store(on, Ordering::Release);
-    }
-}
-
-/// One direction of a proxied connection; bytes are held (not dropped)
-/// while `stall` is set.
-fn pump(mut from: TcpStream, to: TcpStream, stall: Option<Arc<AtomicBool>>) {
-    std::thread::spawn(move || {
-        use std::io::{Read, Write};
-        let mut to = to;
-        let mut buf = [0u8; 4096];
-        loop {
-            match from.read(&mut buf) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => {
-                    if let Some(flag) = &stall {
-                        while flag.load(Ordering::Acquire) {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
-                    }
-                    if to.write_all(&buf[..n]).is_err() {
-                        break;
-                    }
-                }
-            }
-        }
-        let _ = from.shutdown(Shutdown::Both);
-        let _ = to.shutdown(Shutdown::Both);
-    });
-}
-
-fn registry() -> Arc<SchemaRegistry> {
-    let mut r = SchemaRegistry::new();
-    r.register(
-        EventSchema::builder("ticks")
-            .attribute("n", ValueKind::Int)
-            .build()
-            .unwrap(),
-    )
-    .unwrap();
-    Arc::new(r)
-}
-
-fn tick(registry: &SchemaRegistry, n: i64) -> Event {
-    let schema = registry.get(SchemaId::new(0)).unwrap();
-    Event::from_values(schema, [Value::Int(n)]).unwrap()
-}
-
-fn await_subscriptions(nodes: &[&BrokerNode], want: usize) {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while nodes.iter().any(|n| n.stats().subscriptions < want) {
-        assert!(Instant::now() < deadline, "subscription flood stalled");
-        std::thread::sleep(Duration::from_millis(10));
-    }
-}
+use linkcast_types::{BrokerId, ClientId, SchemaId};
 
 /// A three-broker chain B0–B1–B2 with both links through flaky proxies.
 /// Repeated kill/publish/revive cycles must still deliver the exact
@@ -200,7 +29,7 @@ fn await_subscriptions(nodes: &[&BrokerNode], want: usize) {
 /// event lost to a down link, none duplicated by the retransmissions.
 #[test]
 fn chain_survives_link_flaps() {
-    let mut rng = Lcg::new(seed_from_env());
+    let mut rng = Lcg::new(seed_from_env("LINKFLAP_SEED", 42));
     let mut net = NetworkBuilder::new();
     let brokers: Vec<BrokerId> = (0..3).map(|_| net.add_broker()).collect();
     net.connect(brokers[0], brokers[1], 5.0).unwrap();
@@ -225,8 +54,8 @@ fn chain_survives_link_flaps() {
     // Each topology link goes through its own killable proxy; the
     // higher-id broker supervises the dial.
     let links = [
-        FlakyLink::start(nodes[0].addr()),
-        FlakyLink::start(nodes[1].addr()),
+        FaultLink::start(nodes[0].addr()),
+        FaultLink::start(nodes[1].addr()),
     ];
     nodes[1].connect_to_persistent(brokers[0], links[0].addr());
     nodes[2].connect_to_persistent(brokers[1], links[1].addr());
@@ -331,7 +160,7 @@ fn unsubscribe_survives_link_flap() {
         Arc::clone(&registry),
     ))
     .unwrap();
-    let link = FlakyLink::start(node_a.addr());
+    let link = FaultLink::start(node_a.addr());
     node_b.connect_to_persistent(a, link.addr());
 
     let mut subscriber =
@@ -408,7 +237,7 @@ fn dialer_reconnect_window_loses_no_events() {
     };
     let node_a = start(a);
     let node_b = start(b);
-    let link = FlakyLink::start(node_a.addr());
+    let link = FaultLink::start(node_a.addr());
     node_b.connect_to_persistent(a, link.addr());
 
     let mut subscriber =
@@ -437,7 +266,7 @@ fn dialer_reconnect_window_loses_no_events() {
 
     // Heal, but stall A's replies: B's redial succeeds and its engine
     // processes the new conn while A's Hello answer sits in the proxy.
-    link.stall_replies(true);
+    link.reply().stall(true);
     link.revive();
     let deadline = Instant::now() + Duration::from_secs(10);
     while node_b.stats().connections < 2 {
@@ -450,7 +279,7 @@ fn dialer_reconnect_window_loses_no_events() {
         publisher.publish(&tick(&registry, n)).unwrap();
     }
     std::thread::sleep(Duration::from_millis(100));
-    link.stall_replies(false);
+    link.reply().stall(false);
 
     // Everything arrives, in order: the outage backlog (1..=3) must not be
     // dedup-dropped behind the window publishes (4..=6).

@@ -1,0 +1,219 @@
+//! Overload protection and graceful-degradation regressions: slow-consumer
+//! eviction at the per-connection queue bound, drain-before-FIN shutdown,
+//! and the dial supervisor's handshake deadline against a stalled
+//! acceptor.
+
+mod fault;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fault::{await_subscriptions, registry, tick, FaultLink};
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{BrokerConfig, BrokerNode, Client, ClientError};
+use linkcast_types::{Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind};
+
+/// A registry with a bulky payload attribute, so a handful of events can
+/// overrun a small queue bound.
+fn blob_registry() -> Arc<SchemaRegistry> {
+    let mut r = SchemaRegistry::new();
+    r.register(
+        EventSchema::builder("blobs")
+            .attribute("n", ValueKind::Int)
+            .attribute("payload", ValueKind::Str)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    Arc::new(r)
+}
+
+fn blob(registry: &SchemaRegistry, n: i64, payload_len: usize) -> Event {
+    let schema = registry.get(SchemaId::new(0)).unwrap();
+    Event::from_values(
+        schema,
+        [Value::Int(n), Value::Str("x".repeat(payload_len).into())],
+    )
+    .unwrap()
+}
+
+/// A subscriber that stops reading must not wedge the broker: once its
+/// outgoing queue overruns [`BrokerConfig::conn_queue_bound`], the broker
+/// evicts it — discarding the backlog, flushing one `Error` notice, and
+/// hanging up — while every other client keeps working, and the eviction
+/// is visible in the wire-level stats a CLI would render.
+#[test]
+fn slow_consumer_is_evicted_and_broker_stays_live() {
+    let mut net = NetworkBuilder::new();
+    let broker = net.add_broker();
+    let victim_id = net.add_client(broker).unwrap();
+    let pub_id = net.add_client(broker).unwrap();
+    let probe_id = net.add_client(broker).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = blob_registry();
+
+    let mut config = BrokerConfig::localhost(broker, fabric, Arc::clone(&registry));
+    config.gc_interval = Duration::from_millis(50);
+    // Small enough that kernel socket buffers plus a few frames overrun it.
+    config.conn_queue_bound = 64 * 1024;
+    let node = BrokerNode::start(config).unwrap();
+
+    // The victim subscribes to everything and then never reads: its kernel
+    // buffers fill, the outbox queue backs up past the bound.
+    let mut victim = Client::connect(node.addr(), victim_id, 0, Arc::clone(&registry)).unwrap();
+    victim.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    await_subscriptions(&[&node], 1);
+
+    let mut publisher = Client::connect(node.addr(), pub_id, 0, Arc::clone(&registry)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut n = 0i64;
+    while node.stats().evicted_slow_consumers == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "published {n} blobs without tripping the queue bound"
+        );
+        publisher.publish(&blob(&registry, n, 8 * 1024)).unwrap();
+        n += 1;
+    }
+    assert_eq!(node.stats().evicted_slow_consumers, 1);
+
+    // The broker is still fully live for everyone else, and the eviction
+    // counter travels the wire (what `linkcast-cli stats` renders).
+    let mut probe = Client::connect(node.addr(), probe_id, 0, Arc::clone(&registry)).unwrap();
+    let counters = probe.stats().unwrap();
+    assert_eq!(counters.evicted_slow_consumers, 1);
+    assert!(counters.published >= n as u64);
+
+    // The victim, when it finally reads, sees whatever had already been
+    // flushed, then the eviction notice — not a silent EOF. (recv_unacked:
+    // the broker already hung up, so an auto-ack write could fail first.)
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    let notice = loop {
+        assert!(
+            Instant::now() < drain_deadline,
+            "victim never saw the eviction notice"
+        );
+        match victim.recv_unacked(Duration::from_secs(5)) {
+            Ok(_) => continue,
+            Err(ClientError::Rejected(message)) => break message,
+            Err(e) => panic!("expected the eviction notice, got {e}"),
+        }
+    };
+    assert!(
+        notice.contains("evicted"),
+        "notice should say why the connection died: {notice}"
+    );
+}
+
+/// Graceful shutdown drains: deliveries queued at shutdown time reach the
+/// subscriber before the FIN, so a clean stop loses nothing that was
+/// already accepted.
+#[test]
+fn shutdown_flushes_queued_deliveries_before_fin() {
+    let mut net = NetworkBuilder::new();
+    let broker = net.add_broker();
+    let sub_id = net.add_client(broker).unwrap();
+    let pub_id = net.add_client(broker).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let mut config = BrokerConfig::localhost(broker, fabric, Arc::clone(&registry));
+    config.gc_interval = Duration::from_millis(50);
+    let node = BrokerNode::start(config).unwrap();
+
+    let mut subscriber = Client::connect(node.addr(), sub_id, 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    await_subscriptions(&[&node], 1);
+
+    let mut publisher = Client::connect(node.addr(), pub_id, 0, Arc::clone(&registry)).unwrap();
+    for n in 0..50 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+    // Let the engine route the batch into the subscriber's queue, then
+    // stop the node. Shutdown must flush before hanging up.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while node.stats().delivered < 50 {
+        assert!(Instant::now() < deadline, "engine never routed the batch");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    node.shutdown();
+
+    // Every accepted delivery arrives, in order, and only then the FIN.
+    for expected in 0..50 {
+        let (_, event) = subscriber
+            .recv_unacked(Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("delivery {expected} lost in shutdown: {e}"));
+        assert_eq!(event.value(0).unwrap().as_int().unwrap(), expected);
+    }
+    assert!(
+        subscriber.recv_unacked(Duration::from_secs(2)).is_err(),
+        "nothing but the FIN may follow the drained backlog"
+    );
+}
+
+/// A neighbor that accepts TCP but never answers the `Hello` (here: the
+/// proxy stalls the acceptor→dialer direction) must not wedge the dial
+/// supervisor forever: the handshake deadline abandons the connection and
+/// falls back to the redial backoff, and once the acceptor recovers the
+/// link comes up and carries traffic.
+#[test]
+fn stalled_accept_falls_back_to_backoff_and_recovers() {
+    let mut net = NetworkBuilder::new();
+    let a = net.add_broker(); // acceptor: hosts the subscriber
+    let b = net.add_broker(); // dialer: hosts the publisher
+    net.connect(a, b, 5.0).unwrap();
+    let sub_client = net.add_client(a).unwrap();
+    let pub_client = net.add_client(b).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let start = |broker| {
+        let mut config = BrokerConfig::localhost(broker, fabric.clone(), Arc::clone(&registry));
+        config.gc_interval = Duration::from_millis(50);
+        config.link_handshake_timeout = Duration::from_millis(300);
+        // Liveness stays slow so every redial below is attributable to the
+        // handshake deadline, not the heartbeat sweep.
+        config.liveness_timeout = Duration::from_secs(30);
+        BrokerNode::start(config).unwrap()
+    };
+    let node_a = start(a);
+    let node_b = start(b);
+
+    // Stall the reply direction before the first dial: A accepts and even
+    // hears B's Hello, but its answer never leaves the proxy.
+    let link = FaultLink::start(node_a.addr());
+    link.reply().stall(true);
+    node_b.connect_to_persistent(a, link.addr());
+
+    // The supervisor must keep abandoning half-done handshakes and
+    // redialing; a wedged supervisor would stop at the first dial.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while link.dials() < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor wedged on the unanswered handshake after {} dial(s)",
+            link.dials()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Heal: the next redial completes the handshake and the link carries
+    // subscriptions and events end to end.
+    link.heal();
+    let mut subscriber =
+        Client::connect(node_a.addr(), sub_client, 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    await_subscriptions(&[&node_a, &node_b], 1);
+
+    let mut publisher =
+        Client::connect(node_b.addr(), pub_client, 0, Arc::clone(&registry)).unwrap();
+    for n in 0..3 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+    for expected in 0..3 {
+        let (_, event) = subscriber
+            .recv(Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("event {expected} never crossed the healed link: {e}"));
+        assert_eq!(event.value(0).unwrap().as_int().unwrap(), expected);
+    }
+}
