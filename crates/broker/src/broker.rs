@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use linkcast::{LinkTarget, RoutingFabric, TreeId};
+use linkcast::{LinkTarget, MatchCache, RouteScratch, RoutingFabric, TreeId};
 use linkcast_matching::{MatchStats, PstOptions};
 use linkcast_types::{
     BrokerId, ClientId, Event, LinkId, SchemaRegistry, SubscriberId, Subscription, SubscriptionId,
@@ -80,6 +80,17 @@ pub struct BrokerConfig {
     /// Large subscription trees benefit; small trees fall back to the
     /// sequential path internally regardless of this setting.
     pub match_threads: usize,
+    /// Route events through the arena-flattened matching walk (index-based
+    /// node table + reusable scratch masks) instead of the boxed recursive
+    /// search. Identical link sets either way — this is the A/B switch for
+    /// the `broker_pipeline` benchmark's `arena` legs; leave it `true`
+    /// everywhere else.
+    pub match_arena: bool,
+    /// Capacity of each match shard's result cache (entries), keyed by the
+    /// event's *tested* attribute values and invalidated wholesale when the
+    /// subscription set changes generation. `0` disables caching. Only
+    /// consulted on the arena path (`match_arena = true`).
+    pub match_cache_cap: usize,
     /// Maximum retained entries per broker-link spool. Events routed
     /// toward a neighbor are held (as stitched `Forward` frames) until the
     /// neighbor's cumulative acknowledgment; while a link is down the
@@ -148,6 +159,8 @@ impl BrokerConfig {
             client_ttl: Duration::from_secs(3600),
             match_shards: 1,
             match_threads: 1,
+            match_arena: true,
+            match_cache_cap: 0,
             link_spool_bound: 32768,
             heartbeat_interval: Duration::from_millis(500),
             liveness_timeout: Duration::from_secs(5),
@@ -209,6 +222,13 @@ pub struct BrokerStats {
     /// [`BrokerConfig::conn_queue_bound`]; their spools keep the frames for
     /// retransmit after the redial.
     pub peer_overflow_disconnects: u64,
+    /// Match-cache lookups answered without a PST walk (see
+    /// [`BrokerConfig::match_cache_cap`]).
+    pub match_cache_hits: u64,
+    /// Match-cache lookups that fell through to the PST walk.
+    pub match_cache_misses: u64,
+    /// Match-cache flushes forced by a subscription-set generation change.
+    pub match_cache_invalidations: u64,
 }
 
 #[derive(Debug, Default)]
@@ -467,14 +487,34 @@ impl BrokerNode {
                 let cmd_tx = cmd_tx.clone();
                 let shard_stats = Arc::clone(&match_stats);
                 let threads = config.match_threads;
+                let use_arena = config.match_arena;
+                let cache_cap = config.match_cache_cap;
                 std::thread::Builder::new()
                     .name(format!("match-{}-{shard}", config.broker))
                     .spawn(move || {
+                        // Shard-owned, so no lock guards the cache or the
+                        // scratch masks: each worker serializes its own
+                        // information spaces by construction.
+                        let mut cache = MatchCache::new(cache_cap);
+                        let mut scratch = RouteScratch::new();
                         for job in rx.iter() {
                             let mut local = MatchStats::new();
-                            let links = engine
-                                .read()
-                                .route_parallel(&job.event, job.tree, threads, &mut local);
+                            let mut links = Vec::new();
+                            if use_arena {
+                                engine.read().route_cached(
+                                    &job.event,
+                                    job.tree,
+                                    threads,
+                                    &mut cache,
+                                    &mut scratch,
+                                    &mut local,
+                                    &mut links,
+                                );
+                            } else {
+                                links = engine
+                                    .read()
+                                    .route_parallel(&job.event, job.tree, threads, &mut local);
+                            }
                             if let Some(shard_stats) = shard_stats.get(shard) {
                                 *shard_stats.lock() += local;
                             }
@@ -504,6 +544,8 @@ impl BrokerNode {
                 .name(format!("broker-{}", config.broker))
                 .spawn(move || {
                     EngineLoop {
+                        match_cache: MatchCache::new(config2.match_cache_cap),
+                        route_scratch: RouteScratch::new(),
                         config: config2,
                         engine,
                         outbox,
@@ -711,6 +753,7 @@ impl BrokerNode {
     /// A snapshot of the broker's counters.
     pub fn stats(&self) -> BrokerStats {
         let (queued_frames, queued_bytes) = self.outbox.queue_depth();
+        let matching = self.match_stats();
         BrokerStats {
             published: self.stats.published.load(Ordering::Relaxed),
             forwarded: self.stats.forwarded.load(Ordering::Relaxed),
@@ -728,6 +771,9 @@ impl BrokerNode {
             liveness_timeouts: self.stats.liveness_timeouts.load(Ordering::Relaxed),
             evicted_slow_consumers: self.stats.evicted_slow_consumers.load(Ordering::Relaxed),
             peer_overflow_disconnects: self.stats.peer_overflow_disconnects.load(Ordering::Relaxed),
+            match_cache_hits: matching.cache_hits,
+            match_cache_misses: matching.cache_misses,
+            match_cache_invalidations: matching.cache_invalidations,
         }
     }
 
@@ -828,6 +874,12 @@ struct EngineLoop {
     match_stats: Arc<Vec<Mutex<MatchStats>>>,
     /// Matching-worker inboxes; empty means matching runs inline.
     shard_txs: Vec<Sender<MatchJob>>,
+    /// The inline path's match-result cache (engine-thread-owned; the
+    /// worker shards each own their own — no lock anywhere).
+    match_cache: MatchCache,
+    /// The inline path's reusable matching buffers (scratch masks, walk
+    /// frames, parallel worker state).
+    route_scratch: RouteScratch,
     conns: HashMap<ConnId, Peer>,
     clients: HashMap<ClientId, ClientState>,
     neighbors: HashMap<BrokerId, ConnId>,
@@ -1131,6 +1183,10 @@ impl EngineLoop {
                     let engine = self.engine.read();
                     engine.subscription_count() as u64
                 };
+                let mut matching = MatchStats::new();
+                for shard_stats in self.match_stats.iter() {
+                    matching += *shard_stats.lock();
+                }
                 let frame = BrokerToClient::Stats {
                     published: self.stats.published.load(Ordering::Relaxed),
                     forwarded: self.stats.forwarded.load(Ordering::Relaxed),
@@ -1154,6 +1210,9 @@ impl EngineLoop {
                         .stats
                         .peer_overflow_disconnects
                         .load(Ordering::Relaxed),
+                    match_cache_hits: matching.cache_hits,
+                    match_cache_misses: matching.cache_misses,
+                    match_cache_invalidations: matching.cache_invalidations,
                 }
                 .encode();
                 self.outbox.send(conn, frame);
@@ -1398,10 +1457,23 @@ impl EngineLoop {
             return;
         }
         let mut stats = MatchStats::new();
-        let links =
-            self.engine
+        let mut links = Vec::new();
+        if self.config.match_arena {
+            self.engine.read().route_cached(
+                &event,
+                tree,
+                self.config.match_threads,
+                &mut self.match_cache,
+                &mut self.route_scratch,
+                &mut stats,
+                &mut links,
+            );
+        } else {
+            links = self
+                .engine
                 .read()
                 .route_parallel(&event, tree, self.config.match_threads, &mut stats);
+        }
         if let Some(shard_stats) = self.match_stats.first() {
             *shard_stats.lock() += stats;
         }

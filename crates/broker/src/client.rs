@@ -79,6 +79,12 @@ pub struct NodeCounters {
     pub evicted_slow_consumers: u64,
     /// Broker links disconnected at the per-connection queue bound.
     pub peer_overflow_disconnects: u64,
+    /// Match-cache lookups answered without a PST walk.
+    pub match_cache_hits: u64,
+    /// Match-cache lookups that fell through to the PST walk.
+    pub match_cache_misses: u64,
+    /// Match-cache flushes forced by a subscription-set generation change.
+    pub match_cache_invalidations: u64,
 }
 
 /// A connected pub/sub client.
@@ -293,6 +299,9 @@ impl Client {
                     liveness_timeouts,
                     evicted_slow_consumers,
                     peer_overflow_disconnects,
+                    match_cache_hits,
+                    match_cache_misses,
+                    match_cache_invalidations,
                 } => {
                     return Ok(NodeCounters {
                         published,
@@ -308,6 +317,9 @@ impl Client {
                         liveness_timeouts,
                         evicted_slow_consumers,
                         peer_overflow_disconnects,
+                        match_cache_hits,
+                        match_cache_misses,
+                        match_cache_invalidations,
                     })
                 }
                 BrokerToClient::Deliver { seq, event } => {

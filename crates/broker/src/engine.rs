@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use linkcast::{CoreError, LinkMatchEngine, LinkSpace, Result, RoutingFabric, TreeId};
+use linkcast::{
+    CoreError, LinkMatchEngine, LinkSpace, MatchCache, Result, RouteScratch, RoutingFabric, TreeId,
+};
 use linkcast_matching::{MatchStats, PstOptions};
 use linkcast_types::{
     parse_predicate, BrokerId, Event, LinkId, Predicate, SchemaId, SchemaRegistry, Subscription,
@@ -138,6 +140,64 @@ impl MatchingEngine {
             Some(engine) => engine.match_links_parallel(event, tree, threads, stats),
             None => Vec::new(),
         }
+    }
+
+    /// Sum of the per-space engine generations. Bumps on every
+    /// subscription add/remove and every re-annotation in any information
+    /// space, so a [`MatchCache`] keyed by this value can never serve a
+    /// link set computed against a stale subscription set.
+    pub fn generation(&self) -> u64 {
+        self.engines.iter().map(LinkMatchEngine::generation).sum()
+    }
+
+    /// [`route_parallel`](Self::route_parallel) through the flattened
+    /// arena walk, reusing `scratch` across calls and memoizing the link
+    /// set in `cache` keyed by the event's *tested* attribute values.
+    ///
+    /// The caller owns both `cache` and `scratch` (one pair per match
+    /// shard in the broker — plain shard-local data, no locks). A
+    /// disabled cache (capacity 0) degrades to the plain arena walk.
+    pub fn route_cached(
+        &self,
+        event: &Event,
+        tree: TreeId,
+        threads: usize,
+        cache: &mut MatchCache,
+        scratch: &mut RouteScratch,
+        stats: &mut MatchStats,
+        out: &mut Vec<LinkId>,
+    ) {
+        out.clear();
+        let schema = event.schema().id();
+        let Some(engine) = self.engines.get(schema.index()) else {
+            return;
+        };
+        let generation = self.generation();
+        if let Some(links) = cache.lookup(
+            generation,
+            schema.index(),
+            tree,
+            event,
+            engine.tested_attributes(),
+            stats,
+        ) {
+            stats.events += 1;
+            out.extend_from_slice(links);
+            return;
+        }
+        if threads <= 1 {
+            engine.match_links_into(event, tree, scratch, stats, out);
+        } else {
+            engine.match_links_parallel_into(event, tree, threads, scratch, stats, out);
+        }
+        cache.insert(
+            generation,
+            schema.index(),
+            tree,
+            event,
+            engine.tested_attributes(),
+            out,
+        );
     }
 
     /// Looks up a registered subscription.

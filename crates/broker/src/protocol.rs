@@ -145,6 +145,13 @@ pub enum BrokerToClient {
         /// Broker links disconnected at the per-connection queue bound
         /// (their spools keep the frames for retransmit-on-redial).
         peer_overflow_disconnects: u64,
+        /// Match-cache lookups answered without a PST walk.
+        match_cache_hits: u64,
+        /// Match-cache lookups that fell through to the PST walk.
+        match_cache_misses: u64,
+        /// Match-cache flushes forced by a subscription-set generation
+        /// change (subscribe/unsubscribe/re-annotation).
+        match_cache_invalidations: u64,
     },
 }
 
@@ -440,6 +447,9 @@ impl BrokerToClient {
                 liveness_timeouts,
                 evicted_slow_consumers,
                 peer_overflow_disconnects,
+                match_cache_hits,
+                match_cache_misses,
+                match_cache_invalidations,
             } => {
                 b.put_u8(B2C_STATS);
                 b.put_u64_le(*published);
@@ -455,6 +465,9 @@ impl BrokerToClient {
                 b.put_u64_le(*liveness_timeouts);
                 b.put_u64_le(*evicted_slow_consumers);
                 b.put_u64_le(*peer_overflow_disconnects);
+                b.put_u64_le(*match_cache_hits);
+                b.put_u64_le(*match_cache_misses);
+                b.put_u64_le(*match_cache_invalidations);
             }
         }
         frame(b)
@@ -509,7 +522,7 @@ impl BrokerToClient {
                 message: wire::get_str(buf)?,
             }),
             B2C_STATS => {
-                if buf.remaining() < 104 {
+                if buf.remaining() < 128 {
                     return Err(ProtocolError::Malformed("short stats".into()));
                 }
                 Ok(BrokerToClient::Stats {
@@ -526,6 +539,9 @@ impl BrokerToClient {
                     liveness_timeouts: buf.get_u64_le(),
                     evicted_slow_consumers: buf.get_u64_le(),
                     peer_overflow_disconnects: buf.get_u64_le(),
+                    match_cache_hits: buf.get_u64_le(),
+                    match_cache_misses: buf.get_u64_le(),
+                    match_cache_invalidations: buf.get_u64_le(),
                 })
             }
             tag => Err(ProtocolError::Malformed(format!(
@@ -750,6 +766,9 @@ mod tests {
                 liveness_timeouts: 11,
                 evicted_slow_consumers: 12,
                 peer_overflow_disconnects: 13,
+                match_cache_hits: 14,
+                match_cache_misses: 15,
+                match_cache_invalidations: 16,
             },
         ];
         for m in messages {

@@ -228,6 +228,12 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         "  peer_overflow_disconnects: {}",
         counters.peer_overflow_disconnects
     );
+    println!("  match_cache_hits:       {}", counters.match_cache_hits);
+    println!("  match_cache_misses:     {}", counters.match_cache_misses);
+    println!(
+        "  match_cache_invalidations: {}",
+        counters.match_cache_invalidations
+    );
     Ok(())
 }
 

@@ -1,0 +1,640 @@
+//! Arena-flattened link-matching: the annotated PST compiled into a
+//! contiguous struct-of-arrays index space.
+//!
+//! The boxed PST is the right structure for *mutation* (subscribe /
+//! unsubscribe), but a match walk over it chases `Box` and `HashMap`
+//! pointers and clones a fresh `TritVec` per child recursion. The
+//! [`MatchArena`] is the match-time view of the same tree: node fields live
+//! in parallel vectors indexed by a dense `u32`, edge lists are index spans
+//! into shared edge arrays, and every node's trit annotation occupies a
+//! fixed-width slot in one contiguous word slab. A search is then
+//! sequential index arithmetic plus word ops against the slab, with all
+//! masks drawn from a reusable [`MatchScratch`] pool — no allocation per
+//! event, no pointer chasing, no per-child mask clone.
+//!
+//! Trivial-test skip pointers (§2.1.2) are resolved at build time: every
+//! edge stores its *effective* target, so `*`-only chains cost nothing at
+//! match time. This preserves results because a trivial node's annotation
+//! equals its star child's annotation (the alternative fold over zero value
+//! branches contributes all-`No`, the identity of *Parallel Combine*), and
+//! refinement is idempotent over equal annotations.
+//!
+//! The arena is rebuilt from the PST on structural mutations and patched in
+//! place (annotation slots only) when a mutation touches existing nodes
+//! without allocating or freeing any — the common case for churn against a
+//! populated tree.
+
+use linkcast_matching::{MatchStats, MutationReport, NodeId, Pst};
+use linkcast_types::{AttrTest, Event, TritVec, Value};
+
+use crate::LinkSpace;
+
+/// Sentinel for "no node" in `u32` index fields.
+const NONE: u32 = u32::MAX;
+
+/// The flattened, annotated match-time form of one engine's PST.
+#[derive(Debug, Clone, Default)]
+pub struct MatchArena {
+    /// Trits per annotation/mask (the link-space width).
+    width: usize,
+    /// Words per annotation slot in [`ann_words`](Self::ann_words).
+    words_per_mask: usize,
+    /// Per-node attribute index tested at the node; `NONE` for leaves.
+    attr: Vec<u32>,
+    /// Per-node span `[start, end)` into `eq_values` / `eq_children`.
+    eq_span: Vec<(u32, u32)>,
+    /// Per-node span `[start, end)` into `range_tests` / `range_children`.
+    range_span: Vec<(u32, u32)>,
+    /// Per-node `*` child; `NONE` if absent.
+    star: Vec<u32>,
+    /// Equality edge labels, sorted within each node's span.
+    eq_values: Vec<Value>,
+    /// Equality edge targets (skip-resolved), parallel to `eq_values`.
+    eq_children: Vec<u32>,
+    /// Range edge labels.
+    range_tests: Vec<AttrTest>,
+    /// Range edge targets (skip-resolved), parallel to `range_tests`.
+    range_children: Vec<u32>,
+    /// Annotation slab: node `i`'s trits at
+    /// `[i * words_per_mask, (i + 1) * words_per_mask)`.
+    ann_words: Vec<u64>,
+    /// Factored-subtree roots (skip-resolved), sorted by key for
+    /// borrow-keyed binary search against event values.
+    roots: Vec<(Box<[Value]>, u32)>,
+    /// Factored attribute indices (the root-key schema).
+    factored: Vec<usize>,
+    /// PST `NodeId::index()` → arena index; `NONE` for dead/unknown slots.
+    map: Vec<u32>,
+    /// Attribute indices that can influence the walk's branching: the
+    /// factored attributes plus every `order` attribute whose level has at
+    /// least one equality or range edge somewhere in the tree. Sorted.
+    /// Attributes outside this set cannot change the match result, which is
+    /// exactly why the match-result cache keys on these and only these.
+    tested: Vec<usize>,
+    /// Upper bound on the walk's stack depth (root-to-leaf node count).
+    max_depth: usize,
+}
+
+impl MatchArena {
+    /// Flattens `pst` and its annotations (indexed by [`NodeId::index`],
+    /// masks of `space.width()` trits) into a fresh arena.
+    pub fn build(pst: &Pst, annotations: &[Option<TritVec>], space: &LinkSpace) -> Self {
+        let width = space.width();
+        let words_per_mask = TritVec::no(width).words().len();
+        let skipping = pst.options().eliminate_trivial_tests;
+        let order = pst.order();
+
+        let postorder = pst.postorder();
+        let mut arena = MatchArena {
+            width,
+            words_per_mask,
+            factored: pst.factored().to_vec(),
+            max_depth: order.len() + 1,
+            ..MatchArena::default()
+        };
+        arena.map = vec![NONE; pst.arena_size()];
+
+        // The effective (skip-resolved) node a search entering `id` lands on.
+        let effective = |id: NodeId| -> NodeId {
+            if skipping {
+                pst.node(id).skip().unwrap_or(id)
+            } else {
+                id
+            }
+        };
+
+        let mut level_branches = vec![false; order.len()];
+        let no_ann = TritVec::no(width);
+        for id in &postorder {
+            let node = pst.node(*id);
+            let arena_idx = arena.attr.len() as u32;
+            if let Some(slot) = arena.map.get_mut(id.index()) {
+                *slot = arena_idx;
+            }
+
+            let eq_start = arena.eq_values.len() as u32;
+            for (value, child) in node.eq_edges() {
+                arena.eq_values.push(value.clone());
+                arena.eq_children.push(arena.translate(effective(*child)));
+            }
+            let range_start = arena.range_tests.len() as u32;
+            for (test, child) in node.range_edges() {
+                arena.range_tests.push(test.clone());
+                arena.range_children.push(arena.translate(effective(*child)));
+            }
+            arena.eq_span.push((eq_start, arena.eq_values.len() as u32));
+            arena
+                .range_span
+                .push((range_start, arena.range_tests.len() as u32));
+            arena.star.push(match node.star() {
+                Some(star) => arena.translate(effective(star)),
+                None => NONE,
+            });
+            arena.attr.push(match node.attribute() {
+                Some(attr) => attr as u32,
+                None => NONE,
+            });
+            if !node.is_leaf() && (!node.eq_edges().is_empty() || !node.range_edges().is_empty()) {
+                if let Some(flag) = level_branches.get_mut(node.level()) {
+                    *flag = true;
+                }
+            }
+
+            let ann = annotations
+                .get(id.index())
+                .and_then(|a| a.as_ref())
+                .unwrap_or(&no_ann);
+            debug_assert_eq!(ann.words().len(), words_per_mask);
+            arena.ann_words.extend_from_slice(ann.words());
+        }
+
+        arena.roots = pst
+            .roots()
+            .map(|(key, root)| (key.to_vec().into(), arena.translate(effective(root))))
+            .collect();
+        arena.roots.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        arena.tested = arena.factored.clone();
+        for (level, branched) in level_branches.iter().enumerate() {
+            if *branched {
+                if let Some(&attr) = order.get(level) {
+                    arena.tested.push(attr);
+                }
+            }
+        }
+        arena.tested.sort_unstable();
+        arena.tested.dedup();
+        arena
+    }
+
+    /// Applies one PST mutation incrementally: path nodes get their
+    /// annotation slots patched and their edge sets re-resolved (in place
+    /// when the arity is unchanged, as a fresh span otherwise), and nodes
+    /// the mutation created are appended. Everything an insert can change
+    /// lives on the reported paths — a node's only incoming edge comes from
+    /// its parent, which is on the path too, and a trivial node's skip
+    /// chain is star-only, so it is walked (and therefore reported) by the
+    /// insert that altered it. Returns `false` — full rebuild required —
+    /// only when the mutation freed nodes, which would leave stale `map`
+    /// entries and garbage spans behind.
+    pub fn apply_mutation(
+        &mut self,
+        pst: &Pst,
+        report: &MutationReport,
+        annotations: &[Option<TritVec>],
+    ) -> bool {
+        if !report.freed.is_empty() {
+            return false;
+        }
+        let skipping = pst.options().eliminate_trivial_tests;
+        if self.map.len() < pst.arena_size() {
+            self.map.resize(pst.arena_size(), NONE);
+        }
+        for path in &report.paths {
+            // Leaf first, so a parent's re-resolved edges can translate its
+            // freshly appended children.
+            for id in path.iter().rev() {
+                self.sync_node(pst, *id, annotations, skipping);
+            }
+            if let Some(&root_id) = path.first() {
+                self.sync_root(pst, root_id, skipping);
+            }
+        }
+        true
+    }
+
+    /// Brings one node's arena image (annotation, edges, star, `tested`
+    /// bookkeeping) in line with the PST, appending the node if it is new.
+    fn sync_node(
+        &mut self,
+        pst: &Pst,
+        id: NodeId,
+        annotations: &[Option<TritVec>],
+        skipping: bool,
+    ) {
+        let node = pst.node(id);
+        let effective = |child: NodeId| -> NodeId {
+            if skipping {
+                pst.node(child).skip().unwrap_or(child)
+            } else {
+                child
+            }
+        };
+        // Resolve children before touching the arena arrays (translate
+        // borrows `map`; the path below this node is already synced).
+        let eq: Vec<(Value, u32)> = node
+            .eq_edges()
+            .iter()
+            .map(|(v, c)| (v.clone(), self.translate(effective(*c))))
+            .collect();
+        let ranges: Vec<(AttrTest, u32)> = node
+            .range_edges()
+            .iter()
+            .map(|(t, c)| (t.clone(), self.translate(effective(*c))))
+            .collect();
+        let star = match node.star() {
+            Some(s) => self.translate(effective(s)),
+            None => NONE,
+        };
+        let no_ann = TritVec::no(self.width);
+        let ann = annotations
+            .get(id.index())
+            .and_then(|a| a.as_ref())
+            .unwrap_or(&no_ann);
+        debug_assert_eq!(ann.words().len(), self.words_per_mask);
+
+        let mapped = self.map.get(id.index()).copied().unwrap_or(NONE);
+        let arena_idx = if mapped == NONE {
+            let idx = self.attr.len() as u32;
+            if let Some(slot) = self.map.get_mut(id.index()) {
+                *slot = idx;
+            }
+            self.attr.push(match node.attribute() {
+                Some(attr) => attr as u32,
+                None => NONE,
+            });
+            self.eq_span.push((0, 0));
+            self.range_span.push((0, 0));
+            self.star.push(NONE);
+            self.ann_words.extend_from_slice(ann.words());
+            idx
+        } else {
+            let start = mapped as usize * self.words_per_mask;
+            if let Some(slot) = self
+                .ann_words
+                .get_mut(start..start + self.words_per_mask)
+            {
+                slot.copy_from_slice(ann.words());
+            }
+            mapped
+        };
+        let i = arena_idx as usize;
+
+        // Edge spans: overwrite in place when the arity is unchanged (the
+        // common case — only targets or labels were re-resolved); otherwise
+        // append a fresh span, abandoning the old one until the next full
+        // rebuild compacts the arrays.
+        let eq_span = self.eq_span.get(i).copied().unwrap_or((0, 0));
+        if (eq_span.1 - eq_span.0) as usize == eq.len() {
+            for (k, (v, c)) in eq.into_iter().enumerate() {
+                let at = eq_span.0 as usize + k;
+                if let Some(slot) = self.eq_values.get_mut(at) {
+                    *slot = v;
+                }
+                if let Some(slot) = self.eq_children.get_mut(at) {
+                    *slot = c;
+                }
+            }
+        } else {
+            let start = self.eq_values.len() as u32;
+            for (v, c) in eq {
+                self.eq_values.push(v);
+                self.eq_children.push(c);
+            }
+            if let Some(span) = self.eq_span.get_mut(i) {
+                *span = (start, self.eq_values.len() as u32);
+            }
+        }
+        let range_span = self.range_span.get(i).copied().unwrap_or((0, 0));
+        if (range_span.1 - range_span.0) as usize == ranges.len() {
+            for (k, (t, c)) in ranges.into_iter().enumerate() {
+                let at = range_span.0 as usize + k;
+                if let Some(slot) = self.range_tests.get_mut(at) {
+                    *slot = t;
+                }
+                if let Some(slot) = self.range_children.get_mut(at) {
+                    *slot = c;
+                }
+            }
+        } else {
+            let start = self.range_tests.len() as u32;
+            for (t, c) in ranges {
+                self.range_tests.push(t);
+                self.range_children.push(c);
+            }
+            if let Some(span) = self.range_span.get_mut(i) {
+                *span = (start, self.range_tests.len() as u32);
+            }
+        }
+        if let Some(slot) = self.star.get_mut(i) {
+            *slot = star;
+        }
+
+        // A level that branches for the first time makes its attribute
+        // observable — future cache keys must include it.
+        let eq_span = self.eq_span.get(i).copied().unwrap_or((0, 0));
+        if !node.is_leaf() && (eq_span.1 > eq_span.0 || {
+            let r = self.range_span.get(i).copied().unwrap_or((0, 0));
+            r.1 > r.0
+        }) {
+            if let Some(&attr) = pst.order().get(node.level()) {
+                if let Err(pos) = self.tested.binary_search(&attr) {
+                    self.tested.insert(pos, attr);
+                }
+            }
+        }
+    }
+
+    /// Re-resolves the factored-root entry whose subtree root is `root_id`
+    /// (its effective target can move when skip chains change), inserting
+    /// the entry if the key is new.
+    fn sync_root(&mut self, pst: &Pst, root_id: NodeId, skipping: bool) {
+        let resolved = if skipping {
+            self.translate(pst.node(root_id).skip().unwrap_or(root_id))
+        } else {
+            self.translate(root_id)
+        };
+        for (key, id) in pst.roots() {
+            if id == root_id {
+                match self.roots.binary_search_by(|(k, _)| (**k).cmp(key)) {
+                    Ok(i) => {
+                        if let Some(entry) = self.roots.get_mut(i) {
+                            entry.1 = resolved;
+                        }
+                    }
+                    Err(i) => self.roots.insert(i, (key.to_vec().into(), resolved)),
+                }
+                return;
+            }
+        }
+    }
+
+    /// The attribute indices that can influence a match result (sorted).
+    pub fn tested_attributes(&self) -> &[usize] {
+        &self.tested
+    }
+
+    /// Number of flattened nodes.
+    pub fn node_count(&self) -> usize {
+        self.attr.len()
+    }
+
+    /// The arena root for `event`'s factor key, found by binary search
+    /// against the event's *borrowed* factored values — no per-event key
+    /// allocation.
+    fn root_for_event(&self, event: &Event) -> Option<u32> {
+        let values = event.values();
+        self.roots
+            .binary_search_by(|(key, _)| {
+                key.iter()
+                    .zip(&self.factored)
+                    .map(|(k, &attr)| match values.get(attr) {
+                        Some(v) => k.cmp(v),
+                        None => std::cmp::Ordering::Less,
+                    })
+                    .find(|o| !o.is_eq())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .ok()
+            .and_then(|i| self.roots.get(i).map(|(_, root)| *root))
+    }
+
+    /// The annotation slab slot of one node.
+    fn ann(&self, node: u32) -> &[u64] {
+        let start = node as usize * self.words_per_mask;
+        self.ann_words
+            .get(start..start + self.words_per_mask)
+            .unwrap_or(&[])
+    }
+
+    fn translate(&self, id: NodeId) -> u32 {
+        self.map.get(id.index()).copied().unwrap_or(NONE)
+    }
+
+    /// The §3.3 refinement search as an explicit work-stack walk over the
+    /// flattened tree. `scratch.slot(0)` must hold the tree's
+    /// initialization mask on entry (with at least one `Maybe`); on return
+    /// it holds the fully refined mask. Mirrors the recursive `subsearch`
+    /// exactly: same refinement order, same early exits, same step and
+    /// comparison counts (modulo skipped trivial chains).
+    pub fn search(&self, event: &Event, scratch: &mut MatchScratch, stats: &mut MatchStats) -> bool {
+        let Some(root) = self.root_for_event(event) else {
+            return false;
+        };
+        scratch.ensure(self.max_depth + 2, self.width);
+        scratch.frames.clear();
+        scratch.frames.push(Frame {
+            node: root,
+            cursor: 0,
+            state: FrameState::Enter,
+        });
+        let values = event.values();
+
+        'walk: while let Some(&Frame {
+            node,
+            cursor,
+            state,
+        }) = scratch.frames.last()
+        {
+            let depth = scratch.frames.len() - 1;
+            match state {
+                FrameState::Enter => {
+                    stats.steps += 1;
+                    let completed = {
+                        let mask = scratch.slot_mut(depth);
+                        mask.refine_in_place(self.ann(node));
+                        !mask.has_maybe()
+                    };
+                    let attr = self.attr.get(node as usize).copied().unwrap_or(NONE);
+                    if completed || attr == NONE {
+                        // Fully refined, or a leaf (whose Yes/No-only
+                        // annotation already killed every Maybe).
+                        if !completed {
+                            scratch.slot_mut(depth).maybes_to_no_in_place();
+                        }
+                        unwind(scratch);
+                        continue 'walk;
+                    }
+                    // Range edges come after the equality branch either
+                    // way; prime the resume point before descending.
+                    let (range_start, _) =
+                        self.range_span.get(node as usize).copied().unwrap_or((0, 0));
+                    set_top(scratch, FrameState::Ranges, range_start);
+                    stats.comparisons += 1;
+                    if let Some(child) = self.eq_lookup(node, values) {
+                        scratch.descend(depth, child);
+                    }
+                }
+                FrameState::Ranges => {
+                    let (_, range_end) =
+                        self.range_span.get(node as usize).copied().unwrap_or((0, 0));
+                    let value = self
+                        .attr
+                        .get(node as usize)
+                        .and_then(|&a| values.get(a as usize));
+                    let mut cur = cursor;
+                    let mut child = None;
+                    while cur < range_end {
+                        let i = cur as usize;
+                        cur += 1;
+                        stats.comparisons += 1;
+                        let matched = match (self.range_tests.get(i), value) {
+                            (Some(test), Some(v)) => test.matches(v),
+                            _ => false,
+                        };
+                        if matched {
+                            child = self.range_children.get(i).copied();
+                            break;
+                        }
+                    }
+                    let next = if child.is_some() {
+                        FrameState::Ranges
+                    } else {
+                        FrameState::Star
+                    };
+                    set_top(scratch, next, cur);
+                    if let Some(child) = child {
+                        scratch.descend(depth, child);
+                    }
+                }
+                FrameState::Star => {
+                    set_top(scratch, FrameState::Done, cursor);
+                    let star = self.star.get(node as usize).copied().unwrap_or(NONE);
+                    if star != NONE {
+                        scratch.descend(depth, star);
+                    }
+                }
+                FrameState::Done => {
+                    // End of step 3: remaining Maybes become No.
+                    scratch.slot_mut(depth).maybes_to_no_in_place();
+                    unwind(scratch);
+                }
+            }
+        }
+        true
+    }
+
+    /// Binary search of the node's equality span for the event's value at
+    /// the node's attribute.
+    fn eq_lookup(&self, node: u32, values: &[Value]) -> Option<u32> {
+        let attr = self.attr.get(node as usize).copied()?;
+        let value = values.get(attr as usize)?;
+        let (start, end) = self.eq_span.get(node as usize).copied()?;
+        let span = self.eq_values.get(start as usize..end as usize)?;
+        let i = span.binary_search_by(|v| v.cmp(value)).ok()?;
+        self.eq_children.get(start as usize + i).copied()
+    }
+}
+
+/// Rewrites the top frame's resume point.
+fn set_top(scratch: &mut MatchScratch, state: FrameState, cursor: u32) {
+    if let Some(frame) = scratch.frames.last_mut() {
+        frame.state = state;
+        frame.cursor = cursor;
+    }
+}
+
+/// Pops the completed top frame and absorbs its result into the parent,
+/// cascading while parents early-exit (no `Maybe` left — the recursive
+/// search returns right there, skipping `maybes_to_no`, which is the
+/// identity on a Maybe-free mask).
+fn unwind(scratch: &mut MatchScratch) {
+    loop {
+        scratch.frames.pop();
+        if scratch.frames.is_empty() {
+            return;
+        }
+        let depth = scratch.frames.len() - 1;
+        let (parent, child) = scratch.parent_child(depth);
+        parent.absorb_yes_in_place(child);
+        if parent.has_maybe() {
+            // Parent resumes from its saved cursor/state.
+            return;
+        }
+    }
+}
+
+/// One suspended node visit in the explicit work-stack walk.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Arena node index.
+    node: u32,
+    /// Next range edge to test (absolute index into `range_tests`).
+    cursor: u32,
+    state: FrameState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameState {
+    /// Refine against the node's annotation, then try the equality branch.
+    Enter,
+    /// Testing range edges from `cursor`.
+    Ranges,
+    /// Range edges exhausted; the `*` branch remains.
+    Star,
+    /// All children absorbed; terminate the node.
+    Done,
+}
+
+/// Reusable mask pool and frame stack for [`MatchArena::search`]: one
+/// `TritVec` slot per tree depth, copied into (never freshly allocated) as
+/// the walk descends. Owned by whoever runs matching — a broker shard, the
+/// inline engine loop, a benchmark thread — and handed down per call;
+/// shard-owned, so it needs no lock.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    slots: Vec<TritVec>,
+    frames: Vec<Frame>,
+}
+
+impl MatchScratch {
+    /// A fresh, empty scratch pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes sure `depth` mask slots of `width` trits exist.
+    fn ensure(&mut self, depth: usize, width: usize) {
+        if self.slots.len() < depth {
+            self.slots.resize_with(depth, || TritVec::no(width));
+        }
+    }
+
+    /// Seeds the root slot with the initialization mask (the caller checks
+    /// `has_maybe` first).
+    pub(crate) fn seed(&mut self, init: &TritVec) {
+        if self.slots.is_empty() {
+            self.slots.push(init.clone());
+        } else if let Some(slot) = self.slots.first_mut() {
+            slot.clone_from(init);
+        }
+    }
+
+    /// The refined result mask after a successful search.
+    pub(crate) fn result(&self) -> Option<&TritVec> {
+        self.slots.first()
+    }
+
+    fn slot_mut(&mut self, depth: usize) -> &mut TritVec {
+        // The walk never descends deeper than the PST depth the pool was
+        // sized for, so `ensure()` has always made this slot exist.
+        debug_assert!(depth < self.slots.len(), "slot pool sized by ensure()");
+        // analyzer:allow(index): depth < slots.len() by ensure(), asserted above
+        &mut self.slots[depth]
+    }
+
+    /// Copies the parent mask at `depth` into the child slot and pushes the
+    /// child's frame.
+    fn descend(&mut self, depth: usize, child: u32) {
+        let (parents, children) = self.slots.split_at_mut(depth + 1);
+        match (parents.last(), children.first_mut()) {
+            (Some(parent), Some(slot)) => slot.clone_from(parent),
+            _ => debug_assert!(false, "slot pool sized by ensure()"),
+        }
+        self.frames.push(Frame {
+            node: child,
+            cursor: 0,
+            state: FrameState::Enter,
+        });
+    }
+
+    /// Mutable parent slot at `depth` plus shared child slot at `depth+1`.
+    fn parent_child(&mut self, depth: usize) -> (&mut TritVec, &TritVec) {
+        let (parents, children) = self.slots.split_at_mut(depth + 1);
+        // The walk only unwinds frames it descended into, and ensure()
+        // sized the pool, so both sides of the split are non-empty.
+        debug_assert!(parents.last().is_some() && children.first().is_some());
+        // analyzer:allow(index): both split sides non-empty, asserted above
+        (&mut parents[depth], &children[0])
+    }
+}

@@ -2,10 +2,43 @@
 
 use std::collections::HashMap;
 
-use linkcast_matching::{MatchStats, Matcher, NodeId, Pst, PstOptions};
+use linkcast_matching::{MatchStats, Matcher, NodeId, ParallelScratch, Pst, PstOptions};
 use linkcast_types::{ClientId, Event, EventSchema, LinkId, Subscription, SubscriptionId, TritVec};
 
-use crate::{LinkSpace, Result, TreeId};
+use crate::{LinkSpace, MatchArena, MatchScratch, Result, TreeId};
+
+/// Reusable buffers for the engine's allocation-free match paths: the
+/// arena walk's mask pool, the parallel walk's frontier/worker buffers,
+/// and the parallel path's matched-set and `Yes`-accumulator vectors.
+/// Owned per matching shard (or per bench thread) and handed down by
+/// `&mut` — shard-private plain data, no lock.
+#[derive(Debug)]
+pub struct RouteScratch {
+    walk: MatchScratch,
+    parallel: ParallelScratch,
+    matched: Vec<SubscriptionId>,
+    yes: TritVec,
+    absorbed: TritVec,
+}
+
+impl RouteScratch {
+    /// A fresh, empty scratch set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Default for RouteScratch {
+    fn default() -> Self {
+        RouteScratch {
+            walk: MatchScratch::new(),
+            parallel: ParallelScratch::new(),
+            matched: Vec::new(),
+            yes: TritVec::no(0),
+            absorbed: TritVec::no(0),
+        }
+    }
+}
 
 /// One broker's routing engine (§3): the full subscription set organized as
 /// a PST, annotated with trit vectors over the broker's [`LinkSpace`], plus
@@ -62,6 +95,13 @@ pub struct LinkMatchEngine {
     annotations: Vec<Option<TritVec>>,
     /// Memoized leaf vectors per subscriber client.
     leaf_cache: HashMap<ClientId, TritVec>,
+    /// The flattened match-time view of `pst` + `annotations`, kept in
+    /// lock-step with them on every mutation.
+    arena: MatchArena,
+    /// Bumped on every subscription add/remove/re-annotation; a
+    /// [`MatchCache`](crate::MatchCache) keyed under an old generation
+    /// flushes itself on its next lookup.
+    generation: u64,
 }
 
 impl LinkMatchEngine {
@@ -77,12 +117,15 @@ impl LinkMatchEngine {
         space: LinkSpace,
     ) -> Result<Self> {
         let pst = Pst::new(schema, options)?;
+        let arena = MatchArena::build(&pst, &[], &space);
         Ok(LinkMatchEngine {
             broker,
             space,
             pst,
             annotations: Vec::new(),
             leaf_cache: HashMap::new(),
+            arena,
+            generation: 0,
         })
     }
 
@@ -106,8 +149,11 @@ impl LinkMatchEngine {
             pst,
             annotations: Vec::new(),
             leaf_cache: HashMap::new(),
+            arena: MatchArena::default(),
+            generation: 0,
         };
         engine.annotate_all();
+        engine.rebuild_arena();
         Ok(engine)
     }
 
@@ -142,6 +188,10 @@ impl LinkMatchEngine {
         for path in &report.paths {
             self.annotate_path(path);
         }
+        self.generation += 1;
+        if !self.arena.apply_mutation(&self.pst, &report, &self.annotations) {
+            self.rebuild_arena();
+        }
         Ok(())
     }
 
@@ -158,6 +208,10 @@ impl LinkMatchEngine {
         }
         for path in &report.paths {
             self.annotate_path(path);
+        }
+        self.generation += 1;
+        if !self.arena.apply_mutation(&self.pst, &report, &self.annotations) {
+            self.rebuild_arena();
         }
         true
     }
@@ -192,6 +246,36 @@ impl LinkMatchEngine {
         self.match_links(event, tree, &mut stats)
     }
 
+    /// [`match_links`](Self::match_links) over the flattened
+    /// [`MatchArena`]: the same §3.3 refinement as an explicit work-stack
+    /// walk over contiguous index arrays, drawing every mask from
+    /// `scratch` and writing the link set into `out` (cleared first). The
+    /// steady-state path allocates nothing.
+    pub fn match_links_into(
+        &self,
+        event: &Event,
+        tree: TreeId,
+        scratch: &mut RouteScratch,
+        stats: &mut MatchStats,
+        out: &mut Vec<LinkId>,
+    ) {
+        out.clear();
+        stats.events += 1;
+        let init = self.space.init_mask(tree);
+        if !init.has_maybe() {
+            // Nothing is downstream of this broker on this tree.
+            return;
+        }
+        scratch.walk.seed(init);
+        if !self.arena.search(event, &mut scratch.walk, stats) {
+            // No subscription exists under the event's factor key.
+            return;
+        }
+        if let Some(refined) = scratch.walk.result() {
+            self.space.links_to_send_into(refined, out);
+        }
+    }
+
     /// Link matching with the subtree walk fanned out over `threads` worker
     /// threads ([`Pst::matches_parallel`]). Produces the same link set as
     /// [`match_links`](Self::match_links): a link receives the event exactly
@@ -212,25 +296,63 @@ impl LinkMatchEngine {
         stats: &mut MatchStats,
     ) -> Vec<LinkId> {
         if threads <= 1 {
+            // Keep the allocating single-thread path on the recursive
+            // boxed-tree search; the arena walk is reached through
+            // [`match_links_into`](Self::match_links_into).
             return self.match_links(event, tree, stats);
         }
+        let mut scratch = RouteScratch::new();
+        let mut out = Vec::new();
+        self.match_links_parallel_into(event, tree, threads, &mut scratch, stats, &mut out);
+        out
+    }
+
+    /// [`match_links_parallel`](Self::match_links_parallel) drawing every
+    /// buffer — the walk frontier, per-worker stacks, the matched set, and
+    /// the `Yes` accumulator — from `scratch`, writing the link set into
+    /// `out` (cleared first). `threads <= 1` falls back to the sequential
+    /// arena walk ([`match_links_into`](Self::match_links_into)).
+    pub fn match_links_parallel_into(
+        &self,
+        event: &Event,
+        tree: TreeId,
+        threads: usize,
+        scratch: &mut RouteScratch,
+        stats: &mut MatchStats,
+        out: &mut Vec<LinkId>,
+    ) {
+        if threads <= 1 {
+            self.match_links_into(event, tree, scratch, stats, out);
+            return;
+        }
+        out.clear();
         stats.events += 1;
         let mask = self.space.init_mask(tree);
         if !mask.has_maybe() {
-            return Vec::new();
+            return;
         }
         // matches_parallel counts its own `events` on one early-return
         // path; merge through a scratch accumulator to count exactly once.
-        let mut scratch = MatchStats::new();
-        let matched = self.pst.matches_parallel(event, threads, &mut scratch);
-        stats.steps += scratch.steps;
-        stats.comparisons += scratch.comparisons;
-        stats.leaf_hits += scratch.leaf_hits;
-        if matched.is_empty() {
-            return Vec::new();
+        let mut walk_stats = MatchStats::new();
+        self.pst.matches_parallel_into(
+            event,
+            threads,
+            &mut walk_stats,
+            &mut scratch.parallel,
+            &mut scratch.matched,
+        );
+        stats.steps += walk_stats.steps;
+        stats.comparisons += walk_stats.comparisons;
+        stats.leaf_hits += walk_stats.leaf_hits;
+        if scratch.matched.is_empty() {
+            return;
         }
-        let mut yes = TritVec::no(self.space.width());
-        for id in &matched {
+        if scratch.yes.len() == self.space.width() {
+            scratch.yes.fill_no();
+        } else {
+            scratch.yes = TritVec::no(self.space.width());
+        }
+        for id in &scratch.matched {
             let client = self
                 .pst
                 .subscription(*id)
@@ -238,11 +360,13 @@ impl LinkMatchEngine {
                 .subscriber()
                 .client;
             match self.leaf_cache.get(&client) {
-                Some(leaf) => yes = yes.parallel(leaf),
-                None => yes = yes.parallel(&self.space.leaf_vector(client)),
+                Some(leaf) => scratch.yes.parallel_in_place(leaf),
+                None => scratch.yes.parallel_in_place(&self.space.leaf_vector(client)),
             }
         }
-        self.space.links_to_send(&mask.absorb_yes(&yes))
+        scratch.absorbed.clone_from(mask);
+        scratch.absorbed.absorb_yes_in_place(&scratch.yes);
+        self.space.links_to_send_into(&scratch.absorbed, out);
     }
 
     /// Runs the §2 centralized matching over the full tree (no trits),
@@ -259,6 +383,30 @@ impl LinkMatchEngine {
     /// Looks up a registered subscription.
     pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
         self.pst.subscription(id)
+    }
+
+    /// The flattened match-time view of the annotated PST.
+    pub fn arena(&self) -> &MatchArena {
+        &self.arena
+    }
+
+    /// Monotonic subscription-set generation: bumped on every subscribe,
+    /// unsubscribe, and re-annotation. A [`MatchCache`](crate::MatchCache)
+    /// presents this on lookup; a mismatch flushes the cache, so no memoized
+    /// result can outlive the subscription set it was computed under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The attribute indices that can influence this engine's match results
+    /// (sorted) — the correct and minimal match-cache key schema.
+    pub fn tested_attributes(&self) -> &[usize] {
+        self.arena.tested_attributes()
+    }
+
+    /// Recompiles the arena from the current PST and annotations.
+    fn rebuild_arena(&mut self) {
+        self.arena = MatchArena::build(&self.pst, &self.annotations, &self.space);
     }
 
     fn subsearch(
@@ -414,6 +562,8 @@ impl LinkMatchEngine {
             self.leaf_cache.insert(client, v);
         }
         self.annotate_all();
+        self.generation += 1;
+        self.rebuild_arena();
     }
 
     fn collect_clients(&self) -> Vec<ClientId> {

@@ -654,6 +654,176 @@ fn rebuild_annotations_is_idempotent() {
     }
 }
 
+/// The arena walk must reproduce the recursive §3.3 search bit-for-bit:
+/// same links from every publisher/tree/event across option configs, and —
+/// when trivial-test elimination is off, so no skip chains are collapsed —
+/// the same step and comparison counts.
+#[test]
+fn arena_walk_agrees_with_recursive_search() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let schema = small_schema();
+    let configs = [
+        PstOptions::default(),
+        PstOptions::default().with_factoring(1),
+        PstOptions::default()
+            .with_order(OrderPolicy::Explicit(vec![2, 0, 1]))
+            .with_trivial_test_elimination(true),
+    ];
+    for (ci, options) in configs.iter().enumerate() {
+        let (fabric, clients) = random_tree_network(&mut rng, 5);
+        let broker = fabric.network().brokers().next().unwrap();
+        let space = LinkSpace::build(fabric.network(), fabric.forest(), broker);
+        let mut engine =
+            LinkMatchEngine::new(broker, schema.clone(), options.clone(), space).unwrap();
+        let mut next_id = 0u32;
+        for &client in &clients {
+            for _ in 0..rng.random_range(0..3) {
+                let tests: Vec<Option<i64>> = (0..3)
+                    .map(|_| rng.random_bool(0.6).then(|| rng.random_range(0..3)))
+                    .collect();
+                let home = fabric.network().home_broker(client).unwrap();
+                engine
+                    .subscribe(linkcast_types::Subscription::new(
+                        linkcast_types::SubscriptionId::new(next_id),
+                        linkcast_types::SubscriberId::new(home, client),
+                        int_predicate(&schema, &tests),
+                    ))
+                    .unwrap();
+                next_id += 1;
+            }
+        }
+        let mut scratch = crate::RouteScratch::new();
+        let mut out = Vec::new();
+        let tree = fabric.tree_for(broker).unwrap();
+        for _ in 0..40 {
+            let values: Vec<i64> = (0..3).map(|_| rng.random_range(0..3)).collect();
+            let event = int_event(&schema, &values);
+            let mut rec_stats = MatchStats::new();
+            let expected = engine.match_links(&event, tree, &mut rec_stats);
+            let mut arena_stats = MatchStats::new();
+            engine.match_links_into(&event, tree, &mut scratch, &mut arena_stats, &mut out);
+            assert_eq!(out, expected, "config {ci}, event {values:?}");
+            if !options.eliminate_trivial_tests {
+                assert_eq!(arena_stats, rec_stats, "config {ci}, event {values:?}");
+            }
+        }
+    }
+}
+
+/// Subscribe/unsubscribe churn: the arena (incrementally patched or
+/// rebuilt) must track the mutable PST exactly, and the generation counter
+/// must tick on every mutation.
+#[test]
+fn arena_tracks_subscription_churn() {
+    let mut rng = StdRng::seed_from_u64(1717);
+    let schema = small_schema();
+    let (fabric, clients) = random_tree_network(&mut rng, 4);
+    let broker = fabric.network().brokers().next().unwrap();
+    let space = LinkSpace::build(fabric.network(), fabric.forest(), broker);
+    let mut engine = LinkMatchEngine::new(
+        broker,
+        schema.clone(),
+        PstOptions::default().with_factoring(1),
+        space,
+    )
+    .unwrap();
+    let tree = fabric.tree_for(broker).unwrap();
+    let mut scratch = crate::RouteScratch::new();
+    let mut out = Vec::new();
+    let mut live: Vec<u32> = Vec::new();
+    let mut next_id = 0u32;
+    for step in 0..200 {
+        let before = engine.generation();
+        if live.is_empty() || rng.random_bool(0.6) {
+            let client = clients[rng.random_range(0..clients.len())];
+            let tests: Vec<Option<i64>> = (0..3)
+                .map(|_| rng.random_bool(0.6).then(|| rng.random_range(0..3)))
+                .collect();
+            let home = fabric.network().home_broker(client).unwrap();
+            engine
+                .subscribe(linkcast_types::Subscription::new(
+                    linkcast_types::SubscriptionId::new(next_id),
+                    linkcast_types::SubscriberId::new(home, client),
+                    int_predicate(&schema, &tests),
+                ))
+                .unwrap();
+            live.push(next_id);
+            next_id += 1;
+        } else {
+            let id = live.swap_remove(rng.random_range(0..live.len()));
+            assert!(engine.unsubscribe(linkcast_types::SubscriptionId::new(id)));
+        }
+        assert_eq!(engine.generation(), before + 1, "step {step}");
+        for _ in 0..5 {
+            let values: Vec<i64> = (0..3).map(|_| rng.random_range(0..3)).collect();
+            let event = int_event(&schema, &values);
+            let expected = engine.match_links_simple(&event, tree);
+            let mut stats = MatchStats::new();
+            engine.match_links_into(&event, tree, &mut scratch, &mut stats, &mut out);
+            assert_eq!(out, expected, "step {step}, event {values:?}");
+        }
+    }
+}
+
+/// The scratch-reusing parallel path agrees with the sequential search and
+/// with its own allocating wrapper across thread counts.
+#[test]
+fn parallel_route_scratch_reuse_is_equivalent() {
+    let mut rng = StdRng::seed_from_u64(9090);
+    let schema = small_schema();
+    let (fabric, clients) = random_tree_network(&mut rng, 6);
+    let broker = fabric.network().brokers().next().unwrap();
+    let space = LinkSpace::build(fabric.network(), fabric.forest(), broker);
+    let mut engine = LinkMatchEngine::new(
+        broker,
+        schema.clone(),
+        PstOptions::default().with_factoring(1),
+        space,
+    )
+    .unwrap();
+    let mut next_id = 0u32;
+    for &client in &clients {
+        for _ in 0..3 {
+            let tests: Vec<Option<i64>> = (0..3)
+                .map(|_| rng.random_bool(0.5).then(|| rng.random_range(0..3)))
+                .collect();
+            let home = fabric.network().home_broker(client).unwrap();
+            engine
+                .subscribe(linkcast_types::Subscription::new(
+                    linkcast_types::SubscriptionId::new(next_id),
+                    linkcast_types::SubscriberId::new(home, client),
+                    int_predicate(&schema, &tests),
+                ))
+                .unwrap();
+            next_id += 1;
+        }
+    }
+    let tree = fabric.tree_for(broker).unwrap();
+    let mut scratch = crate::RouteScratch::new();
+    let mut out = Vec::new();
+    for _ in 0..30 {
+        let values: Vec<i64> = (0..3).map(|_| rng.random_range(0..3)).collect();
+        let event = int_event(&schema, &values);
+        let expected = engine.match_links_simple(&event, tree);
+        for threads in [1, 2, 4] {
+            let mut stats = MatchStats::new();
+            engine.match_links_parallel_into(
+                &event,
+                tree,
+                threads,
+                &mut scratch,
+                &mut stats,
+                &mut out,
+            );
+            assert_eq!(out, expected, "threads {threads}, event {values:?}");
+            assert_eq!(stats.events, 1);
+            let mut alloc_stats = MatchStats::new();
+            let alloc = engine.match_links_parallel(&event, tree, threads, &mut alloc_stats);
+            assert_eq!(alloc, expected);
+        }
+    }
+}
+
 /// Direct structural soundness of [`LinkSpace`] on random cyclic networks:
 /// masks and leaf vectors stay inside the active tree's class block, local
 /// clients are always mapped via their client link, and downstream

@@ -67,15 +67,19 @@
 //! # }
 //! ```
 
+mod arena;
 mod baselines;
+mod cache;
 mod engine;
 mod error;
 mod router;
 mod spanning;
 mod topology;
 
+pub use arena::{MatchArena, MatchScratch};
 pub use baselines::{FloodingRouter, MatchFirstRouter};
-pub use engine::LinkMatchEngine;
+pub use cache::MatchCache;
+pub use engine::{LinkMatchEngine, RouteScratch};
 pub use error::{CoreError, Result};
 pub use router::{ContentRouter, Delivery, EventRouter, HopRecord, RoutingFabric};
 pub use spanning::{LinkSpace, SpanningForest, SpanningTree, TreeId};

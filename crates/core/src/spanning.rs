@@ -396,13 +396,21 @@ impl LinkSpace {
     /// (positions outside `tree`'s class are never `Yes` because the
     /// initialization mask starts them at `No`).
     pub fn links_to_send(&self, mask: &TritVec) -> Vec<LinkId> {
-        let mut out: Vec<LinkId> = mask
-            .yes_indices()
-            .map(|p| LinkId::new((p % self.n_links) as u32))
-            .collect();
+        let mut out = Vec::new();
+        self.links_to_send_into(mask, &mut out);
+        out
+    }
+
+    /// [`links_to_send`](Self::links_to_send) into a caller-provided buffer
+    /// (cleared first) — the allocation-free path for reused scratch.
+    pub fn links_to_send_into(&self, mask: &TritVec, out: &mut Vec<LinkId>) {
+        out.clear();
+        out.extend(
+            mask.yes_indices()
+                .map(|p| LinkId::new((p % self.n_links) as u32)),
+        );
         out.sort_unstable();
         out.dedup();
-        out
     }
 }
 

@@ -65,6 +65,7 @@ pub use compact::compact_subscriptions;
 pub use gating::GatingMatcher;
 pub use matcher::{Matcher, MatcherError};
 pub use naive::NaiveMatcher;
+pub use parallel::ParallelScratch;
 pub use psg::Psg;
 pub use pst::{MutationReport, NodeId, NodeRef, OrderPolicy, Pst, PstOptions, PstSummary};
 pub use stats::MatchStats;

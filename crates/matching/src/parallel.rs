@@ -17,6 +17,45 @@ use linkcast_types::{Event, SubscriptionId};
 use crate::pst::{NodeId, Pst};
 use crate::MatchStats;
 
+/// Reusable buffers for [`Pst::matches_parallel_into`]: the frontier, one
+/// chunk/stack/result set per worker, all retained across events so a
+/// long-lived matching shard allocates only on capacity growth.
+#[derive(Debug, Default)]
+pub struct ParallelScratch {
+    frontier: Vec<NodeId>,
+    workers: Vec<WorkerScratch>,
+}
+
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    chunk: Vec<NodeId>,
+    stack: Vec<NodeId>,
+    out: Vec<SubscriptionId>,
+    stats: MatchStats,
+}
+
+impl ParallelScratch {
+    /// A fresh, empty scratch set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears per-event state and makes sure at least `workers` worker
+    /// slots exist.
+    fn reset(&mut self, workers: usize) {
+        self.frontier.clear();
+        if self.workers.len() < workers {
+            self.workers.resize_with(workers, WorkerScratch::default);
+        }
+        for w in &mut self.workers {
+            w.chunk.clear();
+            w.stack.clear();
+            w.out.clear();
+            w.stats = MatchStats::new();
+        }
+    }
+}
+
 impl Pst {
     /// Like [`Matcher::matches`](crate::Matcher::matches), but fans the
     /// top-level subsearches out over up to `threads` scoped worker
@@ -31,63 +70,79 @@ impl Pst {
         threads: usize,
         stats: &mut MatchStats,
     ) -> Vec<SubscriptionId> {
+        let mut scratch = ParallelScratch::new();
+        let mut out = Vec::new();
+        self.matches_parallel_into(event, threads, stats, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`matches_parallel`](Self::matches_parallel) drawing every buffer
+    /// from `scratch` and writing the sorted, deduplicated match set into
+    /// `out` (cleared first). A per-shard scratch handed down from the
+    /// broker loop makes the steady-state search allocation-free.
+    pub fn matches_parallel_into(
+        &self,
+        event: &Event,
+        threads: usize,
+        stats: &mut MatchStats,
+        scratch: &mut ParallelScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        out.clear();
+        scratch.reset(threads.max(1));
         // Build the frontier: the children the sequential search would
         // visit from the root (plus the root's own bookkeeping).
         let Some(root) = self.root_for_event(event) else {
             stats.events += 1;
-            return Vec::new();
+            return;
         };
-        let frontier = self.match_frontier(root, event, stats);
+        let ParallelScratch { frontier, workers } = scratch;
+        self.match_frontier_into(root, event, stats, frontier);
         if threads <= 1 || frontier.len() < 2 {
             // Not worth splitting: finish sequentially from the frontier.
-            let mut out = Vec::new();
-            for node in frontier {
-                out.extend(self.match_from(node, event, stats));
+            let Some(solo) = workers.first_mut() else {
+                return;
+            };
+            for node in frontier.drain(..) {
+                solo.stack.clear();
+                self.match_from_into(node, event, stats, &mut solo.stack, out);
             }
             out.sort_unstable();
             out.dedup();
-            return out;
+            return;
         }
 
-        let workers = threads.min(frontier.len());
-        let chunks: Vec<Vec<NodeId>> = {
-            let mut chunks: Vec<Vec<NodeId>> = (0..workers).map(|_| Vec::new()).collect();
-            for (i, node) in frontier.into_iter().enumerate() {
-                chunks[i % workers].push(node);
+        let n_workers = threads.min(frontier.len());
+        for (i, node) in frontier.drain(..).enumerate() {
+            if let Some(w) = workers.get_mut(i % n_workers) {
+                w.chunk.push(node);
             }
-            chunks
-        };
-        let results = thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        let mut local_stats = MatchStats::new();
-                        let mut out = Vec::new();
-                        for node in chunk {
-                            out.extend(self.match_from(node, event, &mut local_stats));
-                        }
-                        (out, local_stats)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("matching workers do not panic"))
-                .collect::<Vec<_>>()
+        }
+        thread::scope(|scope| {
+            for w in workers.iter_mut().take(n_workers) {
+                scope.spawn(move |_| {
+                    let WorkerScratch {
+                        chunk,
+                        stack,
+                        out,
+                        stats,
+                    } = w;
+                    for &node in chunk.iter() {
+                        self.match_from_into(node, event, stats, stack, out);
+                    }
+                });
+            }
         })
         .expect("scoped matching threads do not panic");
 
-        let mut out = Vec::new();
-        for (ids, local_stats) in results {
-            out.extend(ids);
-            stats.steps += local_stats.steps;
-            stats.comparisons += local_stats.comparisons;
-            stats.leaf_hits += local_stats.leaf_hits;
+        for w in workers.iter().take(n_workers) {
+            out.extend_from_slice(&w.out);
+            stats.steps += w.stats.steps;
+            stats.comparisons += w.stats.comparisons;
+            stats.leaf_hits += w.stats.leaf_hits;
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 }
 
@@ -175,6 +230,29 @@ mod tests {
         pst.matches_parallel(&event, 4, &mut par_stats);
         assert_eq!(par_stats.steps, seq_stats.steps, "same nodes visited");
         assert_eq!(par_stats.leaf_hits, seq_stats.leaf_hits);
+    }
+
+    #[test]
+    fn scratch_reuse_across_events_is_equivalent() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let pst = random_pst(&mut rng, 400, 1);
+        let schema = schema();
+        let mut scratch = ParallelScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            let event = linkcast_types::Event::from_values(
+                &schema,
+                (0..5).map(|_| Value::Int(rng.random_range(0..4))),
+            )
+            .unwrap();
+            let sequential = pst.matches(&event);
+            for threads in [1, 4] {
+                let mut stats = MatchStats::new();
+                pst.matches_parallel_into(&event, threads, &mut stats, &mut scratch, &mut out);
+                assert_eq!(out, sequential, "threads={threads}");
+                assert_eq!(stats.events, 1);
+            }
+        }
     }
 
     #[test]

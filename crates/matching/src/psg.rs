@@ -75,8 +75,24 @@ pub struct Psg {
     order: Vec<usize>,
     factored: Vec<usize>,
     depth: usize,
-    roots: HashMap<Box<[Value]>, u32>,
+    /// Factored-subtree roots, sorted by key so the per-event lookup can
+    /// binary-search against the event's *borrowed* factored values —
+    /// building an owned `Box<[Value]>` key per match was a measurable
+    /// allocation on the hot path.
+    roots: Vec<(Box<[Value]>, u32)>,
     nodes: Vec<PsgNode>,
+}
+
+/// Lexicographically compares a stored factor key against the event values
+/// at the factored attribute indices, without materializing a key.
+fn cmp_key_to_event(key: &[Value], factored: &[usize], values: &[Value]) -> std::cmp::Ordering {
+    for (k, &attr) in key.iter().zip(factored) {
+        match k.cmp(&values[attr]) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 impl Psg {
@@ -117,10 +133,11 @@ impl Psg {
             translated.insert(id.index(), psg_id);
         }
 
-        let roots = pst
+        let mut roots: Vec<(Box<[Value]>, u32)> = pst
             .roots()
             .map(|(key, root)| (key.to_vec().into(), translated[&root.index()]))
             .collect();
+        roots.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Psg {
             schema: pst.schema().clone(),
             order: pst.order().to_vec(),
@@ -147,16 +164,14 @@ impl Psg {
     pub fn matches_with_stats(&self, event: &Event, stats: &mut MatchStats) -> Vec<SubscriptionId> {
         stats.events += 1;
         let mut out = Vec::new();
-        let root = if self.factored.is_empty() {
-            self.roots.get(&[] as &[Value]).copied()
-        } else {
-            let key: Box<[Value]> = self
-                .factored
-                .iter()
-                .map(|&attr| event.values()[attr].clone())
-                .collect();
-            self.roots.get(&key).copied()
-        };
+        // Borrow-keyed root lookup: binary search against the event's
+        // factored values in place (the empty-factored case compares equal
+        // to the sole empty key). No per-event key allocation.
+        let root = self
+            .roots
+            .binary_search_by(|(key, _)| cmp_key_to_event(key, &self.factored, event.values()))
+            .ok()
+            .map(|i| self.roots[i].1);
         let Some(root) = root else {
             return out;
         };

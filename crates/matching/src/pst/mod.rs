@@ -411,6 +411,13 @@ impl<'a> NodeRef<'a> {
         &self.node.subs
     }
 
+    /// The trivial-test-elimination skip target, if one is set: the deepest
+    /// node a search entering this node can jump to without changing the
+    /// outcome. Consumers flattening the tree resolve edges through this.
+    pub fn skip(&self) -> Option<NodeId> {
+        self.node.skip
+    }
+
     /// All children: equality, range, then `*`.
     pub fn children(&self) -> impl Iterator<Item = NodeId> + 'a {
         let node = self.node;

@@ -26,51 +26,54 @@ impl Pst {
         out
     }
 
-    /// Sequential search from one start node; returns raw (unsorted,
-    /// possibly duplicated) matches. Used by the parallel matcher's
-    /// workers.
-    pub(crate) fn match_from(
+    /// Sequential search from one start node appending into caller-provided
+    /// buffers — the per-worker scratch path. `stack` must be empty; `out`
+    /// receives raw (unsorted, possibly duplicated) matches.
+    pub(crate) fn match_from_into(
         &self,
         node: NodeId,
         event: &Event,
         stats: &mut MatchStats,
-    ) -> Vec<SubscriptionId> {
-        let mut out = Vec::new();
-        let mut stack = vec![node];
-        self.run_stack(&mut stack, event, stats, &mut out);
-        out
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        debug_assert!(stack.is_empty(), "scratch stack must start empty");
+        stack.push(node);
+        self.run_stack(stack, event, stats, out);
     }
 
     /// Expands the search from `root` breadth-first until the frontier is
     /// wide enough to split across workers (or cannot grow), counting the
     /// expansion work into `stats`. Counts the event exactly once.
-    pub(crate) fn match_frontier(
+    pub(crate) fn match_frontier_into(
         &self,
         root: NodeId,
         event: &Event,
         stats: &mut MatchStats,
-    ) -> Vec<NodeId> {
+        frontier: &mut Vec<NodeId>,
+    ) {
         const TARGET: usize = 8;
+        debug_assert!(frontier.is_empty(), "scratch frontier must start empty");
         stats.events += 1;
         let skipping = self.options.eliminate_trivial_tests;
-        let mut frontier = vec![self.effective(root, skipping)];
+        frontier.push(self.effective(root, skipping));
         loop {
             if frontier.len() >= TARGET {
-                return frontier;
+                return;
             }
             // Expand the first interior node, if any.
             let Some(pos) = frontier
                 .iter()
                 .position(|&id| (self.node_inner(id).level as usize) < self.depth())
             else {
-                return frontier;
+                return;
             };
             let id = frontier.swap_remove(pos);
             let before = frontier.len();
-            self.visit(id, event, stats, &mut frontier, &mut Vec::new());
+            self.visit(id, event, stats, frontier, &mut Vec::new());
             if frontier.len() == before && frontier.is_empty() {
                 // The whole search died at this node.
-                return frontier;
+                return;
             }
         }
     }

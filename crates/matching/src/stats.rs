@@ -20,6 +20,13 @@ pub struct MatchStats {
     pub comparisons: u64,
     /// Events matched (operations counted into this accumulator).
     pub events: u64,
+    /// Match-result cache hits (event answered without a tree walk).
+    pub cache_hits: u64,
+    /// Match-result cache misses (walk ran, result memoized).
+    pub cache_misses: u64,
+    /// Whole-cache invalidations caused by a subscription-set generation
+    /// change (add/remove/re-annotation).
+    pub cache_invalidations: u64,
 }
 
 impl MatchStats {
@@ -49,6 +56,9 @@ impl AddAssign for MatchStats {
         self.leaf_hits += rhs.leaf_hits;
         self.comparisons += rhs.comparisons;
         self.events += rhs.events;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.cache_invalidations += rhs.cache_invalidations;
     }
 }
 
@@ -56,8 +66,15 @@ impl fmt::Display for MatchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} steps, {} comparisons, {} leaf hits over {} events",
-            self.steps, self.comparisons, self.leaf_hits, self.events
+            "{} steps, {} comparisons, {} leaf hits over {} events \
+             ({} cache hits, {} cache misses, {} cache invalidations)",
+            self.steps,
+            self.comparisons,
+            self.leaf_hits,
+            self.events,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations
         )
     }
 }
@@ -74,15 +91,24 @@ mod tests {
             leaf_hits: 1,
             comparisons: 5,
             events: 1,
+            cache_hits: 1,
+            cache_misses: 2,
+            cache_invalidations: 0,
         };
         a += MatchStats {
             steps: 5,
             leaf_hits: 0,
             comparisons: 2,
             events: 1,
+            cache_hits: 2,
+            cache_misses: 1,
+            cache_invalidations: 1,
         };
         assert_eq!(a.steps, 8);
         assert_eq!(a.events, 2);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_misses, 3);
+        assert_eq!(a.cache_invalidations, 1);
         assert!((a.steps_per_event() - 4.0).abs() < f64::EPSILON);
         a.reset();
         assert_eq!(a, MatchStats::new());
@@ -96,9 +122,20 @@ mod tests {
             leaf_hits: 2,
             comparisons: 3,
             events: 4,
+            cache_hits: 5,
+            cache_misses: 6,
+            cache_invalidations: 7,
         };
         let text = s.to_string();
-        for needle in ["1 steps", "2 leaf hits", "3 comparisons", "4 events"] {
+        for needle in [
+            "1 steps",
+            "2 leaf hits",
+            "3 comparisons",
+            "4 events",
+            "5 cache hits",
+            "6 cache misses",
+            "7 cache invalidations",
+        ] {
             assert!(text.contains(needle), "{text}");
         }
     }

@@ -159,10 +159,27 @@ const HI: u64 = 0xAAAA_AAAA_AAAA_AAAA;
 /// let ann = alt.parallel(&star);
 /// assert_eq!(ann.to_string(), "YYM");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct TritVec {
     words: Vec<u64>,
     len: usize,
+}
+
+impl Clone for TritVec {
+    fn clone(&self) -> Self {
+        TritVec {
+            words: self.words.clone(),
+            len: self.len,
+        }
+    }
+
+    /// Reuses the existing word buffer (the derived impl would allocate a
+    /// fresh `Vec`); the match walk leans on this to copy masks into
+    /// long-lived scratch slots.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.len = source.len;
+    }
 }
 
 impl TritVec {
@@ -361,6 +378,80 @@ impl TritVec {
             words,
             len: self.len,
         }
+    }
+
+    /// The packed backing words (two bits per trit, 32 trits per word, tail
+    /// lanes canonical zero). Exposed so the flattened match arena can store
+    /// annotations in a contiguous word slab and refine against slab slices
+    /// without materializing `TritVec`s.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// In-place [`refine`](Self::refine) against a raw annotation word
+    /// slice (same packing as [`words`](Self::words)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `annotation` has a different word count.
+    pub fn refine_in_place(&mut self, annotation: &[u64]) {
+        assert_eq!(
+            self.words.len(),
+            annotation.len(),
+            "trit vector word-count mismatch: {} vs {}",
+            self.words.len(),
+            annotation.len()
+        );
+        for (a, &b) in self.words.iter_mut().zip(annotation) {
+            let m = (*a & LO) & !((*a >> 1) & LO);
+            let sel = m | (m << 1);
+            *a = (*a & !sel) | (b & sel);
+        }
+    }
+
+    /// In-place [`absorb_yes`](Self::absorb_yes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn absorb_yes_in_place(&mut self, subresult: &TritVec) {
+        self.check_len(subresult);
+        for (a, &b) in self.words.iter_mut().zip(&subresult.words) {
+            let m = (*a & LO) & !((*a >> 1) & LO);
+            let y = (b >> 1) & LO;
+            let sel = m & y;
+            let sel2 = sel | (sel << 1);
+            *a = (*a & !sel2) | (sel << 1);
+        }
+    }
+
+    /// In-place [`maybes_to_no`](Self::maybes_to_no).
+    pub fn maybes_to_no_in_place(&mut self) {
+        for a in &mut self.words {
+            let m = (*a & LO) & !((*a >> 1) & LO);
+            *a &= !(m | (m << 1));
+        }
+    }
+
+    /// In-place [`parallel`](Self::parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn parallel_in_place(&mut self, other: &TritVec) {
+        self.check_len(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let or = *a | b;
+            let y = or & HI;
+            *a = y | (or & LO & !(y >> 1));
+        }
+    }
+
+    /// Resets every trit to `No` in place, keeping the allocation. `No`
+    /// encodes as `00` and the tail lanes stay canonical zero, so this is a
+    /// word fill.
+    pub fn fill_no(&mut self) {
+        self.words.fill(0);
     }
 
     /// Whether any trit is `Maybe` — i.e. the mask is not yet fully refined.
@@ -628,6 +719,62 @@ mod tests {
         let v: TritVec = "YMNMY".parse().unwrap();
         assert_eq!(v.maybes_to_no().to_string(), "YNNNY");
         assert!(!v.maybes_to_no().has_maybe());
+    }
+
+    #[test]
+    fn in_place_ops_agree_with_allocating_ops() {
+        // Exhaustive lane pairs across a word boundary, same shape as
+        // `vector_ops_agree_with_scalar_ops`.
+        let len = 67;
+        for (i, a0) in ALL.iter().enumerate() {
+            for (j, b0) in ALL.iter().enumerate() {
+                let mut a = TritVec::filled(len, *a0);
+                let mut b = TritVec::filled(len, *b0);
+                a.set(33, ALL[(i + 1) % 3]);
+                b.set(33, ALL[(j + 2) % 3]);
+
+                let mut refi = a.clone();
+                refi.refine_in_place(b.words());
+                assert_eq!(refi, a.refine(&b));
+
+                let mut abs = a.clone();
+                abs.absorb_yes_in_place(&b);
+                assert_eq!(abs, a.absorb_yes(&b));
+
+                let mut mtn = a.clone();
+                mtn.maybes_to_no_in_place();
+                assert_eq!(mtn, a.maybes_to_no());
+
+                let mut par = a.clone();
+                par.parallel_in_place(&b);
+                assert_eq!(par, a.parallel(&b));
+
+                let mut fill = a.clone();
+                fill.fill_no();
+                assert_eq!(fill, TritVec::no(len));
+            }
+        }
+    }
+
+    #[test]
+    fn clone_from_reuses_capacity_and_copies_content() {
+        let src: TritVec = "YMNMYNM".parse().unwrap();
+        let mut dst = TritVec::yes(200); // larger capacity than src needs
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.len(), 7);
+        assert_eq!(dst.to_string(), "YMNMYNM");
+        // And growing again works too.
+        let big = TritVec::maybe(100);
+        dst.clone_from(&big);
+        assert_eq!(dst, big);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-count mismatch")]
+    fn refine_in_place_rejects_mismatched_words() {
+        let mut a = TritVec::no(33);
+        a.refine_in_place(TritVec::no(32).words());
     }
 
     #[test]

@@ -1,11 +1,14 @@
 // Part of the seeded wire fixture: T_DATA is decoded but never encoded,
-// FrameTag::Orphan has no const at all, and T_PROBE is encoded but has
-// no decode arm (a heartbeat the peer would count as a protocol error).
+// FrameTag::Orphan has no const at all, T_PROBE is encoded but has no
+// decode arm (a heartbeat the peer would count as a protocol error), and
+// T_STATS reproduces the widened-counters-frame mistake — new fields
+// encoded while the decode match was left on the old layout.
 
 const T_PING: u8 = FrameTag::Ping as u8;
 const T_PONG: u8 = FrameTag::Pong as u8;
 const T_DATA: u8 = FrameTag::Data as u8;
 const T_PROBE: u8 = FrameTag::Probe as u8;
+const T_STATS: u8 = FrameTag::Stats as u8;
 
 pub enum ClientToBroker {
     Ping,
@@ -23,6 +26,7 @@ fn encode(out: &mut Vec<u8>) {
     out.put_u8(T_PING);
     out.put_u8(T_PONG);
     out.put_u8(T_PROBE);
+    out.put_u8(T_STATS);
 }
 
 fn decode(tag: u8) {

@@ -8,4 +8,5 @@ pub enum FrameTag {
     Data = 0x03,
     Orphan = 0x04, // seeded: no tag const binds this variant
     Probe = 0x05,  // seeded: encoded but missing from the decode match
+    Stats = 0x06,  // seeded: a widened counters frame whose decoder was not updated
 }

@@ -41,6 +41,35 @@ const BLOCKING: &[&str] = &[
     "sleep",
 ];
 
+/// Method names that are overwhelmingly std container/primitive calls at
+/// their call sites (`map.insert(..)`, `vec.push(..)`, `Hasher::new()`).
+/// Resolving them to same-named analyzed-set functions would, like the
+/// BLOCKING names above, drown the name-keyed call graph in false merges —
+/// e.g. a `conns.write().insert(..)` on a guard must not inherit the locks
+/// of an unrelated cache type's `fn insert`. Acquisitions *inside* analyzed
+/// functions with these names are still seen directly by the first pass.
+const UBIQUITOUS: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "clear",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "entry",
+    "extend",
+    "iter",
+    "drain",
+    "take",
+];
+
 const KEYWORDS: &[&str] = &[
     "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
     "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
@@ -164,11 +193,15 @@ pub fn check(files: &[SourceFile], hierarchy: &Hierarchy) -> Vec<Finding> {
             }
             for (name, _) in calls_in(file.toks(), fun.body) {
                 // Blocking-named methods (`send`, `recv`, ...) are almost
-                // always channel operations; attributing a same-named
-                // analyzed function's locks to them would drown the graph
-                // in false merges. Guards live across such calls are
-                // caught by the hold-across-blocking rule instead.
-                if defined.contains(&name) && !BLOCKING.contains(&name.as_str()) {
+                // always channel operations, and UBIQUITOUS names are
+                // almost always std container calls; attributing a
+                // same-named analyzed function's locks to them would drown
+                // the graph in false merges. Guards live across blocking
+                // calls are caught by the hold-across-blocking rule instead.
+                if defined.contains(&name)
+                    && !BLOCKING.contains(&name.as_str())
+                    && !UBIQUITOUS.contains(&name.as_str())
+                {
                     s.calls.insert(name);
                 }
             }
@@ -248,7 +281,7 @@ pub fn check(files: &[SourceFile], hierarchy: &Hierarchy) -> Vec<Finding> {
             // Transitive acquisitions through calls to analyzed functions
             // (blocking-named calls are the blocking rule's business).
             for (name, tok) in calls_in(toks, (a.site + 1, a.live_end)) {
-                if BLOCKING.contains(&name.as_str()) {
+                if BLOCKING.contains(&name.as_str()) || UBIQUITOUS.contains(&name.as_str()) {
                     continue;
                 }
                 if let Some(s) = summaries.get(&name) {
@@ -618,6 +651,15 @@ mod tests {
                 .any(|f| f.rule == "lock-order" && f.message.contains("inner")),
             "{out:?}"
         );
+    }
+
+    #[test]
+    fn std_container_named_call_does_not_merge_with_analyzed_fn() {
+        // `guard.insert(..)` on a held lock is a HashMap call, not a call
+        // into the analyzed-set `fn insert` — its locks must not transfer.
+        let out = run("fn insert(&self) { self.engine.read().go(); }\n\
+             fn f(&self) { self.conns.write().insert(1, 2); }");
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -47,6 +47,10 @@ const HOT_MODULES: &[&str] = &[
     "control.rs",
 ];
 
+/// Core matching modules on the per-event path (the arena walk and the
+/// match-result cache), held to the same no-panic standard.
+const HOT_CORE_MODULES: &[&str] = &["arena.rs", "cache.rs"];
+
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "check".into());
     let root = workspace_root();
@@ -139,10 +143,13 @@ fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
     }
     findings.extend(locks::check(&lock_files, &hierarchy));
 
-    // Pass 2: panic lint over the hot dataflow modules.
+    // Pass 2: panic lint over the hot dataflow modules (broker) and the
+    // per-event matching modules (core arena walk + result cache).
     for file in &lock_files {
         let name = file.path.rsplit('/').next().unwrap_or(&file.path);
-        if file.path.starts_with("crates/broker/src") && HOT_MODULES.contains(&name) {
+        let hot = (file.path.starts_with("crates/broker/src") && HOT_MODULES.contains(&name))
+            || (file.path.starts_with("crates/core/src") && HOT_CORE_MODULES.contains(&name));
+        if hot {
             findings.extend(panics::check(file));
         }
     }
@@ -242,6 +249,9 @@ fn run_selftest(root: &Path) -> Result<(), String> {
         "never encoded",
         "never dispatched",
         "tag `T_PROBE` (FrameTag::Probe) never appears in a decode match arm",
+        // The widened-counters-frame mistake: new Stats fields encoded
+        // while the decoder still expects the old layout.
+        "tag `T_STATS` (FrameTag::Stats) never appears in a decode match arm",
         "BrokerToBroker::Ping is never dispatched",
     ] {
         if !found.iter().any(|f| f.message.contains(needle)) {

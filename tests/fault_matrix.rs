@@ -34,6 +34,14 @@ const HEARTBEAT: Duration = Duration::from_millis(100);
 const LIVENESS: Duration = Duration::from_millis(600);
 
 fn run_plan(plan: FaultPlan) {
+    run_plan_with_cache(plan, 0);
+}
+
+/// `run_plan` with each broker's match-result cache set to `cache_cap`
+/// entries (0 = disabled, the default everywhere else in the matrix). The
+/// cached leg proves the generation-invalidated cache cannot corrupt
+/// routing under link faults: the flooding-baseline oracle is unchanged.
+fn run_plan_with_cache(plan: FaultPlan, cache_cap: usize) {
     let mut rng = Lcg::new(seed_from_env("FAULT_SEED", 7));
     let mut net = NetworkBuilder::new();
     let brokers: Vec<BrokerId> = (0..3).map(|_| net.add_broker()).collect();
@@ -57,6 +65,7 @@ fn run_plan(plan: FaultPlan) {
             // A stalled link also swallows the redial handshake, so keep
             // the supervisor's give-up-and-backoff loop tight.
             config.link_handshake_timeout = Duration::from_millis(500);
+            config.match_cache_cap = cache_cap;
             BrokerNode::start(config).unwrap()
         })
         .collect();
@@ -195,6 +204,13 @@ fn run_plan(plan: FaultPlan) {
         0,
         "no client was slow; eviction must not fire"
     );
+    if cache_cap > 0 {
+        assert!(
+            sum(|s| s.match_cache_misses) > 0,
+            "[{}] the enabled match cache was never consulted",
+            plan.name
+        );
+    }
 }
 
 #[test]
@@ -235,6 +251,20 @@ fn chain_survives_delayed_frames() {
         name: "delay",
         fault: Fault::Delay,
     });
+}
+
+/// One matrix leg re-run with the match-result cache enabled: link faults
+/// plus subscription-generation invalidation must still reproduce the
+/// exact flooding baseline.
+#[test]
+fn chain_survives_killed_links_with_match_cache() {
+    run_plan_with_cache(
+        FaultPlan {
+            name: "kill+cache",
+            fault: Fault::Kill,
+        },
+        1024,
+    );
 }
 
 /// The half-open detection bound (tentpole acceptance): a stalled — not

@@ -1,0 +1,223 @@
+//! Churn property test for the arena walk and the generation-invalidated
+//! match-result cache.
+//!
+//! One seeded run interleaves ≥1000 subscribe / unsubscribe / match steps
+//! against a single [`MatchingEngine`] and, on every match step, compares
+//! four independently computed link sets:
+//!
+//! 1. a **naive oracle** built from the public [`LinkSpace`] primitives —
+//!    evaluate every live predicate against the event, union the matching
+//!    subscribers' leaf vectors, absorb into the tree's initialization
+//!    mask (no PST involved at all);
+//! 2. the **legacy recursive search** ([`MatchingEngine::route`]);
+//! 3. the **arena walk with the cache disabled** (capacity 0);
+//! 4. the **arena walk with the cache enabled**, which must survive every
+//!    generation bump the churn causes.
+//!
+//! The event domain is deliberately tiny (three int attributes over 0..3)
+//! so the cache sees genuine repeats between churn steps, and the final
+//! assertions require all three cache counters — hits, misses, and
+//! generation invalidations — to have fired.
+
+mod fault;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fault::Lcg;
+use linkcast::{LinkSpace, MatchCache, NetworkBuilder, RouteScratch, RoutingFabric, TreeId};
+use linkcast_broker::MatchingEngine;
+use linkcast_matching::{MatchStats, PstOptions};
+use linkcast_types::{
+    AttrTest, BrokerId, ClientId, Event, EventSchema, LinkId, Predicate, SchemaId, SchemaRegistry,
+    SubscriberId, Subscription, SubscriptionId, TritVec, Value, ValueKind,
+};
+
+const STEPS: usize = 1200;
+const DOMAIN: i64 = 3;
+const ATTRS: usize = 3;
+
+fn registry() -> Arc<SchemaRegistry> {
+    let mut b = EventSchema::builder("churn");
+    for name in ["x", "y", "z"] {
+        b = b.attribute_with_domain(name, ValueKind::Int, (0..DOMAIN).map(Value::Int));
+    }
+    let mut r = SchemaRegistry::new();
+    r.register(b.build().unwrap()).unwrap();
+    Arc::new(r)
+}
+
+/// A star with B1 in the middle: B1 has three broker links plus local
+/// clients, so its link space is wide enough that wrong link sets show up.
+fn star_fabric() -> (Arc<RoutingFabric>, Vec<BrokerId>, Vec<ClientId>) {
+    let mut b = NetworkBuilder::new();
+    let brokers = b.add_brokers(4);
+    b.connect(brokers[1], brokers[0], 5.0).unwrap();
+    b.connect(brokers[1], brokers[2], 5.0).unwrap();
+    b.connect(brokers[1], brokers[3], 5.0).unwrap();
+    let mut clients = Vec::new();
+    for &broker in &brokers {
+        clients.push(b.add_client(broker).unwrap());
+        clients.push(b.add_client(broker).unwrap());
+    }
+    let fabric = RoutingFabric::new_all_roots(b.build().unwrap()).unwrap();
+    (fabric, brokers, clients)
+}
+
+fn random_event(schema: &EventSchema, rng: &mut Lcg) -> Event {
+    let values = (0..ATTRS).map(|_| Value::Int(rng.below(DOMAIN as u64) as i64));
+    Event::from_values(schema, values).unwrap()
+}
+
+fn random_predicate(schema: &EventSchema, rng: &mut Lcg) -> Predicate {
+    loop {
+        let tests: Vec<AttrTest> = (0..ATTRS)
+            .map(|_| {
+                if rng.below(2) == 0 {
+                    AttrTest::Eq(Value::Int(rng.below(DOMAIN as u64) as i64))
+                } else {
+                    AttrTest::Any
+                }
+            })
+            .collect();
+        // An all-Any predicate is legal but boring; reroll it sometimes
+        // stays for match-all coverage.
+        if tests.iter().any(|t| !matches!(t, AttrTest::Any)) || rng.below(4) == 0 {
+            return Predicate::from_tests(schema, tests).unwrap();
+        }
+    }
+}
+
+/// The naive oracle: no PST, no annotations — just predicate evaluation
+/// plus the §3.2 mask algebra over the public [`LinkSpace`] API.
+fn oracle_links(
+    space: &LinkSpace,
+    live: &HashMap<SubscriptionId, Subscription>,
+    event: &Event,
+    tree: TreeId,
+) -> Vec<LinkId> {
+    let mut yes = TritVec::no(space.width());
+    for sub in live.values() {
+        if sub.predicate().matches(event) {
+            yes.parallel_in_place(&space.leaf_vector(sub.subscriber().client));
+        }
+    }
+    let mut mask = space.init_mask(tree).clone();
+    mask.absorb_yes_in_place(&yes);
+    mask.maybes_to_no_in_place();
+    space.links_to_send(&mask)
+}
+
+fn run_churn(options: PstOptions, seed: u64) {
+    let (fabric, brokers, clients) = star_fabric();
+    let registry = registry();
+    let schema = registry.get(SchemaId::new(0)).unwrap().clone();
+    let home = brokers[1];
+    let mut engine = MatchingEngine::new(home, &fabric, Arc::clone(&registry), options).unwrap();
+    let space = LinkSpace::build(fabric.network(), fabric.forest(), home);
+    let trees: Vec<TreeId> = brokers.iter().map(|&b| fabric.tree_for(b).unwrap()).collect();
+
+    let mut rng = Lcg::new(seed);
+    let mut live: HashMap<SubscriptionId, Subscription> = HashMap::new();
+    let mut ids: Vec<SubscriptionId> = Vec::new();
+    let mut next_id = 1u32;
+
+    let mut cache = MatchCache::new(64);
+    let mut disabled = MatchCache::new(0);
+    let mut scratch_cached = RouteScratch::new();
+    let mut scratch_plain = RouteScratch::new();
+    let mut cached_stats = MatchStats::new();
+    let mut plain_stats = MatchStats::new();
+    let mut legacy_stats = MatchStats::new();
+
+    let mut match_steps = 0usize;
+    for step in 0..STEPS {
+        match rng.below(10) {
+            // 3/10: subscribe a random client anywhere in the network.
+            0..=2 => {
+                let client = clients[rng.below(clients.len() as u64) as usize];
+                let broker = fabric.network().home_broker(client).unwrap();
+                let sub = Subscription::new(
+                    SubscriptionId::new(next_id),
+                    SubscriberId::new(broker, client),
+                    random_predicate(&schema, &mut rng),
+                );
+                next_id += 1;
+                live.insert(sub.id(), sub.clone());
+                ids.push(sub.id());
+                engine.subscribe(SchemaId::new(0), sub).unwrap();
+            }
+            // 2/10: unsubscribe a random live subscription.
+            3..=4 if !ids.is_empty() => {
+                let id = ids.swap_remove(rng.below(ids.len() as u64) as usize);
+                live.remove(&id);
+                assert!(engine.unsubscribe(id), "live id must be removable");
+            }
+            // 5/10 (plus unsubscribes with nothing live): match an event
+            // along a random spanning tree and compare all four answers.
+            _ => {
+                match_steps += 1;
+                let event = random_event(&schema, &mut rng);
+                let tree = trees[rng.below(trees.len() as u64) as usize];
+
+                let expected = oracle_links(&space, &live, &event, tree);
+                let legacy = engine.route(&event, tree, &mut legacy_stats);
+                let mut plain = Vec::new();
+                engine.route_cached(
+                    &event,
+                    tree,
+                    1,
+                    &mut disabled,
+                    &mut scratch_plain,
+                    &mut plain_stats,
+                    &mut plain,
+                );
+                let mut cached = Vec::new();
+                engine.route_cached(
+                    &event,
+                    tree,
+                    1,
+                    &mut cache,
+                    &mut scratch_cached,
+                    &mut cached_stats,
+                    &mut cached,
+                );
+
+                assert_eq!(legacy, expected, "step {step}: recursive search vs oracle");
+                assert_eq!(plain, expected, "step {step}: arena walk vs oracle");
+                assert_eq!(cached, expected, "step {step}: cached arena walk vs oracle");
+            }
+        }
+    }
+
+    assert!(STEPS >= 1000, "the property run must cover >= 1000 steps");
+    assert!(match_steps >= 300, "churn schedule starved match steps");
+    // The disabled cache must have stayed out of the accounting entirely.
+    assert_eq!(plain_stats.cache_hits, 0);
+    assert_eq!(plain_stats.cache_misses, 0);
+    assert_eq!(plain_stats.cache_invalidations, 0);
+    // The live cache must have exercised all three counters: repeats hit,
+    // fresh keys miss, and every subscribe/unsubscribe between lookups
+    // forces a generation flush.
+    assert!(cached_stats.cache_hits > 0, "no cache hit in {STEPS} steps");
+    assert!(cached_stats.cache_misses > 0, "no cache miss in {STEPS} steps");
+    assert!(
+        cached_stats.cache_invalidations > 0,
+        "churn never invalidated the cache"
+    );
+}
+
+#[test]
+fn churn_equivalence_default_options() {
+    run_churn(PstOptions::default(), 0x5eed_0001);
+}
+
+#[test]
+fn churn_equivalence_factored_with_trivial_elimination() {
+    run_churn(
+        PstOptions::default()
+            .with_factoring(1)
+            .with_trivial_test_elimination(true),
+        0x5eed_0002,
+    );
+}
