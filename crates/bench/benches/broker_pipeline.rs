@@ -191,7 +191,11 @@ impl Cluster {
                 subscriber_ids.push((i, net.add_client(broker).unwrap()));
             }
         }
-        let decoy_client_count = if spec.decoy_chains == 0 { 0 } else { DECOY_CLIENTS };
+        let decoy_client_count = if spec.decoy_chains == 0 {
+            0
+        } else {
+            DECOY_CLIENTS
+        };
         let decoy_ids: Vec<(usize, ClientId)> = (0..decoy_client_count)
             .map(|i| {
                 let b = i % brokers.len();

@@ -2,7 +2,7 @@
 //! lifecycle.
 
 use std::collections::{HashMap, HashSet};
-use std::net::{SocketAddr, TcpListener};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,7 +21,8 @@ use crate::engine::MatchingEngine;
 use crate::log::{AckLog, EventLog};
 use crate::outbox::{ConnId, Outbox, Sink};
 use crate::protocol::{self, BrokerToBroker, BrokerToClient, ClientToBroker};
-use crate::tcp;
+use crate::tcp::TcpTransport;
+use crate::transport::{self, Transport};
 
 /// How many received `Forward` frames a broker lets accumulate before it
 /// pushes a cumulative `FwdAck` back over the link (the GC tick flushes
@@ -56,6 +57,11 @@ pub struct BrokerConfig {
     pub options: PstOptions,
     /// Listen address; use port 0 to let the OS pick.
     pub listen: SocketAddr,
+    /// The network the node binds and dials through:
+    /// [`TcpTransport`] (the default) for real sockets, or a
+    /// [`SimNet`](crate::SimNet) host for deterministic in-process
+    /// clusters.
+    pub transport: Arc<dyn Transport>,
     /// Size of the sending-thread pool.
     pub sender_threads: usize,
     /// Garbage-collection period for client event logs.
@@ -153,6 +159,7 @@ impl BrokerConfig {
             options: PstOptions::default(),
             // analyzer:allow(panic): startup-time parse of a literal address, not dataflow
             listen: "127.0.0.1:0".parse().expect("valid literal address"),
+            transport: Arc::new(TcpTransport),
             sender_threads: 2,
             gc_interval: Duration::from_millis(250),
             log_bound: 4096,
@@ -337,6 +344,8 @@ pub struct BrokerNode {
     match_stats: Arc<Vec<Mutex<MatchStats>>>,
     shutdown: Arc<AtomicBool>,
     next_conn: Arc<AtomicU64>,
+    /// [`BrokerConfig::transport`], kept for outbound dials.
+    transport: Arc<dyn Transport>,
     /// [`BrokerConfig::drain_timeout`], kept for the shutdown path.
     drain_timeout: Duration,
     /// [`BrokerConfig::link_handshake_timeout`], kept for link supervisors.
@@ -345,6 +354,10 @@ pub struct BrokerNode {
     /// ticker thread and the engine loop so it can be retuned at runtime.
     heartbeat_ms: Arc<AtomicU64>,
     engine_thread: Option<std::thread::JoinHandle<()>>,
+    /// Joined on shutdown so the listener is unbound before `shutdown`
+    /// returns — a restart re-binding the same address must not race the
+    /// old acceptor's last wakeup.
+    acceptor_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl BrokerNode {
@@ -355,8 +368,7 @@ impl BrokerNode {
     ///
     /// I/O errors from binding, or engine construction errors (boxed).
     pub fn start(config: BrokerConfig) -> Result<BrokerNode, Box<dyn std::error::Error>> {
-        let listener = TcpListener::bind(config.listen)?;
-        listener.set_nonblocking(true)?;
+        let listener = config.transport.bind(config.listen)?;
         let addr = listener.local_addr()?;
 
         let (cmd_tx, cmd_rx) = unbounded::<Command>();
@@ -455,7 +467,7 @@ impl BrokerNode {
         }
 
         // Acceptor.
-        tcp::spawn_acceptor(
+        let acceptor_thread = transport::spawn_acceptor(
             listener,
             cmd_tx.clone(),
             Arc::clone(&outbox),
@@ -547,6 +559,7 @@ impl BrokerNode {
                         match_cache: MatchCache::new(config2.match_cache_cap),
                         route_scratch: RouteScratch::new(),
                         config: config2,
+                        incarnation: mint_incarnation(),
                         engine,
                         outbox,
                         stats,
@@ -577,10 +590,12 @@ impl BrokerNode {
             match_stats,
             shutdown,
             next_conn,
+            transport: config.transport,
             drain_timeout: config.drain_timeout,
             link_handshake_timeout: config.link_handshake_timeout,
             heartbeat_ms,
             engine_thread: Some(engine_thread),
+            acceptor_thread: Some(acceptor_thread),
         })
     }
 
@@ -616,17 +631,15 @@ impl BrokerNode {
     ///
     /// Connection I/O errors.
     pub fn connect_to(&self, neighbor: BrokerId, addr: SocketAddr) -> std::io::Result<()> {
-        let stream = std::net::TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        let connection = self.transport.dial(addr)?;
         let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        let reader = stream.try_clone()?;
-        self.outbox.register(conn, Sink::Tcp(stream));
+        self.outbox.register(conn, Sink::Link(connection.writer));
         // The engine sends the `Hello` when it processes `DialedNeighbor`:
         // the handshake carries per-link sequence state only the engine
         // thread knows.
         let _ = self.cmd_tx.send(Command::DialedNeighbor(conn, neighbor));
-        tcp::spawn_reader(
-            reader,
+        transport::spawn_reader(
+            connection.reader,
             conn,
             self.cmd_tx.clone(),
             Arc::clone(&self.shutdown),
@@ -652,6 +665,7 @@ impl BrokerNode {
         let outbox = Arc::clone(&self.outbox);
         let next_conn = Arc::clone(&self.next_conn);
         let shutdown = Arc::clone(&self.shutdown);
+        let transport = Arc::clone(&self.transport);
         let handshake_timeout = self.link_handshake_timeout;
         let me = self.broker;
         let _ = std::thread::Builder::new()
@@ -659,26 +673,18 @@ impl BrokerNode {
             .spawn(move || {
                 let mut backoff = LINK_REDIAL_MIN;
                 while !shutdown.load(Ordering::Acquire) {
-                    let Ok(stream) = std::net::TcpStream::connect(addr) else {
+                    // Dial failures (including per-connection setup inside
+                    // the transport) back off instead of spin-dialing.
+                    // Never panic here — that would kill the supervisor
+                    // thread and orphan the link forever.
+                    let Ok(connection) = transport.dial(addr) else {
                         std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(LINK_REDIAL_MAX);
                         continue;
                     };
-                    // Socket setup, including the single reader clone: any
-                    // failure backs off like a failed dial instead of
-                    // spin-dialing. Never panic here — that would kill the
-                    // supervisor thread and orphan the link forever.
-                    let reader = stream
-                        .set_nodelay(true)
-                        .and_then(|()| stream.set_read_timeout(Some(Duration::from_millis(200))))
-                        .and_then(|()| stream.try_clone());
-                    let Ok(mut reader) = reader else {
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(LINK_REDIAL_MAX);
-                        continue;
-                    };
+                    let mut reader = connection.reader;
                     let conn = next_conn.fetch_add(1, Ordering::Relaxed);
-                    outbox.register(conn, crate::outbox::Sink::Tcp(stream));
+                    outbox.register(conn, crate::outbox::Sink::Link(connection.writer));
                     // The engine answers `DialedNeighbor` with the `Hello`
                     // handshake (it owns the spool/sequence state).
                     if cmd_tx
@@ -698,7 +704,7 @@ impl BrokerNode {
                         if shutdown.load(Ordering::Acquire) {
                             return;
                         }
-                        match crate::tcp::read_frame(&mut reader) {
+                        match transport::read_frame(&mut reader) {
                             Ok(Some(payload)) => {
                                 greeted = true;
                                 if cmd_tx.send(Command::Frame(conn, payload)).is_err() {
@@ -803,6 +809,11 @@ impl BrokerNode {
             // so they are in the outbox queues when the drain starts.
             let _ = t.join();
         }
+        if let Some(t) = self.acceptor_thread.take() {
+            // Bounded by one accept quantum: joining proves the listener is
+            // dropped, so the address is free the moment shutdown returns.
+            let _ = t.join();
+        }
         // Drain phase: flush every queue with a deadline and FIN each peer
         // as its queue empties, so neighbors trim their spools and restarts
         // don't open on avoidable retransmit storms. Stragglers past the
@@ -865,8 +876,25 @@ impl Drop for LocalConn {
     }
 }
 
+/// Mints a nonzero nonce for one broker lifetime: a process-wide counter
+/// in the high bits (restarts within one process — the common test and
+/// embedded-cluster case — always differ) salted with startup time in the
+/// low bits (so counter collisions across separate processes still
+/// differ in practice).
+fn mint_incarnation() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::from(d.subsec_nanos()));
+    (COUNTER.fetch_add(1, Ordering::Relaxed) << 32) | (nanos & 0xffff_ffff)
+}
+
 struct EngineLoop {
     config: BrokerConfig,
+    /// This broker lifetime's nonce, announced in every link `Hello` so
+    /// peers can tell a restart (fresh sequence space, empty spool) from
+    /// a mere reconnect. See [`BrokerToBroker::Hello`].
+    incarnation: u64,
     engine: Arc<RwLock<MatchingEngine>>,
     outbox: Arc<Outbox>,
     stats: Arc<StatsInner>,
@@ -919,6 +947,11 @@ struct NeighborRecv {
     seq: u64,
     /// Highest sequence we have acknowledged back to the neighbor.
     acked_sent: u64,
+    /// The neighbor incarnation `seq` was accumulated under (0 = none
+    /// seen yet). A handshake announcing a different incarnation resets
+    /// the window: the neighbor restarted, its sequence space is fresh,
+    /// and the old high-water mark would dedup-drop live frames.
+    peer_incarnation: u64,
 }
 
 impl EngineLoop {
@@ -1021,6 +1054,14 @@ impl EngineLoop {
     fn handle_publish(&mut self, conn: ConnId, event: Event, body: Bytes) {
         if self.client_of(conn).is_none() {
             self.client_error(conn, "publish before hello".into());
+            return;
+        }
+        // Reject events too large to re-stitch as Forward/Deliver frames
+        // before they enter routing; an unchecked body would either
+        // truncate the `u32` length prefix or flap the downstream link
+        // (retransmit → peer reject → disconnect → retransmit) forever.
+        if let Err(e) = crate::protocol::check_event_body(body.len()) {
+            self.client_error(conn, e.to_string());
             return;
         }
         let tree = match self.config.fabric.tree_for(self.config.broker) {
@@ -1224,7 +1265,9 @@ impl EngineLoop {
         match message {
             BrokerToBroker::Hello {
                 broker,
+                incarnation,
                 last_recv,
+                last_recv_incarnation,
                 send_seq,
             } => {
                 // Reply with our own handshake only on a conn we have not
@@ -1238,11 +1281,19 @@ impl EngineLoop {
                 // backlog over this conn, after which dispatch may send
                 // fresh frames on it directly.
                 self.awaiting_hello.remove(&conn);
-                // A neighbor whose send sequence regressed restarted and
-                // lost its spool: reset the receive window or its fresh
-                // stream (restarting at 1) would be dedup-dropped.
                 let recv = self.recv_from.entry(broker).or_default();
-                if send_seq < recv.seq {
+                if recv.peer_incarnation != incarnation {
+                    // A new peer lifetime (restart, or first contact): its
+                    // sequence space starts over, so the old high-water
+                    // mark is meaningless — holding onto it would dedup-
+                    // drop the fresh stream.
+                    recv.peer_incarnation = incarnation;
+                    recv.seq = 0;
+                    recv.acked_sent = 0;
+                } else if send_seq < recv.seq {
+                    // Same lifetime but its send sequence regressed —
+                    // should be impossible, kept as an independent guard
+                    // against the silent-drop failure mode.
                     recv.seq = send_seq;
                     recv.acked_sent = recv.acked_sent.min(send_seq);
                 }
@@ -1255,8 +1306,18 @@ impl EngineLoop {
                     self.resync_subscriptions(conn);
                 }
                 // The peer's `last_recv` is also a cumulative ack: trim the
-                // spool, then retransmit everything it missed.
-                self.retransmit_spool(broker, conn, last_recv);
+                // spool, then retransmit everything it missed. But only if
+                // it counts *our* frames: a mark recorded against an
+                // earlier incarnation of us refers to a dead sequence
+                // space — trimming by it would discard frames the peer
+                // never saw (e.g. a frame spooled right after restart,
+                // "acked" by a stale mark the old lifetime earned).
+                let effective_last_recv = if last_recv_incarnation == self.incarnation {
+                    last_recv
+                } else {
+                    0
+                };
+                self.retransmit_spool(broker, conn, effective_last_recv);
             }
             BrokerToBroker::FwdAck { seq } => {
                 if let Some(Peer::Broker(broker)) = self.conns.get(&conn) {
@@ -1281,7 +1342,15 @@ impl EngineLoop {
                 let id = subscription.id();
                 // A resynced add may be a resurrection: the neighbor never
                 // saw the `SubRemove` that flooded while its link was down.
+                // Ignoring it is not enough — the neighbor (and everything
+                // behind it) still *holds* the stale subscription and would
+                // keep routing on it forever. Push the removal back on the
+                // same link; the receiver un-installs it and floods the
+                // removal onward, so the partition-missed `SubRemove`
+                // finally reaches every stale copy.
                 if resync && self.tombstones.contains(id) {
+                    self.outbox
+                        .send(conn, BrokerToBroker::SubRemove { id }.encode());
                     return;
                 }
                 if self.engine.read().knows(id) {
@@ -1360,13 +1429,18 @@ impl EngineLoop {
     /// trims and retransmits its spool) and our send sequence (so the peer
     /// can detect that we restarted and reset its dedup window).
     fn send_hello(&mut self, conn: ConnId, neighbor: BrokerId) {
-        let last_recv = self.recv_from.get(&neighbor).map_or(0, |r| r.seq);
+        let (last_recv, last_recv_incarnation) = self
+            .recv_from
+            .get(&neighbor)
+            .map_or((0, 0), |r| (r.seq, r.peer_incarnation));
         let send_seq = self.spools.get(&neighbor).map_or(0, |s| s.last_seq());
         self.outbox.send(
             conn,
             BrokerToBroker::Hello {
                 broker: self.config.broker,
+                incarnation: self.incarnation,
                 last_recv,
+                last_recv_incarnation,
                 send_seq,
             }
             .encode(),
@@ -1469,10 +1543,12 @@ impl EngineLoop {
                 &mut links,
             );
         } else {
-            links = self
-                .engine
-                .read()
-                .route_parallel(&event, tree, self.config.match_threads, &mut stats);
+            links = self.engine.read().route_parallel(
+                &event,
+                tree,
+                self.config.match_threads,
+                &mut stats,
+            );
         }
         if let Some(shard_stats) = self.match_stats.first() {
             *shard_stats.lock() += stats;

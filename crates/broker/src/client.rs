@@ -1,14 +1,16 @@
-//! Client library for connecting to broker nodes over TCP.
+//! Client library for connecting to broker nodes over a transport
+//! (TCP by default; see [`Client::connect_via`] for others).
 
 use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use linkcast_types::{ClientId, Event, SchemaId, SchemaRegistry, SubscriptionId};
 
-use crate::protocol::{BrokerToClient, ClientToBroker};
-use crate::tcp::read_frame;
+use crate::protocol::{BrokerToClient, ClientToBroker, ProtocolError};
+use crate::tcp::TcpTransport;
+use crate::transport::{read_frame, LinkReader, LinkWriter, Transport};
 
 /// Errors from the client library.
 #[derive(Debug)]
@@ -95,10 +97,10 @@ pub struct NodeCounters {
 /// [`Client::recv`]) lets the broker's garbage collector trim the log.
 pub struct Client {
     /// Write half of the connection.
-    stream: TcpStream,
-    /// Buffered read half (a clone of the same socket): bursts of
-    /// deliveries arrive in one syscall instead of one per frame.
-    reader: std::io::BufReader<TcpStream>,
+    writer: Arc<dyn LinkWriter>,
+    /// Buffered read half (a handle on the same stream): bursts of
+    /// deliveries arrive in one underlying read instead of one per frame.
+    reader: std::io::BufReader<LinkReader>,
     registry: Arc<SchemaRegistry>,
     client: ClientId,
     /// Delivered-but-unreturned events (e.g. received while waiting for a
@@ -122,12 +124,27 @@ impl Client {
         resume_from: u64,
         registry: Arc<SchemaRegistry>,
     ) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-        let reader = std::io::BufReader::with_capacity(32 * 1024, stream.try_clone()?);
+        Client::connect_via(&TcpTransport, addr, client, resume_from, registry)
+    }
+
+    /// Like [`Client::connect`], but over an explicit [`Transport`] — the
+    /// entry point for clients living inside a [`SimNet`](crate::SimNet)
+    /// cluster.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::connect`].
+    pub fn connect_via(
+        transport: &dyn Transport,
+        addr: SocketAddr,
+        client: ClientId,
+        resume_from: u64,
+        registry: Arc<SchemaRegistry>,
+    ) -> Result<Client, ClientError> {
+        let connection = transport.dial(addr)?;
+        let reader = std::io::BufReader::with_capacity(32 * 1024, connection.reader);
         let mut c = Client {
-            stream,
+            writer: connection.writer,
             reader,
             registry,
             client,
@@ -220,12 +237,16 @@ impl Client {
     /// Transport errors only; matching problems surface as `Error` frames
     /// on a later receive.
     pub fn publish(&mut self, event: &Event) -> Result<(), ClientError> {
-        use std::io::Write;
         // Stitch the frame directly around one event serialization instead
         // of cloning the event into a protocol enum.
         let body = crate::protocol::encode_event_body(event);
+        // Reject events whose encoding could not survive re-stitching as a
+        // `Forward`/`Deliver` frame: an unchecked length would truncate the
+        // `u32` header and desync the stream for every later frame.
+        crate::protocol::check_event_body(body.len())
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
         let frame = crate::protocol::publish_frame(&body);
-        self.stream.write_all(&frame)?;
+        self.writer.write_batch(&[frame])?;
         Ok(())
     }
 
@@ -336,9 +357,16 @@ impl Client {
     }
 
     fn send(&mut self, message: &ClientToBroker) -> Result<(), ClientError> {
-        use std::io::Write;
         let frame = message.encode();
-        self.stream.write_all(&frame)?;
+        // `encode` writes `payload.len() as u32` — past `MAX_FRAME_LEN` the
+        // header would silently truncate (frame.len() counts the real
+        // payload, so the check works even after the header wrapped).
+        if frame.len().saturating_sub(4) > crate::protocol::MAX_FRAME_LEN {
+            return Err(ClientError::Protocol(
+                ProtocolError::Oversized(frame.len() - 4).to_string(),
+            ));
+        }
+        self.writer.write_batch(&[frame])?;
         Ok(())
     }
 

@@ -157,6 +157,7 @@ impl MatchingEngine {
     /// The caller owns both `cache` and `scratch` (one pair per match
     /// shard in the broker — plain shard-local data, no locks). A
     /// disabled cache (capacity 0) degrades to the plain arena walk.
+    #[allow(clippy::too_many_arguments)] // shard-local state threaded explicitly: no lock, no struct
     pub fn route_cached(
         &self,
         event: &Event,

@@ -34,10 +34,18 @@ mod engine;
 mod log;
 mod outbox;
 mod protocol;
+mod simnet;
 mod tcp;
+mod transport;
 
 pub use broker::{BrokerConfig, BrokerNode, BrokerStats, LocalConn};
 pub use client::{Client, ClientError, NodeCounters};
 pub use engine::MatchingEngine;
 pub use log::{AckLog, EventLog};
-pub use protocol::{BrokerToBroker, BrokerToClient, ClientToBroker, ProtocolError, MAX_FRAME};
+pub use protocol::{
+    BrokerToBroker, BrokerToClient, ClientToBroker, ProtocolError, MAX_EVENT_BODY, MAX_FRAME,
+    MAX_FRAME_LEN,
+};
+pub use simnet::{SimHost, SimNet};
+pub use tcp::TcpTransport;
+pub use transport::{Connection, LinkReader, LinkWriter, Listener, Transport};

@@ -10,8 +10,7 @@
 //! thread, and aggregate queue depth is observable for backpressure.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, IoSlice, Write};
-use std::net::{Shutdown, TcpStream};
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +18,8 @@ use std::time::Duration;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
+
+use crate::transport::LinkWriter;
 
 /// Identifies one connection within a broker node.
 pub(crate) type ConnId = u64;
@@ -31,8 +32,9 @@ pub(crate) const DRAIN_BATCH: usize = 64;
 
 /// Where a connection's frames go.
 pub(crate) enum Sink {
-    /// A TCP peer (client or neighbor broker).
-    Tcp(TcpStream),
+    /// A transport peer (client or neighbor broker) — the write half of a
+    /// [`crate::transport::Connection`].
+    Link(Arc<dyn LinkWriter>),
     /// An in-process peer (used by tests and the throughput benchmark to
     /// bypass the kernel).
     Chan(Sender<Bytes>),
@@ -58,14 +60,14 @@ pub(crate) struct Conn {
 }
 
 impl Conn {
-    /// Closes the underlying socket so both the peer and the local reader
-    /// thread (which holds a `try_clone` of the same fd, so merely dropping
+    /// Closes the underlying link so both the peer and the local reader
+    /// thread (which holds a handle on the same stream, so merely dropping
     /// our write half would never send a FIN) observe the disconnect. A
     /// no-op for channel sinks — dropping the `Conn` drops the sender and
     /// the receiver sees the hangup.
     fn shutdown_sink(&self) {
-        if let Sink::Tcp(stream) = &self.sink {
-            let _ = stream.shutdown(Shutdown::Both);
+        if let Sink::Link(writer) = &self.sink {
+            writer.shutdown();
         }
     }
 }
@@ -149,10 +151,8 @@ impl Outbox {
 
     /// Registers a connection.
     pub(crate) fn register(&self, id: ConnId, sink: Sink) {
-        if let Sink::Tcp(stream) = &sink {
-            // Best effort: a socket we cannot time-stamp still works, it
-            // just loses the stalled-writer protection.
-            let _ = stream.set_write_timeout(self.write_stall_timeout);
+        if let Sink::Link(writer) = &sink {
+            writer.set_write_timeout(self.write_stall_timeout);
         }
         let conn = Arc::new(Conn {
             id,
@@ -418,7 +418,7 @@ impl Outbox {
                 return;
             }
             let result = match &conn.sink {
-                Sink::Tcp(stream) => write_vectored_all(&mut &*stream, &batch),
+                Sink::Link(writer) => writer.write_batch(&batch),
                 Sink::Chan(tx) => batch.into_iter().try_for_each(|frame| {
                     tx.send(frame)
                         .map_err(|_| io::Error::other("in-process peer hung up"))
@@ -446,38 +446,6 @@ impl Outbox {
             }
         }
     }
-}
-
-/// Writes every buffer in `batch` with vectored I/O, advancing through
-/// partial writes. One syscall per `DRAIN_BATCH` frames in the common case,
-/// versus one per frame with `write_all`.
-fn write_vectored_all(stream: &mut impl Write, batch: &[Bytes]) -> io::Result<()> {
-    let mut idx = 0; // first buffer not fully written
-    let mut off = 0; // bytes of batch[idx] already written
-    while idx < batch.len() {
-        // analyzer:allow(index): idx < batch.len() is the loop condition, off < batch[idx].len() its invariant
-        let first = IoSlice::new(&batch[idx][off..]);
-        // analyzer:allow(index): idx + 1 <= batch.len(), so the tail slice is at worst empty
-        let rest = batch[idx + 1..].iter().map(|b| IoSlice::new(b));
-        let slices: Vec<IoSlice<'_>> = std::iter::once(first).chain(rest).collect();
-        let mut n = stream.write_vectored(&slices)?;
-        if n == 0 {
-            return Err(io::ErrorKind::WriteZero.into());
-        }
-        while idx < batch.len() {
-            // analyzer:allow(index): idx < batch.len() is the loop condition
-            let remaining = batch[idx].len() - off;
-            if n >= remaining {
-                n -= remaining;
-                idx += 1;
-                off = 0;
-            } else {
-                off += n;
-                break;
-            }
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -577,34 +545,6 @@ mod tests {
     }
 
     #[test]
-    fn vectored_writer_survives_partial_writes() {
-        struct Dribble(Vec<u8>);
-        impl Write for Dribble {
-            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                // Accept at most 3 bytes per call.
-                let n = buf.len().min(3);
-                self.0.extend_from_slice(&buf[..n]);
-                Ok(n)
-            }
-            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
-                let first = bufs.iter().find(|b| !b.is_empty()).map_or(&[][..], |b| b);
-                self.write(first)
-            }
-            fn flush(&mut self) -> io::Result<()> {
-                Ok(())
-            }
-        }
-        let batch = [
-            Bytes::from_static(b"hello"),
-            Bytes::from_static(b""),
-            Bytes::from_static(b"world!"),
-        ];
-        let mut sink = Dribble(Vec::new());
-        write_vectored_all(&mut sink, &batch).unwrap();
-        assert_eq!(sink.0, b"helloworld!");
-    }
-
-    #[test]
     fn dead_peers_are_reported_once_and_dropped() {
         let (dead_tx, dead_rx) = unbounded();
         let outbox = test_outbox(1, dead_tx);
@@ -639,7 +579,7 @@ mod tests {
             .unwrap();
         let (dead_tx, _dead_rx) = unbounded();
         let outbox = test_outbox(1, dead_tx);
-        outbox.register(1, Sink::Tcp(stream));
+        outbox.register(1, Sink::Link(Arc::new(crate::tcp::TcpWriter(stream))));
         outbox.unregister(1);
         // The remote peer sees the FIN...
         assert_eq!(peer.join().unwrap().unwrap(), 0, "peer must observe EOF");
@@ -831,7 +771,7 @@ mod tests {
             overflow_tx,
         )
         .unwrap();
-        outbox.register(1, Sink::Tcp(stream));
+        outbox.register(1, Sink::Link(Arc::new(crate::tcp::TcpWriter(stream))));
         // `client` never reads: the kernel buffers fill and the blocking
         // write must fail at the stall timeout instead of parking the pool
         // thread forever.

@@ -16,6 +16,36 @@ use std::fmt;
 /// prefixes).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Maximum payload length an encoder may emit. Same bound as [`MAX_FRAME`]
+/// under a send-side name: a payload past this would truncate its `u32`
+/// length prefix (or be dropped by every receiver), so encode entry points
+/// reject it with [`ProtocolError::Oversized`] instead of desyncing the
+/// stream.
+pub const MAX_FRAME_LEN: usize = MAX_FRAME;
+
+/// Maximum encoded *event body* accepted into routing. Tighter than
+/// [`MAX_FRAME_LEN`] by a headroom margin because an accepted publish body
+/// is re-stitched as a `Forward` frame (+13 bytes of routing header) and a
+/// `Deliver` frame; the result must still fit every receiver's
+/// [`MAX_FRAME`], or the oversized Forward would flap the link forever
+/// (retransmit → reject → disconnect → resync → retransmit).
+pub const MAX_EVENT_BODY: usize = MAX_FRAME - 64;
+
+/// Checks an encoded event body against [`MAX_EVENT_BODY`].
+///
+/// Called at the API boundary (client publish, broker publish ingress)
+/// so oversized events are rejected before they enter routing.
+///
+/// # Errors
+///
+/// [`ProtocolError::Oversized`] when `len` exceeds [`MAX_EVENT_BODY`].
+pub fn check_event_body(len: usize) -> Result<(), ProtocolError> {
+    if len > MAX_EVENT_BODY {
+        return Err(ProtocolError::Oversized(len));
+    }
+    Ok(())
+}
+
 /// Errors from encoding or decoding protocol frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProtocolError {
@@ -170,15 +200,29 @@ pub enum BrokerToBroker {
     Hello {
         /// The sending broker's id.
         broker: BrokerId,
+        /// Nonce minted when the sending broker process started. A change
+        /// between handshakes means the sender restarted: its `Forward`
+        /// sequence space toward us is brand new, so our recorded
+        /// high-water mark must be discarded, not compared. Comparing
+        /// `send_seq` alone misses the restart once the fresh stream's
+        /// sequence has caught up to (or passed) the old one — the
+        /// receiver would then dedup-drop or ack-trim live frames.
+        incarnation: u64,
         /// Highest `Forward` sequence number the sender has received *from*
         /// this neighbor — the neighbor trims its spool through this and
         /// retransmits everything after it.
         last_recv: u64,
+        /// The neighbor incarnation `last_recv` was observed under. If it
+        /// is not the receiver's *current* incarnation, `last_recv` counts
+        /// a dead sequence space and must be treated as 0 (retransmit the
+        /// whole spool; the peer's reset dedup window absorbs it).
+        last_recv_incarnation: u64,
         /// Highest `Forward` sequence number the sender has ever assigned
         /// *toward* this neighbor. A value below the receiver's recorded
         /// high-water mark means the sender restarted and lost its spool;
         /// the receiver resets its dedup window so the fresh stream is not
-        /// mistaken for duplicates.
+        /// mistaken for duplicates (redundant with `incarnation` but kept
+        /// as an independent guard).
         send_seq: u64,
     },
     /// An event in flight along a spanning tree.
@@ -250,6 +294,18 @@ const B2B_SUBREMOVE: u8 = FrameTag::SubRemove as u8;
 const B2B_FWDACK: u8 = FrameTag::FwdAck as u8;
 const B2B_PING: u8 = FrameTag::Ping as u8;
 const B2B_PONG: u8 = FrameTag::Pong as u8;
+
+/// Reads the next `Stats` counter from a known-prefix payload: the wire
+/// value when one is still present, `0` for counters newer than the
+/// sending broker. Lives outside the decode arm so length handling stays
+/// in one place.
+fn stats_counter(buf: &mut Bytes) -> u64 {
+    if buf.remaining() >= 8 {
+        buf.get_u64_le()
+    } else {
+        0
+    }
+}
 
 fn frame(payload: BytesMut) -> Bytes {
     let mut out = BytesMut::with_capacity(payload.len() + 4);
@@ -522,26 +578,35 @@ impl BrokerToClient {
                 message: wire::get_str(buf)?,
             }),
             B2C_STATS => {
-                if buf.remaining() < 128 {
-                    return Err(ProtocolError::Malformed("short stats".into()));
+                // Forward-compatible prefix decoding: the Stats frame has
+                // grown (64 → 72 → 104 → 128 bytes) as counters were added,
+                // and will grow again. Decode whatever whole counters are
+                // present in wire order, defaulting the rest to 0, and
+                // ignore trailing counters newer than this build. Only a
+                // ragged (non-multiple-of-8) payload is malformed. The
+                // *encoder* stays exact-size so old decoders keep working.
+                if !buf.remaining().is_multiple_of(8) {
+                    return Err(ProtocolError::Malformed("ragged stats payload".into()));
                 }
+                // Struct-literal fields evaluate top-to-bottom, matching
+                // wire order.
                 Ok(BrokerToClient::Stats {
-                    published: buf.get_u64_le(),
-                    forwarded: buf.get_u64_le(),
-                    delivered: buf.get_u64_le(),
-                    errors: buf.get_u64_le(),
-                    subscriptions: buf.get_u64_le(),
-                    spooled: buf.get_u64_le(),
-                    retransmitted: buf.get_u64_le(),
-                    dropped_spool_overflow: buf.get_u64_le(),
-                    protocol_errors: buf.get_u64_le(),
-                    pings_sent: buf.get_u64_le(),
-                    liveness_timeouts: buf.get_u64_le(),
-                    evicted_slow_consumers: buf.get_u64_le(),
-                    peer_overflow_disconnects: buf.get_u64_le(),
-                    match_cache_hits: buf.get_u64_le(),
-                    match_cache_misses: buf.get_u64_le(),
-                    match_cache_invalidations: buf.get_u64_le(),
+                    published: stats_counter(buf),
+                    forwarded: stats_counter(buf),
+                    delivered: stats_counter(buf),
+                    errors: stats_counter(buf),
+                    subscriptions: stats_counter(buf),
+                    spooled: stats_counter(buf),
+                    retransmitted: stats_counter(buf),
+                    dropped_spool_overflow: stats_counter(buf),
+                    protocol_errors: stats_counter(buf),
+                    pings_sent: stats_counter(buf),
+                    liveness_timeouts: stats_counter(buf),
+                    evicted_slow_consumers: stats_counter(buf),
+                    peer_overflow_disconnects: stats_counter(buf),
+                    match_cache_hits: stats_counter(buf),
+                    match_cache_misses: stats_counter(buf),
+                    match_cache_invalidations: stats_counter(buf),
                 })
             }
             tag => Err(ProtocolError::Malformed(format!(
@@ -558,12 +623,16 @@ impl BrokerToBroker {
         match self {
             BrokerToBroker::Hello {
                 broker,
+                incarnation,
                 last_recv,
+                last_recv_incarnation,
                 send_seq,
             } => {
                 b.put_u8(B2B_HELLO);
                 b.put_u32_le(broker.raw());
+                b.put_u64_le(*incarnation);
                 b.put_u64_le(*last_recv);
+                b.put_u64_le(*last_recv_incarnation);
                 b.put_u64_le(*send_seq);
             }
             BrokerToBroker::Forward { tree, seq, event } => {
@@ -613,12 +682,14 @@ impl BrokerToBroker {
         }
         match buf.get_u8() {
             B2B_HELLO => {
-                if buf.remaining() < 20 {
+                if buf.remaining() < 36 {
                     return Err(ProtocolError::Malformed("short broker hello".into()));
                 }
                 Ok(BrokerToBroker::Hello {
                     broker: BrokerId::new(buf.get_u32_le()),
+                    incarnation: buf.get_u64_le(),
                     last_recv: buf.get_u64_le(),
+                    last_recv_incarnation: buf.get_u64_le(),
                     send_seq: buf.get_u64_le(),
                 })
             }
@@ -798,7 +869,9 @@ mod tests {
 
         let hello = BrokerToBroker::Hello {
             broker: BrokerId::new(7),
+            incarnation: 0xdead_beef_0000_0001,
             last_recv: 99,
+            last_recv_incarnation: 0xdead_beef_0000_0000,
             send_seq: 120,
         };
         assert_eq!(
@@ -895,5 +968,102 @@ mod tests {
         assert!(ClientToBroker::decode(Bytes::from_static(&[0xff]), &reg).is_err());
         assert!(BrokerToClient::decode(Bytes::from_static(&[0x12, 1]), &reg).is_err());
         assert!(BrokerToBroker::decode(Bytes::from_static(&[0x23]), &reg).is_err());
+    }
+
+    #[test]
+    fn event_body_bounds() {
+        assert!(check_event_body(0).is_ok());
+        assert!(check_event_body(MAX_EVENT_BODY).is_ok());
+        let over = MAX_EVENT_BODY + 1;
+        assert_eq!(check_event_body(over), Err(ProtocolError::Oversized(over)));
+        // The headroom exists so an accepted body re-stitched with the
+        // Forward routing header (and the 4-byte length prefix) still
+        // fits every receiver's MAX_FRAME — otherwise the oversized
+        // Forward would flap the link forever.
+        const { assert!(MAX_EVENT_BODY + FORWARD_BODY_OFFSET + 4 <= MAX_FRAME) };
+        const { assert!(MAX_EVENT_BODY < MAX_FRAME_LEN) };
+    }
+
+    fn stats_payload(counters: &[u64]) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u8(B2C_STATS);
+        for &c in counters {
+            b.put_u64_le(c);
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn stats_decodes_shorter_older_payloads() {
+        let reg = registry();
+        // An 8-counter payload, as a pre-heartbeat build would send: the
+        // prefix lands in wire order, the unknown tail defaults to zero.
+        match BrokerToClient::decode(stats_payload(&[1, 2, 3, 4, 5, 6, 7, 8]), &reg).unwrap() {
+            BrokerToClient::Stats {
+                published,
+                forwarded,
+                delivered,
+                errors,
+                subscriptions,
+                spooled,
+                retransmitted,
+                dropped_spool_overflow,
+                protocol_errors,
+                match_cache_invalidations,
+                ..
+            } => {
+                assert_eq!(
+                    (
+                        published,
+                        forwarded,
+                        delivered,
+                        errors,
+                        subscriptions,
+                        spooled,
+                        retransmitted,
+                        dropped_spool_overflow
+                    ),
+                    (1, 2, 3, 4, 5, 6, 7, 8)
+                );
+                assert_eq!(protocol_errors, 0);
+                assert_eq!(match_cache_invalidations, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Degenerate but legal: a zero-counter payload is all defaults.
+        match BrokerToClient::decode(stats_payload(&[]), &reg).unwrap() {
+            BrokerToClient::Stats { published, .. } => assert_eq!(published, 0),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_ignores_longer_newer_payloads() {
+        let reg = registry();
+        // A 20-counter payload from a future build: the 16 counters this
+        // build knows decode in wire order, the 4 extra are ignored.
+        let counters: Vec<u64> = (1..=20).collect();
+        match BrokerToClient::decode(stats_payload(&counters), &reg).unwrap() {
+            BrokerToClient::Stats {
+                published,
+                match_cache_invalidations,
+                ..
+            } => {
+                assert_eq!(published, 1);
+                assert_eq!(match_cache_invalidations, 16);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_rejects_ragged_payloads() {
+        let reg = registry();
+        let mut b = BytesMut::new();
+        b.put_u8(B2C_STATS);
+        b.put_u64_le(1);
+        b.put_u32_le(2); // half a counter
+        let err = BrokerToClient::decode(b.freeze(), &reg).unwrap_err();
+        assert!(err.to_string().contains("ragged"), "{err}");
     }
 }

@@ -1,146 +1,145 @@
-//! The TCP transport: acceptor and framed readers.
+//! The default transport: blocking `std::net` TCP.
+//!
+//! Implements the [`crate::transport`] traits over OS sockets. Every
+//! connection gets `TCP_NODELAY` plus a 200 ms read timeout (the quantum
+//! the reader contract requires so threads can poll shutdown flags), and
+//! the read half is a `try_clone` of the same socket — shutting the write
+//! half down with `Shutdown::Both` is what unblocks it.
 
-use std::io::{ErrorKind, Read};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{self, IoSlice, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::Sender;
 
-use crate::broker::Command;
-use crate::outbox::{ConnId, Outbox, Sink};
-use crate::protocol::MAX_FRAME;
+use crate::transport::{Connection, LinkWriter, Listener, Transport};
 
-/// Spawns the accept loop. The listener must already be non-blocking; the
-/// loop polls it so it can observe the shutdown flag.
-pub(crate) fn spawn_acceptor(
-    listener: TcpListener,
-    cmd_tx: Sender<Command>,
-    outbox: Arc<Outbox>,
-    next_conn: Arc<AtomicU64>,
-    shutdown: Arc<AtomicBool>,
-) -> std::io::Result<()> {
-    std::thread::Builder::new()
-        .name("acceptor".into())
-        .spawn(move || {
-            while !shutdown.load(Ordering::Acquire) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        if stream.set_nodelay(true).is_err() {
-                            continue;
-                        }
-                        let conn = next_conn.fetch_add(1, Ordering::Relaxed);
-                        match stream.try_clone() {
-                            Ok(reader) => {
-                                outbox.register(conn, Sink::Tcp(stream));
-                                spawn_reader(reader, conn, cmd_tx.clone(), Arc::clone(&shutdown));
-                            }
-                            Err(_) => continue,
-                        }
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                }
+/// The default [`Transport`]: blocking TCP over `std::net`, matching the
+/// paper's prototype (OS threads, kernel sockets, no async runtime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpTransport;
+
+impl Transport for TcpTransport {
+    fn bind(&self, addr: SocketAddr) -> io::Result<Box<dyn Listener>> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accepts let the accept loop poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+        Ok(Box::new(TcpAcceptor(listener)))
+    }
+
+    fn dial(&self, addr: SocketAddr) -> io::Result<Connection> {
+        tcp_connection(TcpStream::connect(addr)?)
+    }
+}
+
+struct TcpAcceptor(TcpListener);
+
+impl Listener for TcpAcceptor {
+    fn accept(&self) -> io::Result<Connection> {
+        let (stream, _peer) = self.0.accept()?;
+        tcp_connection(stream)
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.0.local_addr()
+    }
+}
+
+/// Applies the per-connection options the broker relies on (nodelay for
+/// latency, the 200 ms read-quantum timeout) and splits the socket into
+/// the reader/writer halves via `try_clone` (same fd, so a `shutdown`
+/// on the writer unblocks the reader).
+fn tcp_connection(stream: TcpStream) -> io::Result<Connection> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let reader = stream.try_clone()?;
+    Ok(Connection {
+        reader: Box::new(reader),
+        writer: Arc::new(TcpWriter(stream)),
+    })
+}
+
+/// The TCP write half (the outbox's sink).
+pub(crate) struct TcpWriter(pub(crate) TcpStream);
+
+impl LinkWriter for TcpWriter {
+    fn write_batch(&self, batch: &[Bytes]) -> io::Result<()> {
+        write_vectored_all(&mut &self.0, batch)
+    }
+
+    fn shutdown(&self) {
+        let _ = self.0.shutdown(Shutdown::Both);
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) {
+        // Best effort: a socket we cannot time-stamp still works, it just
+        // loses the stalled-writer protection.
+        let _ = self.0.set_write_timeout(timeout);
+    }
+}
+
+/// Writes every buffer in `batch` with vectored I/O, advancing through
+/// partial writes. One syscall per drain batch in the common case, versus
+/// one per frame with `write_all`.
+fn write_vectored_all(stream: &mut impl Write, batch: &[Bytes]) -> io::Result<()> {
+    let mut idx = 0; // first buffer not fully written
+    let mut off = 0; // bytes of batch[idx] already written
+    while idx < batch.len() {
+        // analyzer:allow(index): idx < batch.len() is the loop condition, off < batch[idx].len() its invariant
+        let first = IoSlice::new(&batch[idx][off..]);
+        // analyzer:allow(index): idx + 1 <= batch.len(), so the tail slice is at worst empty
+        let rest = batch[idx + 1..].iter().map(|b| IoSlice::new(b));
+        let slices: Vec<IoSlice<'_>> = std::iter::once(first).chain(rest).collect();
+        let mut n = stream.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        while idx < batch.len() {
+            // analyzer:allow(index): idx < batch.len() is the loop condition
+            let remaining = batch[idx].len() - off;
+            if n >= remaining {
+                n -= remaining;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                break;
             }
-        })?;
+        }
+    }
     Ok(())
 }
 
-/// Spawns a framed reader for one connection: reads `[u32 LE length]`
-/// frames and forwards payloads to the engine. EOF or error reports a
-/// disconnect.
-pub(crate) fn spawn_reader(
-    stream: TcpStream,
-    conn: ConnId,
-    cmd_tx: Sender<Command>,
-    shutdown: Arc<AtomicBool>,
-) {
-    let _ = std::thread::Builder::new()
-        .name(format!("reader-{conn}"))
-        .spawn(move || {
-            // Periodic timeouts let the thread observe shutdown.
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-            // Buffered reads pull bursts of small frames out of the socket
-            // in one syscall; timeouts still surface when the buffer runs
-            // dry between frames.
-            let mut stream = std::io::BufReader::with_capacity(32 * 1024, stream);
-            loop {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                match read_frame(&mut stream) {
-                    Ok(Some(payload)) => {
-                        if cmd_tx.send(Command::Frame(conn, payload)).is_err() {
-                            return;
-                        }
-                    }
-                    Ok(None) => continue, // timeout between frames
-                    Err(_) => {
-                        let _ = cmd_tx.send(Command::Disconnected(conn));
-                        return;
-                    }
-                }
-            }
-        });
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Reads one `[u32 LE length][payload]` frame. `Ok(None)` means the read
-/// timed out *between* frames (safe to retry); timeouts mid-frame keep
-/// blocking until the frame completes or the peer dies.
-pub(crate) fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Bytes>> {
-    let mut header = [0u8; 4];
-    match read_exact_or_eof(stream, &mut header, true)? {
-        ReadOutcome::TimedOutClean => return Ok(None),
-        ReadOutcome::Done => {}
-    }
-    let len = u32::from_le_bytes(header) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::other(format!(
-            "frame of {len} bytes exceeds limit"
-        )));
-    }
-    let mut payload = vec![0u8; len];
-    match read_exact_or_eof(stream, &mut payload, false)? {
-        ReadOutcome::Done => Ok(Some(Bytes::from(payload))),
-        ReadOutcome::TimedOutClean => unreachable!("mid-frame timeouts retry"),
-    }
-}
-
-enum ReadOutcome {
-    Done,
-    /// Timed out before the first byte (only when `clean_timeout` allowed).
-    TimedOutClean,
-}
-
-fn read_exact_or_eof(
-    stream: &mut impl Read,
-    buf: &mut [u8],
-    clean_timeout: bool,
-) -> std::io::Result<ReadOutcome> {
-    let mut read = 0;
-    while read < buf.len() {
-        match stream.read(&mut buf[read..]) {
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "peer closed the connection",
-                ))
+    #[test]
+    fn vectored_writer_survives_partial_writes() {
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                // Accept at most 3 bytes per call.
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
             }
-            Ok(n) => read += n,
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if read == 0 && clean_timeout {
-                    return Ok(ReadOutcome::TimedOutClean);
-                }
-                // Mid-frame: keep waiting for the rest.
-                continue;
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+                let first = bufs.iter().find(|b| !b.is_empty()).map_or(&[][..], |b| b);
+                self.write(first)
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
         }
+        let batch = [
+            Bytes::from_static(b"hello"),
+            Bytes::from_static(b""),
+            Bytes::from_static(b"world!"),
+        ];
+        let mut sink = Dribble(Vec::new());
+        write_vectored_all(&mut sink, &batch).unwrap();
+        assert_eq!(sink.0, b"helloworld!");
     }
-    Ok(ReadOutcome::Done)
 }

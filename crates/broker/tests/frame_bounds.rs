@@ -1,0 +1,119 @@
+//! Frame-length bounds at the API boundaries: an event whose encoded
+//! body exceeds [`MAX_EVENT_BODY`] is rejected *before* it enters
+//! routing — by the client library before a byte hits the wire, and by
+//! the broker's publish ingress for peers that skip the client library —
+//! and in both cases the connection survives to carry the next event.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use linkcast::{NetworkBuilder, RoutingFabric};
+use linkcast_broker::{
+    BrokerConfig, BrokerNode, BrokerToClient, Client, ClientError, ClientToBroker, MAX_EVENT_BODY,
+};
+use linkcast_types::{ClientId, Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind};
+
+fn registry() -> Arc<SchemaRegistry> {
+    let mut r = SchemaRegistry::new();
+    r.register(
+        EventSchema::builder("blobs")
+            .attribute("n", ValueKind::Int)
+            .attribute("data", ValueKind::Str)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    Arc::new(r)
+}
+
+fn blob(registry: &SchemaRegistry, n: i64, data_len: usize) -> Event {
+    let schema = registry.get(SchemaId::new(0)).unwrap();
+    Event::from_values(schema, [Value::Int(n), Value::str("x".repeat(data_len))]).unwrap()
+}
+
+fn start_broker(registry: &Arc<SchemaRegistry>) -> (BrokerNode, ClientId, ClientId) {
+    let mut b = NetworkBuilder::new();
+    let broker = b.add_broker();
+    let publisher = b.add_client(broker).unwrap();
+    let subscriber = b.add_client(broker).unwrap();
+    let fabric = RoutingFabric::new_all_roots(b.build().unwrap()).unwrap();
+    let node = BrokerNode::start(BrokerConfig::localhost(
+        broker,
+        fabric,
+        Arc::clone(registry),
+    ))
+    .unwrap();
+    (node, publisher, subscriber)
+}
+
+/// The client library refuses to send an oversized event, and the session
+/// keeps working afterwards.
+#[test]
+fn client_rejects_oversized_publish_and_survives() {
+    let registry = registry();
+    let (node, publisher, subscriber) = start_broker(&registry);
+
+    let mut sub = Client::connect(node.addr(), subscriber, 0, Arc::clone(&registry)).unwrap();
+    sub.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    let mut publ = Client::connect(node.addr(), publisher, 0, Arc::clone(&registry)).unwrap();
+
+    let err = publ
+        .publish(&blob(&registry, 1, MAX_EVENT_BODY + 1))
+        .unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Protocol(m) if m.contains("exceeds limit")),
+        "{err}"
+    );
+
+    // The rejection happened client-side: the connection is intact and the
+    // next (small) event flows end to end.
+    publ.publish(&blob(&registry, 2, 8)).unwrap();
+    let (_, event) = sub.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(event.value(0).unwrap().as_int().unwrap(), 2);
+    node.shutdown();
+}
+
+/// A peer that bypasses the client library's guard hits the broker-side
+/// ingress check: an `Error` frame comes back, nothing is routed, and the
+/// connection is kept (an oversized event is the publisher's bug, not a
+/// framing desync).
+#[test]
+fn broker_rejects_oversized_publish_and_keeps_the_connection() {
+    let registry = registry();
+    let (node, publisher, subscriber) = start_broker(&registry);
+
+    let mut sub = Client::connect(node.addr(), subscriber, 0, Arc::clone(&registry)).unwrap();
+    sub.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+
+    // LocalConn feeds frames straight into the engine, skipping both the
+    // client library's publish guard and the wire read path.
+    let local = node.open_local();
+    local.send(&ClientToBroker::Hello {
+        client: publisher,
+        resume_from: 0,
+    });
+    match local.recv(Duration::from_secs(2)).unwrap() {
+        BrokerToClient::Welcome { client, .. } => assert_eq!(client, publisher),
+        other => panic!("expected welcome, got {other:?}"),
+    }
+
+    local.send(&ClientToBroker::Publish {
+        event: blob(&registry, 1, MAX_EVENT_BODY + 1),
+    });
+    match local.recv(Duration::from_secs(2)).unwrap() {
+        BrokerToClient::Error { message } => {
+            assert!(message.contains("exceeds limit"), "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // The oversized event must not have been routed to the subscriber...
+    assert!(sub.recv(Duration::from_millis(300)).is_err());
+    // ...and the same connection still publishes.
+    local.send(&ClientToBroker::Publish {
+        event: blob(&registry, 2, 8),
+    });
+    let (_, event) = sub.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(event.value(0).unwrap().as_int().unwrap(), 2);
+    node.shutdown();
+}

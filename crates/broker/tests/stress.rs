@@ -219,7 +219,9 @@ fn broker_peer_protocol_error_closes_link_without_error_frame() {
         .unwrap();
     let hello = BrokerToBroker::Hello {
         broker: b,
+        incarnation: 1,
         last_recv: 0,
+        last_recv_incarnation: 0,
         send_seq: 0,
     }
     .encode();

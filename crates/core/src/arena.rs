@@ -120,7 +120,9 @@ impl MatchArena {
             let range_start = arena.range_tests.len() as u32;
             for (test, child) in node.range_edges() {
                 arena.range_tests.push(test.clone());
-                arena.range_children.push(arena.translate(effective(*child)));
+                arena
+                    .range_children
+                    .push(arena.translate(effective(*child)));
             }
             arena.eq_span.push((eq_start, arena.eq_values.len() as u32));
             arena
@@ -260,10 +262,7 @@ impl MatchArena {
             idx
         } else {
             let start = mapped as usize * self.words_per_mask;
-            if let Some(slot) = self
-                .ann_words
-                .get_mut(start..start + self.words_per_mask)
-            {
+            if let Some(slot) = self.ann_words.get_mut(start..start + self.words_per_mask) {
                 slot.copy_from_slice(ann.words());
             }
             mapped
@@ -323,10 +322,12 @@ impl MatchArena {
         // A level that branches for the first time makes its attribute
         // observable — future cache keys must include it.
         let eq_span = self.eq_span.get(i).copied().unwrap_or((0, 0));
-        if !node.is_leaf() && (eq_span.1 > eq_span.0 || {
-            let r = self.range_span.get(i).copied().unwrap_or((0, 0));
-            r.1 > r.0
-        }) {
+        if !node.is_leaf()
+            && (eq_span.1 > eq_span.0 || {
+                let r = self.range_span.get(i).copied().unwrap_or((0, 0));
+                r.1 > r.0
+            })
+        {
             if let Some(&attr) = pst.order().get(node.level()) {
                 if let Err(pos) = self.tested.binary_search(&attr) {
                     self.tested.insert(pos, attr);
@@ -407,7 +408,12 @@ impl MatchArena {
     /// it holds the fully refined mask. Mirrors the recursive `subsearch`
     /// exactly: same refinement order, same early exits, same step and
     /// comparison counts (modulo skipped trivial chains).
-    pub fn search(&self, event: &Event, scratch: &mut MatchScratch, stats: &mut MatchStats) -> bool {
+    pub fn search(
+        &self,
+        event: &Event,
+        scratch: &mut MatchScratch,
+        stats: &mut MatchStats,
+    ) -> bool {
         let Some(root) = self.root_for_event(event) else {
             return false;
         };
@@ -447,8 +453,11 @@ impl MatchArena {
                     }
                     // Range edges come after the equality branch either
                     // way; prime the resume point before descending.
-                    let (range_start, _) =
-                        self.range_span.get(node as usize).copied().unwrap_or((0, 0));
+                    let (range_start, _) = self
+                        .range_span
+                        .get(node as usize)
+                        .copied()
+                        .unwrap_or((0, 0));
                     set_top(scratch, FrameState::Ranges, range_start);
                     stats.comparisons += 1;
                     if let Some(child) = self.eq_lookup(node, values) {
@@ -456,8 +465,11 @@ impl MatchArena {
                     }
                 }
                 FrameState::Ranges => {
-                    let (_, range_end) =
-                        self.range_span.get(node as usize).copied().unwrap_or((0, 0));
+                    let (_, range_end) = self
+                        .range_span
+                        .get(node as usize)
+                        .copied()
+                        .unwrap_or((0, 0));
                     let value = self
                         .attr
                         .get(node as usize)
@@ -633,7 +645,7 @@ impl MatchScratch {
         let (parents, children) = self.slots.split_at_mut(depth + 1);
         // The walk only unwinds frames it descended into, and ensure()
         // sized the pool, so both sides of the split are non-empty.
-        debug_assert!(parents.last().is_some() && children.first().is_some());
+        debug_assert!(!parents.is_empty() && !children.is_empty());
         // analyzer:allow(index): both split sides non-empty, asserted above
         (&mut parents[depth], &children[0])
     }

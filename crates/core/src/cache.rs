@@ -113,9 +113,9 @@ impl MatchCache {
         let fp = fingerprint(schema, tree, event, tested);
         let values = event.values();
         let entry = self.buckets.get(&fp).and_then(|bucket| {
-            bucket
-                .iter()
-                .find(|e| e.schema == schema && e.tree == tree && key_matches(&e.values, values, tested))
+            bucket.iter().find(|e| {
+                e.schema == schema && e.tree == tree && key_matches(&e.values, values, tested)
+            })
         });
         match entry {
             Some(e) => {
@@ -306,7 +306,14 @@ mod tests {
             .lookup(1, 1, tree(), &event(5, 0), &tested, &mut stats)
             .is_none());
         assert!(cache
-            .lookup(1, 0, TreeId::from_index(1), &event(5, 0), &tested, &mut stats)
+            .lookup(
+                1,
+                0,
+                TreeId::from_index(1),
+                &event(5, 0),
+                &tested,
+                &mut stats
+            )
             .is_none());
     }
 }

@@ -189,7 +189,10 @@ impl LinkMatchEngine {
             self.annotate_path(path);
         }
         self.generation += 1;
-        if !self.arena.apply_mutation(&self.pst, &report, &self.annotations) {
+        if !self
+            .arena
+            .apply_mutation(&self.pst, &report, &self.annotations)
+        {
             self.rebuild_arena();
         }
         Ok(())
@@ -210,7 +213,10 @@ impl LinkMatchEngine {
             self.annotate_path(path);
         }
         self.generation += 1;
-        if !self.arena.apply_mutation(&self.pst, &report, &self.annotations) {
+        if !self
+            .arena
+            .apply_mutation(&self.pst, &report, &self.annotations)
+        {
             self.rebuild_arena();
         }
         true
@@ -361,7 +367,9 @@ impl LinkMatchEngine {
                 .client;
             match self.leaf_cache.get(&client) {
                 Some(leaf) => scratch.yes.parallel_in_place(leaf),
-                None => scratch.yes.parallel_in_place(&self.space.leaf_vector(client)),
+                None => scratch
+                    .yes
+                    .parallel_in_place(&self.space.leaf_vector(client)),
             }
         }
         scratch.absorbed.clone_from(mask);

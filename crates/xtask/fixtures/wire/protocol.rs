@@ -1,8 +1,9 @@
 // Part of the seeded wire fixture: T_DATA is decoded but never encoded,
 // FrameTag::Orphan has no const at all, T_PROBE is encoded but has no
 // decode arm (a heartbeat the peer would count as a protocol error), and
-// T_STATS reproduces the widened-counters-frame mistake — new fields
-// encoded while the decode match was left on the old layout.
+// the T_STATS decode arm reads counters with raw `get_u64_le` — a
+// fixed-layout decoder that turns a stats frame from an older or newer
+// peer into a protocol error instead of a degraded read.
 
 const T_PING: u8 = FrameTag::Ping as u8;
 const T_PONG: u8 = FrameTag::Pong as u8;
@@ -29,11 +30,15 @@ fn encode(out: &mut Vec<u8>) {
     out.put_u8(T_STATS);
 }
 
-fn decode(tag: u8) {
+fn decode(tag: u8, buf: &mut Bytes) {
     match tag {
         T_PING => (),
         T_PONG => (),
         T_DATA => (),
+        T_STATS => {
+            let published = buf.get_u64_le();
+            let forwarded = buf.get_u64_le();
+        }
         _ => (),
     }
 }

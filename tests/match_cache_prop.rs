@@ -115,7 +115,10 @@ fn run_churn(options: PstOptions, seed: u64) {
     let home = brokers[1];
     let mut engine = MatchingEngine::new(home, &fabric, Arc::clone(&registry), options).unwrap();
     let space = LinkSpace::build(fabric.network(), fabric.forest(), home);
-    let trees: Vec<TreeId> = brokers.iter().map(|&b| fabric.tree_for(b).unwrap()).collect();
+    let trees: Vec<TreeId> = brokers
+        .iter()
+        .map(|&b| fabric.tree_for(b).unwrap())
+        .collect();
 
     let mut rng = Lcg::new(seed);
     let mut live: HashMap<SubscriptionId, Subscription> = HashMap::new();
@@ -190,7 +193,7 @@ fn run_churn(options: PstOptions, seed: u64) {
         }
     }
 
-    assert!(STEPS >= 1000, "the property run must cover >= 1000 steps");
+    const { assert!(STEPS >= 1000, "the property run must cover >= 1000 steps") };
     assert!(match_steps >= 300, "churn schedule starved match steps");
     // The disabled cache must have stayed out of the accounting entirely.
     assert_eq!(plain_stats.cache_hits, 0);
@@ -200,7 +203,10 @@ fn run_churn(options: PstOptions, seed: u64) {
     // fresh keys miss, and every subscribe/unsubscribe between lookups
     // forces a generation flush.
     assert!(cached_stats.cache_hits > 0, "no cache hit in {STEPS} steps");
-    assert!(cached_stats.cache_misses > 0, "no cache miss in {STEPS} steps");
+    assert!(
+        cached_stats.cache_misses > 0,
+        "no cache miss in {STEPS} steps"
+    );
     assert!(
         cached_stats.cache_invalidations > 0,
         "churn never invalidated the cache"
