@@ -257,7 +257,7 @@ impl Cluster {
         }
         let deadline = Instant::now() + Duration::from_secs(30);
         for node in &nodes {
-            while node.stats().subscriptions < total_subs {
+            while node.stats().subscriptions < total_subs as u64 {
                 assert!(Instant::now() < deadline, "subscription flood stalled");
                 std::thread::sleep(Duration::from_millis(10));
             }

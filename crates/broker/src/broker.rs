@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,6 +17,7 @@ use linkcast_types::{
 use parking_lot::{Mutex, RwLock};
 
 use crate::control::{SubIdAllocator, TombstoneSet, SUB_COUNTER_BITS, SUB_ID_SPACE};
+use crate::counters::{BrokerStats, Derived, Gauges, StatsInner};
 use crate::engine::MatchingEngine;
 use crate::log::{AckLog, EventLog};
 use crate::outbox::{ConnId, Outbox, Sink};
@@ -178,81 +179,6 @@ impl BrokerConfig {
             seed_dataflow: false,
         }
     }
-}
-
-/// A point-in-time snapshot of a broker's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct BrokerStats {
-    /// Events published by local clients.
-    pub published: u64,
-    /// Event copies forwarded to neighbor brokers.
-    pub forwarded: u64,
-    /// Events appended to local client logs (deliveries).
-    pub delivered: u64,
-    /// Protocol errors answered with `Error` frames.
-    pub errors: u64,
-    /// Currently registered subscriptions (network-wide view).
-    pub subscriptions: usize,
-    /// Frames currently sitting in outgoing queues across all connections
-    /// (transport backpressure signal).
-    pub queued_frames: u64,
-    /// Bytes currently sitting in outgoing queues across all connections.
-    pub queued_bytes: u64,
-    /// Event copies appended to broker-link spools (every forwarded event
-    /// is spooled until the neighbor acknowledges it, whether or not the
-    /// link was up at the time).
-    pub spooled: u64,
-    /// Spooled frames retransmitted after a link reconnect handshake.
-    pub retransmitted: u64,
-    /// Spooled frames dropped unacknowledged because a link spool hit
-    /// [`BrokerConfig::link_spool_bound`] — events lost to that subtree.
-    pub dropped_spool_overflow: u64,
-    /// Live connections registered with the transport (clients + broker
-    /// links); flapping links must return this to its baseline.
-    pub connections: usize,
-    /// Undecodable frames: each one costs the sending peer its connection
-    /// (a corrupt stream cannot be re-framed, so the broker cuts it loose
-    /// rather than guess at message boundaries).
-    pub protocol_errors: u64,
-    /// Liveness probes sent on broker links idle past
-    /// [`BrokerConfig::heartbeat_interval`].
-    pub pings_sent: u64,
-    /// Broker links torn down after staying silent past
-    /// [`BrokerConfig::liveness_timeout`] — half-open and stalled peers the
-    /// kernel would never report.
-    pub liveness_timeouts: u64,
-    /// Client connections evicted for overrunning
-    /// [`BrokerConfig::conn_queue_bound`] (subscribers that stopped
-    /// reading; their logs still replay on reconnect).
-    pub evicted_slow_consumers: u64,
-    /// Broker links disconnected for overrunning
-    /// [`BrokerConfig::conn_queue_bound`]; their spools keep the frames for
-    /// retransmit after the redial.
-    pub peer_overflow_disconnects: u64,
-    /// Match-cache lookups answered without a PST walk (see
-    /// [`BrokerConfig::match_cache_cap`]).
-    pub match_cache_hits: u64,
-    /// Match-cache lookups that fell through to the PST walk.
-    pub match_cache_misses: u64,
-    /// Match-cache flushes forced by a subscription-set generation change.
-    pub match_cache_invalidations: u64,
-}
-
-#[derive(Debug, Default)]
-struct StatsInner {
-    published: AtomicU64,
-    forwarded: AtomicU64,
-    delivered: AtomicU64,
-    errors: AtomicU64,
-    subscriptions: AtomicUsize,
-    spooled: AtomicU64,
-    retransmitted: AtomicU64,
-    dropped_spool_overflow: AtomicU64,
-    protocol_errors: AtomicU64,
-    pings_sent: AtomicU64,
-    liveness_timeouts: AtomicU64,
-    evicted_slow_consumers: AtomicU64,
-    peer_overflow_disconnects: AtomicU64,
 }
 
 pub(crate) enum Command {
@@ -760,27 +686,18 @@ impl BrokerNode {
     pub fn stats(&self) -> BrokerStats {
         let (queued_frames, queued_bytes) = self.outbox.queue_depth();
         let matching = self.match_stats();
-        BrokerStats {
-            published: self.stats.published.load(Ordering::Relaxed),
-            forwarded: self.stats.forwarded.load(Ordering::Relaxed),
-            delivered: self.stats.delivered.load(Ordering::Relaxed),
-            errors: self.stats.errors.load(Ordering::Relaxed),
-            subscriptions: self.stats.subscriptions.load(Ordering::Relaxed),
-            spooled: self.stats.spooled.load(Ordering::Relaxed),
-            retransmitted: self.stats.retransmitted.load(Ordering::Relaxed),
-            dropped_spool_overflow: self.stats.dropped_spool_overflow.load(Ordering::Relaxed),
-            connections: self.outbox.connections(),
-            queued_frames,
-            queued_bytes,
-            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
-            pings_sent: self.stats.pings_sent.load(Ordering::Relaxed),
-            liveness_timeouts: self.stats.liveness_timeouts.load(Ordering::Relaxed),
-            evicted_slow_consumers: self.stats.evicted_slow_consumers.load(Ordering::Relaxed),
-            peer_overflow_disconnects: self.stats.peer_overflow_disconnects.load(Ordering::Relaxed),
-            match_cache_hits: matching.cache_hits,
-            match_cache_misses: matching.cache_misses,
-            match_cache_invalidations: matching.cache_invalidations,
-        }
+        self.stats.broker_stats(
+            Derived {
+                match_cache_hits: matching.cache_hits,
+                match_cache_misses: matching.cache_misses,
+                match_cache_invalidations: matching.cache_invalidations,
+            },
+            Gauges {
+                queued_frames,
+                queued_bytes,
+                connections: self.outbox.connections(),
+            },
+        )
     }
 
     /// Aggregated matching cost across the inline path and every
@@ -1158,7 +1075,9 @@ impl EngineLoop {
                 };
                 match result.0 {
                     Ok(()) => {
-                        self.stats.subscriptions.store(result.1, Ordering::Relaxed);
+                        self.stats
+                            .subscriptions
+                            .store(result.1 as u64, Ordering::Relaxed);
                         self.outbox
                             .send(conn, BrokerToClient::SubAck { id }.encode());
                         // Control plane: flood to every neighbor.
@@ -1193,7 +1112,9 @@ impl EngineLoop {
                     engine.unsubscribe(id);
                     engine.subscription_count()
                 };
-                self.stats.subscriptions.store(remaining, Ordering::Relaxed);
+                self.stats
+                    .subscriptions
+                    .store(remaining as u64, Ordering::Relaxed);
                 // Tombstone the id (so a resync while some link is down
                 // cannot resurrect it) and recycle its counter half.
                 self.tombstones.insert(id);
@@ -1217,45 +1138,19 @@ impl EngineLoop {
                 }
             }
             ClientToBroker::StatsRequest => {
-                // The engine read-guard must die before `outbox.send` (a
-                // blocking write path); built inside the send's argument
-                // list it would live to the end of the full statement.
-                let subscriptions = {
-                    let engine = self.engine.read();
-                    engine.subscription_count() as u64
-                };
                 let mut matching = MatchStats::new();
                 for shard_stats in self.match_stats.iter() {
                     matching += *shard_stats.lock();
                 }
-                let frame = BrokerToClient::Stats {
-                    published: self.stats.published.load(Ordering::Relaxed),
-                    forwarded: self.stats.forwarded.load(Ordering::Relaxed),
-                    delivered: self.stats.delivered.load(Ordering::Relaxed),
-                    errors: self.stats.errors.load(Ordering::Relaxed),
-                    subscriptions,
-                    spooled: self.stats.spooled.load(Ordering::Relaxed),
-                    retransmitted: self.stats.retransmitted.load(Ordering::Relaxed),
-                    dropped_spool_overflow: self
-                        .stats
-                        .dropped_spool_overflow
-                        .load(Ordering::Relaxed),
-                    protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
-                    pings_sent: self.stats.pings_sent.load(Ordering::Relaxed),
-                    liveness_timeouts: self.stats.liveness_timeouts.load(Ordering::Relaxed),
-                    evicted_slow_consumers: self
-                        .stats
-                        .evicted_slow_consumers
-                        .load(Ordering::Relaxed),
-                    peer_overflow_disconnects: self
-                        .stats
-                        .peer_overflow_disconnects
-                        .load(Ordering::Relaxed),
+                // `subscriptions` reads the stored gauge rather than
+                // re-counting under the engine lock; it is refreshed on
+                // every subscription change.
+                let counters = self.stats.counters(Derived {
                     match_cache_hits: matching.cache_hits,
                     match_cache_misses: matching.cache_misses,
                     match_cache_invalidations: matching.cache_invalidations,
-                }
-                .encode();
+                });
+                let frame = BrokerToClient::Stats(counters).encode();
                 self.outbox.send(conn, frame);
             }
         }
@@ -1367,7 +1262,9 @@ impl EngineLoop {
                     (ok, engine.subscription_count())
                 };
                 if installed {
-                    self.stats.subscriptions.store(count, Ordering::Relaxed);
+                    self.stats
+                        .subscriptions
+                        .store(count as u64, Ordering::Relaxed);
                     self.flood_broker_message(
                         &BrokerToBroker::SubAdd {
                             schema,
@@ -1399,7 +1296,9 @@ impl EngineLoop {
                     (ok, engine.subscription_count())
                 };
                 if removed {
-                    self.stats.subscriptions.store(count, Ordering::Relaxed);
+                    self.stats
+                        .subscriptions
+                        .store(count as u64, Ordering::Relaxed);
                 }
                 if removed || newly_tombstoned {
                     self.flood_broker_message(&BrokerToBroker::SubRemove { id }, Some(conn));

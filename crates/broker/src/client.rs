@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use linkcast_types::{ClientId, Event, SchemaId, SchemaRegistry, SubscriptionId};
 
+use crate::counters::NodeCounters;
 use crate::protocol::{BrokerToClient, ClientToBroker, ProtocolError};
 use crate::tcp::TcpTransport;
 use crate::transport::{read_frame, LinkReader, LinkWriter, Transport};
@@ -49,44 +50,6 @@ impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
     }
-}
-
-/// A broker's counters as reported over the wire by a `StatsRequest`
-/// (see [`Client::stats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NodeCounters {
-    /// Events accepted from publishing clients.
-    pub published: u64,
-    /// `Forward` frames sent to connected neighbor brokers.
-    pub forwarded: u64,
-    /// Events appended to client logs.
-    pub delivered: u64,
-    /// Protocol and decode errors.
-    pub errors: u64,
-    /// Live subscriptions in the matching engine.
-    pub subscriptions: u64,
-    /// `Forward` frames appended to neighbor link spools.
-    pub spooled: u64,
-    /// Spooled frames replayed after a link reconnect handshake.
-    pub retransmitted: u64,
-    /// Spooled frames dropped unacknowledged to a spool bound.
-    pub dropped_spool_overflow: u64,
-    /// Undecodable frames that cost their sender the connection.
-    pub protocol_errors: u64,
-    /// Liveness probes sent on idle broker links.
-    pub pings_sent: u64,
-    /// Broker links torn down for silence past the liveness timeout.
-    pub liveness_timeouts: u64,
-    /// Client connections evicted at the per-connection queue bound.
-    pub evicted_slow_consumers: u64,
-    /// Broker links disconnected at the per-connection queue bound.
-    pub peer_overflow_disconnects: u64,
-    /// Match-cache lookups answered without a PST walk.
-    pub match_cache_hits: u64,
-    /// Match-cache lookups that fell through to the PST walk.
-    pub match_cache_misses: u64,
-    /// Match-cache flushes forced by a subscription-set generation change.
-    pub match_cache_invalidations: u64,
 }
 
 /// A connected pub/sub client.
@@ -306,43 +269,7 @@ impl Client {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             match self.read_message(deadline.saturating_duration_since(Instant::now()))? {
-                BrokerToClient::Stats {
-                    published,
-                    forwarded,
-                    delivered,
-                    errors,
-                    subscriptions,
-                    spooled,
-                    retransmitted,
-                    dropped_spool_overflow,
-                    protocol_errors,
-                    pings_sent,
-                    liveness_timeouts,
-                    evicted_slow_consumers,
-                    peer_overflow_disconnects,
-                    match_cache_hits,
-                    match_cache_misses,
-                    match_cache_invalidations,
-                } => {
-                    return Ok(NodeCounters {
-                        published,
-                        forwarded,
-                        delivered,
-                        errors,
-                        subscriptions,
-                        spooled,
-                        retransmitted,
-                        dropped_spool_overflow,
-                        protocol_errors,
-                        pings_sent,
-                        liveness_timeouts,
-                        evicted_slow_consumers,
-                        peer_overflow_disconnects,
-                        match_cache_hits,
-                        match_cache_misses,
-                        match_cache_invalidations,
-                    })
-                }
+                BrokerToClient::Stats(counters) => return Ok(counters),
                 BrokerToClient::Deliver { seq, event } => {
                     self.inbox.push_back((seq, event));
                 }

@@ -30,6 +30,7 @@
 mod broker;
 mod client;
 mod control;
+mod counters;
 mod engine;
 mod log;
 mod outbox;
@@ -38,8 +39,9 @@ mod simnet;
 mod tcp;
 mod transport;
 
-pub use broker::{BrokerConfig, BrokerNode, BrokerStats, LocalConn};
-pub use client::{Client, ClientError, NodeCounters};
+pub use broker::{BrokerConfig, BrokerNode, LocalConn};
+pub use client::{Client, ClientError};
+pub use counters::{BrokerStats, NodeCounters};
 pub use engine::MatchingEngine;
 pub use log::{AckLog, EventLog};
 pub use protocol::{

@@ -4,6 +4,7 @@
 //! payload starts with a one-byte message tag. Events, predicates, and
 //! subscriptions reuse the [`linkcast_types::wire`] codec.
 
+use crate::counters::NodeCounters;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use linkcast::TreeId;
 use linkcast_types::wire::FrameTag;
@@ -146,43 +147,10 @@ pub enum BrokerToClient {
         message: String,
     },
     /// The broker's counters, answering a
-    /// [`StatsRequest`](ClientToBroker::StatsRequest).
-    Stats {
-        /// Events published by local clients.
-        published: u64,
-        /// Event copies forwarded to neighbor brokers.
-        forwarded: u64,
-        /// Events appended to local client logs.
-        delivered: u64,
-        /// Protocol errors answered with `Error` frames.
-        errors: u64,
-        /// Currently registered subscriptions (network-wide view).
-        subscriptions: u64,
-        /// Event copies appended to broker-link spools.
-        spooled: u64,
-        /// Spooled frames retransmitted after a link reconnect.
-        retransmitted: u64,
-        /// Spooled frames dropped unacknowledged by the spool bound.
-        dropped_spool_overflow: u64,
-        /// Undecodable frames that cost their sender the connection.
-        protocol_errors: u64,
-        /// Liveness probes sent on idle broker links.
-        pings_sent: u64,
-        /// Broker links torn down for silence past the liveness timeout.
-        liveness_timeouts: u64,
-        /// Client connections evicted at the per-connection queue bound.
-        evicted_slow_consumers: u64,
-        /// Broker links disconnected at the per-connection queue bound
-        /// (their spools keep the frames for retransmit-on-redial).
-        peer_overflow_disconnects: u64,
-        /// Match-cache lookups answered without a PST walk.
-        match_cache_hits: u64,
-        /// Match-cache lookups that fell through to the PST walk.
-        match_cache_misses: u64,
-        /// Match-cache flushes forced by a subscription-set generation
-        /// change (subscribe/unsubscribe/re-annotation).
-        match_cache_invalidations: u64,
-    },
+    /// [`StatsRequest`](ClientToBroker::StatsRequest). The payload layout
+    /// (registry order, `u64` LE words) comes from the `broker_counters!`
+    /// registry in `crate::counters`.
+    Stats(NodeCounters),
 }
 
 /// Messages brokers exchange.
@@ -294,18 +262,6 @@ const B2B_SUBREMOVE: u8 = FrameTag::SubRemove as u8;
 const B2B_FWDACK: u8 = FrameTag::FwdAck as u8;
 const B2B_PING: u8 = FrameTag::Ping as u8;
 const B2B_PONG: u8 = FrameTag::Pong as u8;
-
-/// Reads the next `Stats` counter from a known-prefix payload: the wire
-/// value when one is still present, `0` for counters newer than the
-/// sending broker. Lives outside the decode arm so length handling stays
-/// in one place.
-fn stats_counter(buf: &mut Bytes) -> u64 {
-    if buf.remaining() >= 8 {
-        buf.get_u64_le()
-    } else {
-        0
-    }
-}
 
 fn frame(payload: BytesMut) -> Bytes {
     let mut out = BytesMut::with_capacity(payload.len() + 4);
@@ -489,41 +445,9 @@ impl BrokerToClient {
                 b.put_u8(B2C_ERROR);
                 wire::put_str(&mut b, message);
             }
-            BrokerToClient::Stats {
-                published,
-                forwarded,
-                delivered,
-                errors,
-                subscriptions,
-                spooled,
-                retransmitted,
-                dropped_spool_overflow,
-                protocol_errors,
-                pings_sent,
-                liveness_timeouts,
-                evicted_slow_consumers,
-                peer_overflow_disconnects,
-                match_cache_hits,
-                match_cache_misses,
-                match_cache_invalidations,
-            } => {
+            BrokerToClient::Stats(counters) => {
                 b.put_u8(B2C_STATS);
-                b.put_u64_le(*published);
-                b.put_u64_le(*forwarded);
-                b.put_u64_le(*delivered);
-                b.put_u64_le(*errors);
-                b.put_u64_le(*subscriptions);
-                b.put_u64_le(*spooled);
-                b.put_u64_le(*retransmitted);
-                b.put_u64_le(*dropped_spool_overflow);
-                b.put_u64_le(*protocol_errors);
-                b.put_u64_le(*pings_sent);
-                b.put_u64_le(*liveness_timeouts);
-                b.put_u64_le(*evicted_slow_consumers);
-                b.put_u64_le(*peer_overflow_disconnects);
-                b.put_u64_le(*match_cache_hits);
-                b.put_u64_le(*match_cache_misses);
-                b.put_u64_le(*match_cache_invalidations);
+                counters.encode_wire(&mut b);
             }
         }
         frame(b)
@@ -580,34 +504,17 @@ impl BrokerToClient {
             B2C_STATS => {
                 // Forward-compatible prefix decoding: the Stats frame has
                 // grown (64 → 72 → 104 → 128 bytes) as counters were added,
-                // and will grow again. Decode whatever whole counters are
-                // present in wire order, defaulting the rest to 0, and
-                // ignore trailing counters newer than this build. Only a
-                // ragged (non-multiple-of-8) payload is malformed. The
-                // *encoder* stays exact-size so old decoders keep working.
+                // and will grow again. `NodeCounters::decode_wire` (macro-
+                // generated from the counter registry) reads whatever whole
+                // counters are present in registry order, defaults the rest
+                // to 0, and ignores trailing counters newer than this
+                // build. Only a ragged (non-multiple-of-8) payload is
+                // malformed. The *encoder* stays exact-size so old decoders
+                // keep working.
                 if !buf.remaining().is_multiple_of(8) {
                     return Err(ProtocolError::Malformed("ragged stats payload".into()));
                 }
-                // Struct-literal fields evaluate top-to-bottom, matching
-                // wire order.
-                Ok(BrokerToClient::Stats {
-                    published: stats_counter(buf),
-                    forwarded: stats_counter(buf),
-                    delivered: stats_counter(buf),
-                    errors: stats_counter(buf),
-                    subscriptions: stats_counter(buf),
-                    spooled: stats_counter(buf),
-                    retransmitted: stats_counter(buf),
-                    dropped_spool_overflow: stats_counter(buf),
-                    protocol_errors: stats_counter(buf),
-                    pings_sent: stats_counter(buf),
-                    liveness_timeouts: stats_counter(buf),
-                    evicted_slow_consumers: stats_counter(buf),
-                    peer_overflow_disconnects: stats_counter(buf),
-                    match_cache_hits: stats_counter(buf),
-                    match_cache_misses: stats_counter(buf),
-                    match_cache_invalidations: stats_counter(buf),
-                })
+                Ok(BrokerToClient::Stats(NodeCounters::decode_wire(buf)))
             }
             tag => Err(ProtocolError::Malformed(format!(
                 "unknown broker-to-client tag {tag:#x}"
@@ -823,7 +730,7 @@ mod tests {
             BrokerToClient::Error {
                 message: "no such schema".into(),
             },
-            BrokerToClient::Stats {
+            BrokerToClient::Stats(NodeCounters {
                 published: 1,
                 forwarded: 2,
                 delivered: 3,
@@ -840,7 +747,7 @@ mod tests {
                 match_cache_hits: 14,
                 match_cache_misses: 15,
                 match_cache_invalidations: 16,
-            },
+            }),
         ];
         for m in messages {
             let back = BrokerToClient::decode(strip(m.encode()), &reg).unwrap();
@@ -999,40 +906,28 @@ mod tests {
         // An 8-counter payload, as a pre-heartbeat build would send: the
         // prefix lands in wire order, the unknown tail defaults to zero.
         match BrokerToClient::decode(stats_payload(&[1, 2, 3, 4, 5, 6, 7, 8]), &reg).unwrap() {
-            BrokerToClient::Stats {
-                published,
-                forwarded,
-                delivered,
-                errors,
-                subscriptions,
-                spooled,
-                retransmitted,
-                dropped_spool_overflow,
-                protocol_errors,
-                match_cache_invalidations,
-                ..
-            } => {
+            BrokerToClient::Stats(c) => {
                 assert_eq!(
                     (
-                        published,
-                        forwarded,
-                        delivered,
-                        errors,
-                        subscriptions,
-                        spooled,
-                        retransmitted,
-                        dropped_spool_overflow
+                        c.published,
+                        c.forwarded,
+                        c.delivered,
+                        c.errors,
+                        c.subscriptions,
+                        c.spooled,
+                        c.retransmitted,
+                        c.dropped_spool_overflow
                     ),
                     (1, 2, 3, 4, 5, 6, 7, 8)
                 );
-                assert_eq!(protocol_errors, 0);
-                assert_eq!(match_cache_invalidations, 0);
+                assert_eq!(c.protocol_errors, 0);
+                assert_eq!(c.match_cache_invalidations, 0);
             }
             other => panic!("expected stats, got {other:?}"),
         }
         // Degenerate but legal: a zero-counter payload is all defaults.
         match BrokerToClient::decode(stats_payload(&[]), &reg).unwrap() {
-            BrokerToClient::Stats { published, .. } => assert_eq!(published, 0),
+            BrokerToClient::Stats(c) => assert_eq!(c, NodeCounters::default()),
             other => panic!("expected stats, got {other:?}"),
         }
     }
@@ -1044,13 +939,9 @@ mod tests {
         // build knows decode in wire order, the 4 extra are ignored.
         let counters: Vec<u64> = (1..=20).collect();
         match BrokerToClient::decode(stats_payload(&counters), &reg).unwrap() {
-            BrokerToClient::Stats {
-                published,
-                match_cache_invalidations,
-                ..
-            } => {
-                assert_eq!(published, 1);
-                assert_eq!(match_cache_invalidations, 16);
+            BrokerToClient::Stats(c) => {
+                assert_eq!(c.published, 1);
+                assert_eq!(c.match_cache_invalidations, 16);
             }
             other => panic!("expected stats, got {other:?}"),
         }

@@ -165,6 +165,7 @@ impl Pipe {
 
     fn write_chunk(&self, chunk: &[u8]) -> io::Result<()> {
         let mut g = self.buf.lock();
+        // analyzer:allow(sim-determinism): write-timeout pacing only; byte order stays seed-derived
         let deadline = g.write_timeout.map(|t| Instant::now() + t);
         loop {
             if g.severed || g.eof {
@@ -177,6 +178,7 @@ impl Pipe {
             }
             let wait = match deadline {
                 Some(d) => {
+                    // analyzer:allow(sim-determinism): timeout check only
                     let now = Instant::now();
                     if now >= d {
                         return Err(io::Error::new(
@@ -192,6 +194,7 @@ impl Pipe {
             self.cv.wait_for(&mut g, wait);
         }
         let jitter = g.rng.next_below(JITTER_MS);
+        // analyzer:allow(sim-determinism): delivery pacing; ordering jitter comes from the seeded rng
         let due = Instant::now() + Duration::from_millis(g.delay_ms + jitter);
         g.buffered += chunk.len();
         g.staged.push_back((due, chunk.to_vec()));
@@ -208,9 +211,11 @@ impl Read for SimReader {
         if out.is_empty() {
             return Ok(0);
         }
+        // analyzer:allow(sim-determinism): read-quantum pacing only
         let start = Instant::now();
         let mut g = self.0.buf.lock();
         loop {
+            // analyzer:allow(sim-determinism): staged-release pacing only
             let now = Instant::now();
             Pipe::release_due(&mut g, now);
             if !g.ready.is_empty() {

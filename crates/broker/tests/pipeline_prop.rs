@@ -160,7 +160,7 @@ fn run_workload(workload: &Workload, match_shards: usize, match_threads: usize) 
     // subscription changes, so the workload keeps the set static.
     let deadline = Instant::now() + Duration::from_secs(10);
     for node in nodes {
-        while node.stats().subscriptions < workload.subs.len() {
+        while node.stats().subscriptions < workload.subs.len() as u64 {
             assert!(Instant::now() < deadline, "subscription flood stalled");
             std::thread::sleep(Duration::from_millis(5));
         }

@@ -206,34 +206,17 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         .client_home(flags.get("client").expect("checked by connect_client"))
         .expect("clients have homes");
     println!("broker {home}:");
-    println!("  published:              {}", counters.published);
-    println!("  forwarded:              {}", counters.forwarded);
-    println!("  delivered:              {}", counters.delivered);
-    println!("  errors:                 {}", counters.errors);
-    println!("  subscriptions:          {}", counters.subscriptions);
-    println!("  spooled:                {}", counters.spooled);
-    println!("  retransmitted:          {}", counters.retransmitted);
-    println!(
-        "  dropped_spool_overflow: {}",
-        counters.dropped_spool_overflow
-    );
-    println!("  protocol_errors:        {}", counters.protocol_errors);
-    println!("  pings_sent:             {}", counters.pings_sent);
-    println!("  liveness_timeouts:      {}", counters.liveness_timeouts);
-    println!(
-        "  evicted_slow_consumers: {}",
-        counters.evicted_slow_consumers
-    );
-    println!(
-        "  peer_overflow_disconnects: {}",
-        counters.peer_overflow_disconnects
-    );
-    println!("  match_cache_hits:       {}", counters.match_cache_hits);
-    println!("  match_cache_misses:     {}", counters.match_cache_misses);
-    println!(
-        "  match_cache_invalidations: {}",
-        counters.match_cache_invalidations
-    );
+    // The table comes straight from the counter registry: every counter in
+    // `broker_counters!` appears here with no per-counter CLI edits.
+    let lines = counters.counter_lines();
+    let width = lines
+        .iter()
+        .map(|(name, _)| name.len() + 1)
+        .max()
+        .unwrap_or(0);
+    for (name, value) in lines {
+        println!("  {:<width$} {value}", format!("{name}:"));
+    }
     Ok(())
 }
 

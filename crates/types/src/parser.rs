@@ -137,7 +137,11 @@ struct Lexer<'a> {
 
 impl Lexer<'_> {
     fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
     }
@@ -145,10 +149,10 @@ impl Lexer<'_> {
     fn next(&mut self) -> Result<(usize, Token), ParsePredicateError> {
         self.skip_ws();
         let start = self.pos;
-        if self.pos >= self.bytes.len() {
-            return Ok((start, Token::Eof));
-        }
-        let c = self.bytes[self.pos];
+        let c = match self.bytes.get(self.pos) {
+            None => return Ok((start, Token::Eof)),
+            Some(&c) => c,
+        };
         match c {
             b'(' => {
                 self.pos += 1;
@@ -225,9 +229,18 @@ impl Lexer<'_> {
                             self.pos += 1;
                         }
                         Some(_) => {
-                            // Advance over one UTF-8 character.
-                            let rest = &self.input[self.pos..];
-                            let ch = rest.chars().next().expect("non-empty");
+                            // Advance over one UTF-8 character. `pos` is
+                            // always char-aligned, but route the impossible
+                            // misalignment to a parse error anyway rather
+                            // than panic on untrusted input.
+                            let Some(ch) =
+                                self.input.get(self.pos..).and_then(|r| r.chars().next())
+                            else {
+                                return Err(ParsePredicateError::new(
+                                    self.pos,
+                                    "malformed UTF-8 in string literal",
+                                ));
+                            };
                             out.push(ch);
                             self.pos += ch.len_utf8();
                         }
@@ -246,6 +259,7 @@ impl Lexer<'_> {
                 }
                 Ok((
                     start,
+                    // analyzer:allow(index): ASCII byte-scan bounds — start and pos are always char-aligned and <= len
                     Token::Number(self.input[start..self.pos].to_string()),
                 ))
             }
@@ -258,6 +272,7 @@ impl Lexer<'_> {
                 {
                     self.pos += 1;
                 }
+                // analyzer:allow(index): ASCII byte-scan bounds — start and pos are always char-aligned and <= len
                 Ok((start, Token::Ident(self.input[start..self.pos].to_string())))
             }
             other => Err(ParsePredicateError::new(
@@ -326,7 +341,11 @@ impl Parser<'_> {
             .schema
             .attribute_index(&name)
             .ok_or_else(|| Error::UnknownAttribute(name.clone()))?;
-        let kind = self.schema.attribute(index).expect("index in range").kind();
+        let kind = self
+            .schema
+            .attribute(index)
+            .ok_or_else(|| Error::UnknownAttribute(name.clone()))?
+            .kind();
 
         let (op_pos, op_tok) = self.lexer.next().map_err(Error::ParsePredicate)?;
         let test = match op_tok {
@@ -342,7 +361,14 @@ impl Parser<'_> {
                         "<=" => AttrTest::Le(value),
                         ">" => AttrTest::Gt(value),
                         ">=" => AttrTest::Ge(value),
-                        _ => unreachable!("lexer produces no other operators"),
+                        other => {
+                            // The lexer only produces the operators above;
+                            // fail as a parse error rather than panic.
+                            return Err(Error::ParsePredicate(ParsePredicateError::new(
+                                op_pos,
+                                format!("unsupported operator `{other}`"),
+                            )));
+                        }
                     }
                 }
             }
@@ -370,9 +396,15 @@ impl Parser<'_> {
                 )))
             }
         };
-        let attr = self.schema.attribute(index).expect("index in range");
+        let attr = self
+            .schema
+            .attribute(index)
+            .ok_or_else(|| Error::UnknownAttribute(name.clone()))?;
         test.check_kind(attr.name(), attr.kind())?;
-        self.tests[index] = test;
+        match self.tests.get_mut(index) {
+            Some(slot) => *slot = test,
+            None => return Err(Error::UnknownAttribute(name)),
+        }
         Ok(())
     }
 

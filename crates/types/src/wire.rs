@@ -96,6 +96,50 @@ fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
     }
 }
 
+/// Decode limits for attacker-controlled lengths and counts.
+///
+/// Every count or length read off the wire is untrusted: a peer can
+/// declare `u16::MAX` elements in a 10-byte payload and an unguarded
+/// `Vec::with_capacity` would allocate for all of them before the decode
+/// loop hits the truncation error. The helpers here clamp declared counts
+/// against the bytes actually present *before* any allocation; the
+/// `wire-taint` xtask pass treats them as sanitizers.
+pub mod limits {
+    use crate::{Error, Result};
+
+    /// Minimum encoded size of a [`Value`](crate::Value): a one-byte tag
+    /// plus at least one payload byte (`Bool`).
+    pub const MIN_VALUE_BYTES: usize = 2;
+
+    /// Minimum encoded size of an [`AttrTest`](crate::AttrTest): a
+    /// one-byte tag (`Any` has no payload).
+    pub const MIN_TEST_BYTES: usize = 1;
+
+    /// Validates a declared element count against the bytes actually
+    /// remaining in the buffer: `n` elements of at least `min_bytes` each
+    /// cannot outsize the payload. Returns `n` unchanged when plausible,
+    /// so callers can write
+    /// `Vec::with_capacity(limits::checked_count(n, ..)?)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Decode`] when the declared count cannot fit.
+    pub fn checked_count(
+        n: usize,
+        remaining: usize,
+        min_bytes: usize,
+        what: &str,
+    ) -> Result<usize> {
+        if n.saturating_mul(min_bytes) > remaining {
+            Err(Error::Decode(format!(
+                "declared count {n} for {what} exceeds the {remaining} payload bytes present"
+            )))
+        } else {
+            Ok(n)
+        }
+    }
+}
+
 /// Encodes a string as `u32` length + UTF-8 bytes.
 pub fn put_str(buf: &mut impl BufMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -201,7 +245,12 @@ pub fn put_event(buf: &mut impl BufMut, event: &Event) {
 pub fn get_event(buf: &mut impl Buf, registry: &SchemaRegistry) -> Result<Event> {
     need(buf, 6, "event header")?;
     let schema_id = crate::SchemaId::new(buf.get_u32_le());
-    let n = buf.get_u16_le() as usize;
+    let n = limits::checked_count(
+        buf.get_u16_le() as usize,
+        buf.remaining(),
+        limits::MIN_VALUE_BYTES,
+        "event values",
+    )?;
     let schema = registry
         .get(schema_id)
         .ok_or_else(|| Error::Decode(format!("unknown schema id {schema_id}")))?;
@@ -280,7 +329,12 @@ pub fn put_predicate(buf: &mut impl BufMut, predicate: &Predicate) {
 /// [`Predicate::from_tests`].
 pub fn get_predicate(buf: &mut impl Buf, schema: &EventSchema) -> Result<Predicate> {
     need(buf, 2, "predicate length")?;
-    let n = buf.get_u16_le() as usize;
+    let n = limits::checked_count(
+        buf.get_u16_le() as usize,
+        buf.remaining(),
+        limits::MIN_TEST_BYTES,
+        "predicate tests",
+    )?;
     let mut tests = Vec::with_capacity(n);
     for _ in 0..n {
         tests.push(get_attr_test(buf)?);
@@ -466,6 +520,51 @@ mod tests {
         buf.put_u32_le(2);
         buf.put_slice(&[0xff, 0xfe]);
         assert!(get_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_value_count_is_rejected_before_allocating() {
+        // An attacker declares u16::MAX event values but sends a 2-byte
+        // payload: the decoder must reject the count against the bytes
+        // actually present instead of reserving capacity for 65535 values.
+        let reg = registry();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0); // schema id (registered)
+        buf.put_u16_le(u16::MAX);
+        buf.put_u8(TAG_BOOL);
+        buf.put_u8(1);
+        let err = get_event(&mut buf.freeze(), &reg).unwrap_err();
+        assert!(
+            err.to_string().contains("declared count"),
+            "want a count-vs-payload rejection, got: {err}"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_test_count_is_rejected_before_allocating() {
+        let schema = trades();
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(u16::MAX);
+        buf.put_u8(TEST_ANY);
+        let err = get_predicate(&mut buf.freeze(), &schema).unwrap_err();
+        assert!(
+            err.to_string().contains("declared count"),
+            "want a count-vs-payload rejection, got: {err}"
+        );
+    }
+
+    #[test]
+    fn plausible_declared_counts_still_decode() {
+        // checked_count passes counts the payload can actually hold:
+        // a TEST_ANY-only predicate is 1 byte per test, the minimum size.
+        let schema = trades();
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(4);
+        for _ in 0..4 {
+            buf.put_u8(TEST_ANY);
+        }
+        let pred = get_predicate(&mut buf.freeze(), &schema).unwrap();
+        assert_eq!(pred.tests().len(), 4);
     }
 
     #[test]

@@ -1,0 +1,8 @@
+// Seeded counter-registry fixture: the stats table prints a hand-picked
+// subset of fields instead of rendering `counter_lines()`, so counters
+// added to the registry would silently miss the CLI output.
+
+fn cmd_stats(counters: NodeCounters) {
+    println!("published: {}", counters.published);
+    println!("forwarded: {}", counters.forwarded);
+}

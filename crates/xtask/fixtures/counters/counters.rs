@@ -1,0 +1,43 @@
+// Seeded counter-registry fixture. The registry declares three counters,
+// but the hand-unrolled surfaces drift: `decode_wire` drops `spooled` (a
+// peer's spool counter would silently read as forwarded bytes) and
+// `counter_lines` never learned about it (the CLI would hide it). The
+// encode path and the snapshot struct are complete and must not be
+// flagged.
+
+broker_counters! {
+    wire {
+        published: atomic,
+        forwarded: atomic,
+        spooled: derived,
+    }
+    gauges {
+        connections: usize,
+    }
+}
+
+pub struct NodeCounters {
+    pub published: u64,
+    pub forwarded: u64,
+    pub spooled: u64,
+}
+
+impl NodeCounters {
+    fn encode_wire(&self, b: &mut BytesMut) {
+        b.put_u64_le(self.published);
+        b.put_u64_le(self.forwarded);
+        b.put_u64_le(self.spooled);
+    }
+
+    fn decode_wire(buf: &mut Bytes) -> Self {
+        // seeded: `spooled` fell out of the decode path.
+        let published = read_word(buf);
+        let forwarded = read_word(buf);
+        NodeCounters::assemble(published, forwarded)
+    }
+
+    fn counter_lines(&self) -> [(&'static str, u64); 2] {
+        // seeded: `spooled` never made it into the CLI table.
+        [("published", self.published), ("forwarded", self.forwarded)]
+    }
+}

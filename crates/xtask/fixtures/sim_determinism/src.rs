@@ -1,0 +1,21 @@
+// Seeded sim-determinism fixture: wall-clock reads and OS entropy in what
+// pretends to be simulation-substrate code. The one annotated site models
+// a legitimate pacing-only read and must stay quiet.
+
+fn schedule_next(queue: &mut VecDeque<Event>) {
+    let stamp = SystemTime::now(); // seeded: wall-clock read
+    let mut rng = thread_rng(); // seeded: OS-seeded RNG
+    let pick = rng.gen_range(0..queue.len());
+    queue.rotate_left(pick);
+}
+
+fn deliver(pipe: &Pipe) {
+    let due = Instant::now(); // seeded: wall-clock read
+    pipe.release(due);
+}
+
+fn paced_wait(pipe: &Pipe) {
+    // analyzer:allow(sim-determinism): pacing only; ordering stays seed-derived
+    let start = Instant::now();
+    pipe.wait_until(start + READ_QUANTUM);
+}

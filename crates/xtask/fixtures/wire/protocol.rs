@@ -1,9 +1,8 @@
 // Part of the seeded wire fixture: T_DATA is decoded but never encoded,
-// FrameTag::Orphan has no const at all, T_PROBE is encoded but has no
-// decode arm (a heartbeat the peer would count as a protocol error), and
-// the T_STATS decode arm reads counters with raw `get_u64_le` — a
-// fixed-layout decoder that turns a stats frame from an older or newer
-// peer into a protocol error instead of a degraded read.
+// FrameTag::Orphan has no const at all, and T_PROBE is encoded but has no
+// decode arm (a heartbeat the peer would count as a protocol error). The
+// raw-`get_u64_le`-in-the-Stats-arm seed lives in fixtures/counters/ with
+// the counter-registry pass that owns that rule.
 
 const T_PING: u8 = FrameTag::Ping as u8;
 const T_PONG: u8 = FrameTag::Pong as u8;
@@ -36,8 +35,7 @@ fn decode(tag: u8, buf: &mut Bytes) {
         T_PONG => (),
         T_DATA => (),
         T_STATS => {
-            let published = buf.get_u64_le();
-            let forwarded = buf.get_u64_le();
+            let counters = NodeCounters::decode_wire(buf);
         }
         _ => (),
     }

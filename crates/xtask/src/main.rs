@@ -2,24 +2,35 @@
 //! workspace.
 //!
 //! ```text
-//! cargo xtask check      # run all three passes against the repo
-//! cargo xtask selftest   # run the passes against seeded-violation fixtures
+//! cargo xtask check                    # run all passes against the repo
+//! cargo xtask check --format=json     # machine-readable findings
+//! cargo xtask check --format=github   # GitHub Actions error annotations
+//! cargo xtask selftest                 # run the passes against fixtures
 //! ```
 //!
-//! The three passes (see DESIGN.md §9):
+//! The passes (see DESIGN.md §9 and §13):
 //! 1. lock-order analysis over `crates/broker` + `crates/core` against the
 //!    hierarchy declared in `docs/LOCK_ORDER.md`;
-//! 2. hot-path panic lint over the broker dataflow modules;
+//! 2. hot-path panic lint over the broker dataflow modules and the types
+//!    decode surface;
 //! 3. wire-protocol exhaustiveness across `FrameTag`, the protocol codec,
-//!    and the dispatch sites.
+//!    and the dispatch sites;
+//! 4. wire-taint tracking of untrusted decoder reads to allocation and
+//!    cursor sinks;
+//! 5. counter-registry plumbing-exhaustiveness for `broker_counters!`;
+//! 6. sim-determinism (no wall clock, no OS entropy) over the simulation
+//!    substrate.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod counters;
 mod lexer;
 mod locks;
 mod panics;
+mod simdet;
 mod source;
+mod taint;
 mod wire;
 
 use source::SourceFile;
@@ -32,7 +43,8 @@ pub struct Finding {
     /// 1-indexed line.
     pub line: u32,
     /// Rule id (`lock-order`, `hold-across-blocking`, `undeclared-lock`,
-    /// `panic`, `index`, `wire-exhaustiveness`, `allow-without-reason`).
+    /// `panic`, `index`, `wire-exhaustiveness`, `wire-taint`,
+    /// `counter-registry`, `sim-determinism`, `allow-without-reason`).
     pub rule: String,
     /// Human-readable explanation.
     pub message: String,
@@ -53,21 +65,50 @@ const HOT_MODULES: &[&str] = &[
 /// match-result cache), held to the same no-panic standard.
 const HOT_CORE_MODULES: &[&str] = &["arena.rs", "cache.rs"];
 
+/// Types modules on the decode path: everything here runs against bytes an
+/// unauthenticated peer controls, so it gets both the panic lint and the
+/// wire-taint pass.
+const HOT_TYPES_MODULES: &[&str] = &["crates/types/src/wire.rs", "crates/types/src/parser.rs"];
+
+/// Simulation-substrate modules held to the sim-determinism rule.
+const SIM_MODULES: &[&str] = &["transport.rs", "simnet.rs"];
+
+/// Output format for `check` findings.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "check".into());
+    let mut mode = String::from("check");
+    let mut format = Format::Text;
+    for arg in std::env::args().skip(1) {
+        if let Some(f) = arg.strip_prefix("--format=") {
+            format = match f {
+                "text" => Format::Text,
+                "json" => Format::Json,
+                "github" => Format::Github,
+                other => {
+                    eprintln!("unknown format `{other}` (expected text, json, or github)");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else {
+            mode = arg;
+        }
+    }
     let root = workspace_root();
     match mode.as_str() {
         "check" => match run_check(&root) {
-            Ok(findings) if findings.is_empty() => {
-                println!("xtask check: all passes clean");
-                ExitCode::SUCCESS
-            }
             Ok(findings) => {
-                for f in &findings {
-                    println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                emit(&findings, format);
+                if findings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
                 }
-                println!("xtask check: {} finding(s)", findings.len());
-                ExitCode::FAILURE
             }
             Err(e) => {
                 eprintln!("xtask check: {e}");
@@ -89,6 +130,86 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Prints findings in the selected format. Text and github formats end
+/// with a summary line; json is a bare array so CI tooling can consume it
+/// without scraping.
+fn emit(findings: &[Finding], format: Format) {
+    match format {
+        Format::Text => {
+            if findings.is_empty() {
+                println!("xtask check: all passes clean");
+                return;
+            }
+            for f in findings {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            }
+            println!("xtask check: {} finding(s)", findings.len());
+        }
+        Format::Json => {
+            let mut out = String::from("[");
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                    json_str(&f.file),
+                    f.line,
+                    json_str(&f.rule),
+                    json_str(&f.message)
+                ));
+            }
+            out.push(']');
+            println!("{out}");
+        }
+        Format::Github => {
+            // https://docs.github.com/actions/reference/workflow-commands
+            for f in findings {
+                println!(
+                    "::error file={},line={},title={}::{}",
+                    gh_prop(&f.file),
+                    f.line,
+                    gh_prop(&f.rule),
+                    gh_msg(&f.message)
+                );
+            }
+            println!("xtask check: {} finding(s)", findings.len());
+        }
+    }
+}
+
+/// Minimal JSON string encoder (the findings are ASCII, but stay correct
+/// for anything the passes might quote from source).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Escapes a workflow-command message (data part).
+fn gh_msg(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property value.
+fn gh_prop(s: &str) -> String {
+    gh_msg(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 fn workspace_root() -> PathBuf {
@@ -129,7 +250,25 @@ fn rust_files(root: &Path, dir: &str) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
-/// Runs all three passes against the real workspace.
+/// Hygiene: every allow comment must carry a reason.
+fn allow_hygiene(file: &SourceFile) -> Vec<Finding> {
+    file.lexed
+        .allows
+        .iter()
+        .filter(|a| !a.has_reason)
+        .map(|a| Finding {
+            file: file.path.clone(),
+            line: a.line,
+            rule: "allow-without-reason".into(),
+            message: format!(
+                "analyzer:allow({}) must state a reason after a colon",
+                a.rule
+            ),
+        })
+        .collect()
+}
+
+/// Runs all passes against the real workspace.
 fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
 
@@ -145,8 +284,12 @@ fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
     }
     findings.extend(locks::check(&lock_files, &hierarchy));
 
-    // Pass 2: panic lint over the hot dataflow modules (broker) and the
-    // per-event matching modules (core arena walk + result cache).
+    // Pass 2: panic lint over the hot dataflow modules (broker), the
+    // per-event matching modules (core), and the types decode surface.
+    let types_files = HOT_TYPES_MODULES
+        .iter()
+        .map(|rel| load(root, rel))
+        .collect::<Result<Vec<_>, _>>()?;
     for file in &lock_files {
         let name = file.path.rsplit('/').next().unwrap_or(&file.path);
         let hot = (file.path.starts_with("crates/broker/src") && HOT_MODULES.contains(&name))
@@ -154,6 +297,9 @@ fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
         if hot {
             findings.extend(panics::check(file));
         }
+    }
+    for file in &types_files {
+        findings.extend(panics::check(file));
     }
 
     // Pass 3: wire-protocol exhaustiveness.
@@ -165,33 +311,47 @@ fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
     };
     findings.extend(wire::check(&ws));
 
-    // Hygiene: every allow comment must carry a reason.
-    for file in lock_files
-        .iter()
-        .chain([&ws.wire, &ws.protocol, &ws.broker, &ws.client])
-    {
-        for allow in &file.lexed.allows {
-            if !allow.has_reason {
-                findings.push(Finding {
-                    file: file.path.clone(),
-                    line: allow.line,
-                    rule: "allow-without-reason".into(),
-                    message: format!(
-                        "analyzer:allow({}) must state a reason after a colon",
-                        allow.rule
-                    ),
-                });
-            }
+    // Pass 4: wire-taint over every file that decodes untrusted bytes —
+    // the broker codec plus the types decode surface.
+    findings.extend(taint::check(&ws.protocol));
+    for file in &types_files {
+        findings.extend(taint::check(file));
+    }
+
+    // Pass 5: counter-registry plumbing-exhaustiveness.
+    let cs = counters::CounterSources {
+        counters: load(root, "crates/broker/src/counters.rs")?,
+        protocol: load(root, "crates/broker/src/protocol.rs")?,
+        cli: load(root, "crates/cli/src/main.rs")?,
+    };
+    findings.extend(counters::check(&cs));
+
+    // Pass 6: sim-determinism over the simulation substrate.
+    for file in &lock_files {
+        let name = file.path.rsplit('/').next().unwrap_or(&file.path);
+        if file.path.starts_with("crates/broker/src") && SIM_MODULES.contains(&name) {
+            findings.extend(simdet::check(file));
         }
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    // Hygiene over every file any pass looked at.
+    for file in lock_files
+        .iter()
+        .chain(types_files.iter())
+        .chain([&ws.wire, &ws.protocol, &ws.broker, &ws.client])
+        .chain([&cs.counters, &cs.protocol, &cs.cli])
+    {
+        findings.extend(allow_hygiene(file));
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     findings.dedup();
     Ok(findings)
 }
 
 /// Each seeded-violation fixture must trip its pass, proving the passes
-/// actually detect what they claim to.
+/// actually detect what they claim to — and the sanitized twins in the
+/// same fixtures must stay quiet, proving the passes do not cry wolf.
 fn run_selftest(root: &Path) -> Result<(), String> {
     let fixtures = root.join("crates/xtask/fixtures");
 
@@ -251,10 +411,6 @@ fn run_selftest(root: &Path) -> Result<(), String> {
         "never encoded",
         "never dispatched",
         "tag `T_PROBE` (FrameTag::Probe) never appears in a decode match arm",
-        // The widened-counters-frame mistake: a Stats decode arm that
-        // reads counters at fixed offsets, so a peer one release apart
-        // becomes a protocol error instead of a degraded read.
-        "reads counters with raw `get_u64_le`",
         "BrokerToBroker::Ping is never dispatched",
     ] {
         if !found.iter().any(|f| f.message.contains(needle)) {
@@ -262,6 +418,97 @@ fn run_selftest(root: &Path) -> Result<(), String> {
                 "wire fixture: expected a finding containing {needle:?}, got {found:?}"
             ));
         }
+    }
+
+    // Fixture 4: wire-taint — every `tainted_*` function leaks a decoder
+    // read into a sink; every `sanitized_*` twin must stay quiet.
+    let src = std::fs::read_to_string(fixtures.join("taint/src.rs"))
+        .map_err(|e| format!("taint fixture: {e}"))?;
+    let file = SourceFile::parse("fixtures/taint/src.rs", &src);
+    let found = taint::check(&file);
+    expect_rule(&found, "wire-taint", "taint")?;
+    for needle in [
+        "allocation sized by untrusted wire value `n`",
+        "allocation sized by untrusted wire value `len`",
+        "loop bounded by untrusted wire value `count`",
+        "`.advance()` driven by untrusted wire value `doubled`",
+        "slice index derived from untrusted wire value `slot`",
+    ] {
+        if !found.iter().any(|f| f.message.contains(needle)) {
+            return Err(format!(
+                "taint fixture: expected a finding containing {needle:?}, got {found:?}"
+            ));
+        }
+    }
+    if found.len() != 5 {
+        return Err(format!(
+            "taint fixture: expected exactly 5 findings (sanitized twins and the \
+             allow-annotated sink must stay quiet), got {found:?}"
+        ));
+    }
+    // The deliberately bare allow comment must trip the hygiene rule.
+    expect_rule(&allow_hygiene(&file), "allow-without-reason", "taint")?;
+
+    // Fixture 5: counter-registry drift — a dropped counter in decode and
+    // CLI, a fixed-layout Stats read, and a literal bypassing the macro.
+    let read = |rel: &str| -> Result<SourceFile, String> {
+        let p = fixtures.join("counters").join(rel);
+        let src =
+            std::fs::read_to_string(&p).map_err(|e| format!("counters fixture {rel}: {e}"))?;
+        Ok(SourceFile::parse(&format!("fixtures/counters/{rel}"), &src))
+    };
+    let cs = counters::CounterSources {
+        counters: read("counters.rs")?,
+        protocol: read("protocol.rs")?,
+        cli: read("cli.rs")?,
+    };
+    let found = counters::check(&cs);
+    expect_rule(&found, "counter-registry", "counters")?;
+    for needle in [
+        "counter `spooled` is missing from `decode_wire`",
+        "counter `spooled` is missing from `counter_lines`",
+        // The widened-counters-frame mistake: a Stats decode arm that
+        // reads counters at fixed offsets, so a peer one release apart
+        // becomes a protocol error instead of a degraded read.
+        "reads counters with raw `get_u64_le`",
+        "bypasses the `broker_counters!` registry",
+        "does not render `counter_lines()`",
+    ] {
+        if !found.iter().any(|f| f.message.contains(needle)) {
+            return Err(format!(
+                "counters fixture: expected a finding containing {needle:?}, got {found:?}"
+            ));
+        }
+    }
+    // The complete surfaces (encode_wire, the NodeCounters struct) must not
+    // be flagged.
+    if found
+        .iter()
+        .any(|f| f.message.contains("`encode_wire`") || f.message.contains("`NodeCounters`"))
+    {
+        return Err(format!(
+            "counters fixture: flagged a surface that covers every entry: {found:?}"
+        ));
+    }
+
+    // Fixture 6: sim-determinism — wall clock + OS entropy, with one
+    // annotated pacing site that must stay quiet.
+    let src = std::fs::read_to_string(fixtures.join("sim_determinism/src.rs"))
+        .map_err(|e| format!("sim_determinism fixture: {e}"))?;
+    let found = simdet::check(&SourceFile::parse("fixtures/sim_determinism/src.rs", &src));
+    expect_rule(&found, "sim-determinism", "sim_determinism")?;
+    for needle in ["wall-clock read", "OS-seeded RNG"] {
+        if !found.iter().any(|f| f.message.contains(needle)) {
+            return Err(format!(
+                "sim_determinism fixture: expected a finding containing {needle:?}, got {found:?}"
+            ));
+        }
+    }
+    if found.len() != 3 {
+        return Err(format!(
+            "sim_determinism fixture: expected exactly 3 findings (the allow-annotated \
+             pacing site must stay quiet), got {found:?}"
+        ));
     }
 
     // And the real tree must be clean — the fixtures prove sensitivity,
@@ -299,5 +546,12 @@ mod tests {
     #[test]
     fn selftest_fixtures_trip_every_pass() {
         run_selftest(&workspace_root()).expect("selftest passes");
+    }
+
+    #[test]
+    fn json_and_github_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(gh_msg("50% done\nnext"), "50%25 done%0Anext");
+        assert_eq!(gh_prop("a:b,c"), "a%3Ab%2Cc");
     }
 }

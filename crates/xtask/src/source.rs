@@ -131,15 +131,21 @@ fn find_functions(toks: &[Tok], test_ranges: &[(usize, usize)]) -> Vec<Function>
                 if let Some(name) = name_tok.ident() {
                     // The body is the first `{` after the signature; a `;`
                     // first means a trait/extern declaration without body.
+                    // `;` inside brackets (an array type like
+                    // `[(&'static str, u64); N]`) or parens is part of the
+                    // signature, not a declaration terminator.
                     let mut j = i + 2;
                     let mut angle = 0i32;
+                    let mut nest = 0i32;
                     let mut open = None;
                     while j < toks.len() {
                         match () {
                             _ if toks[j].is_punct('<') => angle += 1,
                             _ if toks[j].is_punct('>') => angle -= 1,
-                            _ if toks[j].is_punct(';') && angle <= 0 => break,
-                            _ if toks[j].is_punct('{') && angle <= 0 => {
+                            _ if toks[j].is_punct('(') || toks[j].is_punct('[') => nest += 1,
+                            _ if toks[j].is_punct(')') || toks[j].is_punct(']') => nest -= 1,
+                            _ if toks[j].is_punct(';') && angle <= 0 && nest <= 0 => break,
+                            _ if toks[j].is_punct('{') && angle <= 0 && nest <= 0 => {
                                 open = Some(j);
                                 break;
                             }

@@ -83,25 +83,9 @@ pub fn check(ws: &WireSources) -> Vec<Finding> {
         }
     }
 
-    // (d) the Stats decode arm must go through the length-tolerant prefix
-    // helper: raw `get_u64_le` calls bake the current counter layout into
-    // the decoder, so a peer one release older (shorter payload) or newer
-    // (longer payload) turns into a protocol error instead of a degraded
-    // but working read.
-    if let Some((stats_const, _)) = consts.iter().find(|(_, v)| v == "Stats") {
-        if let Some(line) = ident_in_decode_arm(ws.protocol.toks(), stats_const, "get_u64_le") {
-            findings.push(Finding {
-                file: ws.protocol.path.clone(),
-                line,
-                rule: RULE.into(),
-                message: format!(
-                    "decode arm for `{stats_const}` (FrameTag::Stats) reads counters with raw \
-                     `get_u64_le` — use the length-tolerant prefix helper so payloads from \
-                     older and newer peers stay decodable"
-                ),
-            });
-        }
-    }
+    // The Stats decode arm's counter-layout rule moved to the
+    // `counter-registry` pass (`counters.rs`), which generalizes it: the
+    // whole counter chain must come from the `broker_counters!` registry.
 
     // Dispatch coverage: every protocol-enum variant is named at its
     // dispatch site.
@@ -194,7 +178,7 @@ fn enum_variants(toks: &[Tok], name: &str) -> Vec<(String, u32)> {
 }
 
 /// `const NAME: u8 = FrameTag::Variant as u8;` bindings: `(NAME, Variant)`.
-fn tag_consts(toks: &[Tok]) -> Vec<(String, String)> {
+pub(crate) fn tag_consts(toks: &[Tok]) -> Vec<(String, String)> {
     let mut out = Vec::new();
     for i in 0..toks.len() {
         if !toks[i].is_ident("const") {
@@ -244,13 +228,43 @@ fn is_decoded(toks: &[Tok], const_name: &str) -> bool {
     })
 }
 
+/// The token index one past a match arm's body, given the index of the
+/// first body token (right after the `=>`). A block arm (`CONST => {
+/// ... }`) ends at its matching brace — block arms need no trailing comma,
+/// so scanning on to the next `,` would bleed into the following arm. An
+/// expression arm ends at the first `,` (or the match's closing `}`) at
+/// its own depth.
+pub(crate) fn arm_end(toks: &[Tok], start: usize) -> usize {
+    if toks.get(start).is_some_and(|t| t.is_punct('{')) {
+        return matching_brace(toks, start);
+    }
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            break;
+        }
+        j += 1;
+    }
+    j
+}
+
 /// If the match arm `CONST => ...` contains the ident `needle`, the line of
-/// its first occurrence. The arm's extent runs from the `=>` to the first
-/// `,` at the arm's own depth, or the `}` that closes the enclosing match.
-/// Idents named `needle` defined *outside* the arm (e.g. inside a helper
-/// function the arm calls) are not seen — which is exactly the escape
-/// hatch the stats rule wants callers to take.
-fn ident_in_decode_arm(toks: &[Tok], const_name: &str, needle: &str) -> Option<u32> {
+/// its first occurrence. Idents named `needle` defined *outside* the arm
+/// (e.g. inside a helper function the arm calls) are not seen — which is
+/// exactly the escape hatch the counter-registry rule wants callers to
+/// take.
+pub(crate) fn ident_in_decode_arm(toks: &[Tok], const_name: &str, needle: &str) -> Option<u32> {
     for i in 0..toks.len() {
         if !(toks[i].is_ident(const_name)
             && toks.get(i + 1).is_some_and(|t| t.is_punct('='))
@@ -258,34 +272,8 @@ fn ident_in_decode_arm(toks: &[Tok], const_name: &str, needle: &str) -> Option<u
         {
             continue;
         }
-        // A block arm (`CONST => { ... }`) ends at its matching brace —
-        // block arms need no trailing comma, so scanning on to the next
-        // `,` would bleed into the following arm. An expression arm ends
-        // at the first `,` (or the match's closing `}`) at its own depth.
         let start = i + 3;
-        let end = if toks.get(start).is_some_and(|t| t.is_punct('{')) {
-            matching_brace(toks, start)
-        } else {
-            let mut depth = 0usize;
-            let mut j = start;
-            while j < toks.len() {
-                let t = &toks[j];
-                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
-                    depth += 1;
-                } else if t.is_punct(')') || t.is_punct(']') {
-                    depth = depth.saturating_sub(1);
-                } else if t.is_punct('}') {
-                    if depth == 0 {
-                        break;
-                    }
-                    depth -= 1;
-                } else if t.is_punct(',') && depth == 0 {
-                    break;
-                }
-                j += 1;
-            }
-            j
-        };
+        let end = arm_end(toks, start);
         if let Some(t) = toks[start..end.min(toks.len())]
             .iter()
             .find(|t| t.is_ident(needle))
@@ -384,55 +372,6 @@ mod tests {
                 .contains("BrokerToBroker::Pong is never dispatched")),
             "{out:?}"
         );
-    }
-
-    const WIRE_STATS: &str = "#[repr(u8)]\npub enum FrameTag { Ping = 0x01, Stats = 0x02 }";
-    const PROTOCOL_STATS_SHELL: &str = "\
-        const T_PING: u8 = FrameTag::Ping as u8;\n\
-        const T_STATS: u8 = FrameTag::Stats as u8;\n\
-        pub enum ClientToBroker { Ping }\n\
-        pub enum BrokerToBroker { Stats }\n\
-        pub enum BrokerToClient { Stats }\n\
-        fn encode(out: &mut Vec<u8>) { out.put_u8(T_PING); out.put_u8(T_STATS); }\n";
-
-    fn stats_sources(decode: &str) -> WireSources {
-        sources(
-            WIRE_STATS,
-            &format!("{PROTOCOL_STATS_SHELL}{decode}"),
-            "fn dispatch() { ClientToBroker::Ping; BrokerToBroker::Stats; }",
-            "fn dispatch() { BrokerToClient::Stats; }",
-        )
-    }
-
-    #[test]
-    fn raw_counter_reads_in_stats_arm_are_flagged() {
-        let ws = stats_sources(
-            "fn decode(tag: u8, buf: &mut B) { match tag {\n\
-                 T_PING => (),\n\
-                 T_STATS => { let a = buf.get_u64_le(); let b = buf.get_u64_le(); }\n\
-                 _ => () } }\n",
-        );
-        let out = check(&ws);
-        assert!(
-            out.iter()
-                .any(|f| f.message.contains("reads counters with raw `get_u64_le`")),
-            "{out:?}"
-        );
-    }
-
-    #[test]
-    fn prefix_helper_in_stats_arm_is_clean() {
-        // `get_u64_le` lives inside the helper, not the arm — the
-        // forward-compatible shape the rule steers toward.
-        let ws = stats_sources(
-            "fn counter(buf: &mut B) -> u64 { if buf.remaining() >= 8 { buf.get_u64_le() } else { 0 } }\n\
-             fn decode(tag: u8, buf: &mut B) { match tag {\n\
-                 T_PING => (),\n\
-                 T_STATS => { let a = counter(buf); let b = counter(buf); }\n\
-                 _ => () } }\n",
-        );
-        let out = check(&ws);
-        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn await_subscriptions(cluster: &Cluster, expected: usize) {
         if cluster
             .nodes
             .iter()
-            .all(|n| n.stats().subscriptions == expected)
+            .all(|n| n.stats().subscriptions == expected as u64)
         {
             return;
         }

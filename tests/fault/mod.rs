@@ -384,7 +384,7 @@ pub fn tick(registry: &SchemaRegistry, n: i64) -> Event {
 /// subscriptions (the subscription flood has converged).
 pub fn await_subscriptions(nodes: &[&BrokerNode], want: usize) {
     let deadline = Instant::now() + Duration::from_secs(10);
-    while nodes.iter().any(|n| n.stats().subscriptions < want) {
+    while nodes.iter().any(|n| n.stats().subscriptions < want as u64) {
         assert!(Instant::now() < deadline, "subscription flood stalled");
         std::thread::sleep(Duration::from_millis(10));
     }

@@ -413,7 +413,7 @@ fn run_ops(seed: u64, ops: &[Op]) -> Result<String, String> {
     )
     .unwrap();
     cluster.wait("stable subscription flood", Duration::from_secs(10), |c| {
-        (0..N_BROKERS).all(|i| c.node(i).stats().subscriptions >= N_BROKERS)
+        (0..N_BROKERS).all(|i| c.node(i).stats().subscriptions >= N_BROKERS as u64)
     })?;
     cluster.wait("initial link mesh", Duration::from_secs(10), |c| {
         (0..N_BROKERS).all(|i| c.node(i).stats().connections >= c.baseline_connections(i))
@@ -547,7 +547,7 @@ fn run_ops(seed: u64, ops: &[Op]) -> Result<String, String> {
         .publish(&tick(&registry, sentinel))
         .map_err(|e| format!("sentinel publish failed: {e}"))?;
     published.push(sentinel);
-    let live_subs = N_BROKERS + churn_subs.iter().flatten().count();
+    let live_subs = (N_BROKERS + churn_subs.iter().flatten().count()) as u64;
     cluster.wait("healed mesh", Duration::from_secs(30), |c| {
         (0..N_BROKERS).all(|i| c.node(i).stats().connections == c.baseline_connections(i))
     })?;
