@@ -12,8 +12,12 @@
 //! A heartbeat leg re-runs the pipelined dataflow with an aggressive 50 ms
 //! interval: the A/B against the default leg records what the liveness
 //! machinery costs at saturation (expected: well under 1% — busy links
-//! never go idle, so the sweep only reads a clock). Results are recorded
-//! as a baseline in `BENCH_broker_pipeline.json` at the repository root.
+//! never go idle, so the sweep only reads a clock). A durability leg
+//! re-runs the arena dataflow with an `FsStorage` WAL on every broker
+//! (fsync-per-commit, the DESIGN.md §14 default); its A/B against `arena`
+//! is recorded as `wal_overhead_pct`, tracking the fsync path's cost.
+//! Results are recorded as a baseline in `BENCH_broker_pipeline.json` at
+//! the repository root.
 //!
 //! Every cluster also carries a decoy subscription table sized so the
 //! per-event matching walk does paper-scale work — without it the chain is
@@ -32,7 +36,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use linkcast::{NetworkBuilder, RoutingFabric};
-use linkcast_broker::{BrokerConfig, BrokerNode, Client};
+use linkcast_broker::{BrokerConfig, BrokerNode, Client, FsStorage, Storage};
 use linkcast_types::{ClientId, Event, EventSchema, SchemaId, SchemaRegistry, Value, ValueKind};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -157,6 +161,10 @@ struct LegSpec {
     /// one because it measures the liveness machinery, not the matcher,
     /// and needs batches fast enough for a sub-1% signal to survive noise.
     decoy_chains: usize,
+    /// Give every broker an `FsStorage` WAL (fsync-per-commit, the
+    /// DESIGN.md §14 default): the A/B against the matching leg without
+    /// one is the durability layer's whole cost.
+    durable: bool,
 }
 
 struct Cluster {
@@ -174,6 +182,8 @@ struct Cluster {
     /// The published volume sequence, cycled by `cursor`.
     volumes: Vec<i64>,
     cursor: usize,
+    /// WAL directories to remove at shutdown (durability leg only).
+    wal_dirs: Vec<std::path::PathBuf>,
 }
 
 impl Cluster {
@@ -204,9 +214,28 @@ impl Cluster {
             .collect();
         let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
 
+        // WAL directories for the durability leg: one per broker under the
+        // OS temp dir, removed at shutdown.
+        let wal_dirs: Vec<std::path::PathBuf> = if spec.durable {
+            (0..brokers.len())
+                .map(|i| {
+                    std::env::temp_dir().join(format!(
+                        "linkcast_bench_wal_{}_{}_{i}",
+                        spec.name,
+                        std::process::id()
+                    ))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for dir in &wal_dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
         let nodes: Vec<BrokerNode> = brokers
             .iter()
-            .map(|&b| {
+            .enumerate()
+            .map(|(i, &b)| {
                 let mut config = BrokerConfig::localhost(b, fabric.clone(), Arc::clone(&registry));
                 config.seed_dataflow = spec.seed_dataflow;
                 config.match_shards = spec.match_shards;
@@ -214,6 +243,10 @@ impl Cluster {
                 config.match_arena = spec.match_arena;
                 config.match_cache_cap = spec.match_cache_cap;
                 config.heartbeat_interval = heartbeat_interval;
+                if spec.durable {
+                    config.storage =
+                        Some(Arc::new(FsStorage::open(&wal_dirs[i]).unwrap()) as Arc<dyn Storage>);
+                }
                 BrokerNode::start(config).unwrap()
             })
             .collect();
@@ -304,6 +337,7 @@ impl Cluster {
             receivers,
             volumes: spec.workload.volumes(),
             cursor: 0,
+            wal_dirs,
         }
     }
 
@@ -364,9 +398,14 @@ impl Cluster {
             totals.match_cache_hits += stats.match_cache_hits;
             totals.match_cache_misses += stats.match_cache_misses;
             totals.match_cache_invalidations += stats.match_cache_invalidations;
+            totals.wal_appends += stats.wal_appends;
+            totals.snapshot_writes += stats.snapshot_writes;
         }
         for node in self.nodes {
             node.shutdown();
+        }
+        for dir in &self.wal_dirs {
+            let _ = std::fs::remove_dir_all(dir);
         }
         totals
     }
@@ -385,6 +424,8 @@ struct Counters {
     match_cache_hits: u64,
     match_cache_misses: u64,
     match_cache_invalidations: u64,
+    wal_appends: u64,
+    snapshot_writes: u64,
 }
 
 /// One measured configuration's outcome.
@@ -425,6 +466,7 @@ fn heartbeat_overhead(registry: &SchemaRegistry) -> (f64, usize) {
             match_cache_cap: 0,
             workload: Workload::Mixed,
             decoy_chains: 0,
+            durable: false,
         },
         off,
     );
@@ -491,6 +533,7 @@ fn bench_chain(c: &mut Criterion) {
             match_cache_cap: 0,
             workload: Workload::Mixed,
             decoy_chains: DECOY_CHAINS,
+            durable: false,
         },
         // The pipelined dataflow: encode-once, batched vectored writes,
         // schema-sharded matching workers — still the boxed-tree engine.
@@ -504,6 +547,7 @@ fn bench_chain(c: &mut Criterion) {
             match_cache_cap: 0,
             workload: Workload::Mixed,
             decoy_chains: DECOY_CHAINS,
+            durable: false,
         },
         // The arena-flattened walk on the same mixed workload: the A/B
         // against `pipelined` is the flattening's contribution alone
@@ -518,6 +562,23 @@ fn bench_chain(c: &mut Criterion) {
             match_cache_cap: 0,
             workload: Workload::Mixed,
             decoy_chains: DECOY_CHAINS,
+            durable: false,
+        },
+        // The arena walk plus an `FsStorage` WAL on every broker
+        // (fsync-per-commit): the A/B against `arena` is the durability
+        // layer's whole cost — encode + append + fsync per inbound broker
+        // frame, snapshot checkpoints on cadence.
+        LegSpec {
+            name: "durability",
+            seed_dataflow: false,
+            match_shards: 4,
+            match_threads: 1,
+            heartbeat_ms: 500,
+            match_arena: true,
+            match_cache_cap: 0,
+            workload: Workload::Mixed,
+            decoy_chains: DECOY_CHAINS,
+            durable: true,
         },
         // The boxed-tree engine on repeated content: baseline for the
         // cache leg below.
@@ -531,6 +592,7 @@ fn bench_chain(c: &mut Criterion) {
             match_cache_cap: 0,
             workload: Workload::Zipf,
             decoy_chains: DECOY_CHAINS,
+            durable: false,
         },
         // Arena plus the generation-invalidated result cache on the same
         // repeated content: hot volumes resolve to one hash probe.
@@ -544,6 +606,7 @@ fn bench_chain(c: &mut Criterion) {
             match_cache_cap: 1024,
             workload: Workload::Zipf,
             decoy_chains: DECOY_CHAINS,
+            durable: false,
         },
         // The pipelined dataflow under an aggressive heartbeat sweep: the
         // A/B against the `pipelined` leg is the liveness machinery's cost
@@ -559,6 +622,7 @@ fn bench_chain(c: &mut Criterion) {
             match_cache_cap: 0,
             workload: Workload::Mixed,
             decoy_chains: DECOY_CHAINS,
+            durable: false,
         },
     ];
     let registry = registry();
@@ -596,6 +660,10 @@ fn bench_chain(c: &mut Criterion) {
     let arena_speedup = by_name("arena").events_per_sec / by_name("pipelined").events_per_sec;
     let cache_speedup =
         by_name("arena_cache").events_per_sec / by_name("pipelined_zipf").events_per_sec;
+    // Positive = the WAL costs throughput; the pair differs only in
+    // `BrokerConfig::storage`.
+    let wal_overhead_pct =
+        (by_name("arena").events_per_sec / by_name("durability").events_per_sec - 1.0) * 100.0;
     let (heartbeat_overhead_pct, paired_rounds) = heartbeat_overhead(&registry);
     let configs_json: Vec<String> = results
         .iter()
@@ -603,7 +671,7 @@ fn bench_chain(c: &mut Criterion) {
             let s = &leg.spec;
             let c = &leg.counters;
             format!(
-                "    {{ \"name\": \"{}\", \"seed_dataflow\": {}, \"match_shards\": {}, \"match_threads\": {}, \"heartbeat_interval_ms\": {}, \"match_arena\": {}, \"match_cache_cap\": {}, \"workload\": \"{}\", \"median_ns_per_batch\": {:.0}, \"events_per_sec\": {:.0}, \"spooled\": {}, \"retransmitted\": {}, \"dropped_spool_overflow\": {}, \"pings_sent\": {}, \"liveness_timeouts\": {}, \"evicted_slow_consumers\": {}, \"peer_overflow_disconnects\": {}, \"match_cache_hits\": {}, \"match_cache_misses\": {}, \"match_cache_invalidations\": {} }}",
+                "    {{ \"name\": \"{}\", \"seed_dataflow\": {}, \"match_shards\": {}, \"match_threads\": {}, \"heartbeat_interval_ms\": {}, \"match_arena\": {}, \"match_cache_cap\": {}, \"workload\": \"{}\", \"durable\": {}, \"median_ns_per_batch\": {:.0}, \"events_per_sec\": {:.0}, \"spooled\": {}, \"retransmitted\": {}, \"dropped_spool_overflow\": {}, \"pings_sent\": {}, \"liveness_timeouts\": {}, \"evicted_slow_consumers\": {}, \"peer_overflow_disconnects\": {}, \"match_cache_hits\": {}, \"match_cache_misses\": {}, \"match_cache_invalidations\": {}, \"wal_appends\": {}, \"snapshot_writes\": {} }}",
                 s.name,
                 s.seed_dataflow,
                 s.match_shards,
@@ -612,6 +680,7 @@ fn bench_chain(c: &mut Criterion) {
                 s.match_arena,
                 s.match_cache_cap,
                 s.workload.label(),
+                s.durable,
                 leg.median_ns,
                 leg.events_per_sec,
                 c.spooled,
@@ -624,11 +693,13 @@ fn bench_chain(c: &mut Criterion) {
                 c.match_cache_hits,
                 c.match_cache_misses,
                 c.match_cache_invalidations,
+                c.wal_appends,
+                c.snapshot_writes,
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"broker_pipeline\",\n  \"topology\": \"{BROKERS}-broker TCP chain, {SUBSCRIBERS_PER_BROKER} subscribers per broker, {SPACES} information spaces, {} deep-chain decoy subscriptions per space over {DECOY_CLIENTS} decoy clients\",\n  \"batch_events\": {BATCH},\n  \"deliveries_per_event\": {},\n  \"configs\": [\n{}\n  ],\n  \"speedup_events_per_sec\": {speedup:.2},\n  \"arena_speedup_events_per_sec\": {arena_speedup:.2},\n  \"arena_cache_speedup_events_per_sec\": {cache_speedup:.2},\n  \"heartbeat_overhead_pct\": {heartbeat_overhead_pct:.2},\n  \"heartbeat_overhead_paired_batches\": {paired_rounds}\n}}\n",
+        "{{\n  \"bench\": \"broker_pipeline\",\n  \"topology\": \"{BROKERS}-broker TCP chain, {SUBSCRIBERS_PER_BROKER} subscribers per broker, {SPACES} information spaces, {} deep-chain decoy subscriptions per space over {DECOY_CLIENTS} decoy clients\",\n  \"batch_events\": {BATCH},\n  \"deliveries_per_event\": {},\n  \"configs\": [\n{}\n  ],\n  \"speedup_events_per_sec\": {speedup:.2},\n  \"arena_speedup_events_per_sec\": {arena_speedup:.2},\n  \"arena_cache_speedup_events_per_sec\": {cache_speedup:.2},\n  \"wal_overhead_pct\": {wal_overhead_pct:.2},\n  \"heartbeat_overhead_pct\": {heartbeat_overhead_pct:.2},\n  \"heartbeat_overhead_paired_batches\": {paired_rounds}\n}}\n",
         DECOY_CHAINS,
         BROKERS * SUBSCRIBERS_PER_BROKER as u64,
         configs_json.join(",\n"),

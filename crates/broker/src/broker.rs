@@ -7,12 +7,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{Buf, BufMut, Bytes};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use linkcast::{LinkTarget, MatchCache, RouteScratch, RoutingFabric, TreeId};
 use linkcast_matching::{MatchStats, PstOptions};
 use linkcast_types::{
-    BrokerId, ClientId, Event, LinkId, SchemaRegistry, SubscriberId, Subscription, SubscriptionId,
+    wire, BrokerId, ClientId, Event, LinkId, SchemaId, SchemaRegistry, SubscriberId, Subscription,
+    SubscriptionId,
 };
 use parking_lot::{Mutex, RwLock};
 
@@ -22,6 +23,7 @@ use crate::engine::MatchingEngine;
 use crate::log::{AckLog, EventLog};
 use crate::outbox::{ConnId, Outbox, Sink};
 use crate::protocol::{self, BrokerToBroker, BrokerToClient, ClientToBroker};
+use crate::storage::{self, Storage, WalOp};
 use crate::tcp::TcpTransport;
 use crate::transport::{self, Transport};
 
@@ -43,6 +45,32 @@ const LINK_STABILITY_WINDOW: Duration = Duration::from_secs(2);
 /// Saturating millisecond conversion for intervals stored in atomics.
 fn duration_to_ms(d: Duration) -> u64 {
     u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
+}
+
+/// Stretches a redial backoff by a deterministic pseudo-random factor in
+/// `[1.0, 1.5)`, advancing `state` (splitmix64) on each call. Without
+/// jitter every supervisor redials a recovering neighbor in lockstep —
+/// the escalation ladder is deterministic and shared — so a broker
+/// coming back from a crash takes the whole mesh's dials in one burst.
+/// Seeding `state` per (local, neighbor) pair decorrelates the herd
+/// while keeping every schedule reproducible.
+fn jittered_backoff(backoff: Duration, state: &mut u64) -> Duration {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let ms = duration_to_ms(backoff);
+    // Up to +50% in whole milliseconds; `ms / 2 + 1` keeps the modulus
+    // nonzero for sub-2ms backoffs.
+    let extra = z % (ms / 2 + 1);
+    Duration::from_millis(ms.saturating_add(extra))
+}
+
+/// Per-link jitter seed: distinct for every (local, neighbor) pair so
+/// supervisors that share an escalation ladder still spread their dials.
+fn jitter_seed(me: BrokerId, neighbor: BrokerId) -> u64 {
+    (u64::from(me.raw()) << 32) ^ u64::from(neighbor.raw()) ^ 0x5851_f42d_4c95_7f2d
 }
 
 /// Configuration of one broker node.
@@ -144,6 +172,26 @@ pub struct BrokerConfig {
     /// "before" leg of the `broker_pipeline` benchmark; leave it `false`
     /// everywhere else.
     pub seed_dataflow: bool,
+    /// Durable storage for crash consistency, or `None` (the default) for
+    /// a purely in-memory broker. With storage configured, every routed
+    /// event's spool appends and receive mark commit to a write-ahead log
+    /// before its `Forward` frames reach the wire, control state
+    /// (subscriptions, id allocator, incarnation, link windows) checkpoints
+    /// to snapshots, and boot becomes recovery: load the snapshot, replay
+    /// the WAL suffix, discard torn tails, and resume the *same*
+    /// incarnation — to peers a crash looks like a long link stall, not a
+    /// restart. See `DESIGN.md` §14.
+    pub storage: Option<Arc<dyn Storage>>,
+    /// Snapshot cadence with storage configured: after this many WAL
+    /// records the broker checkpoints a snapshot and truncates the log,
+    /// bounding both recovery replay time and WAL growth.
+    pub snapshot_every: u64,
+    /// With storage configured: fsync the WAL before journaled `Forward`
+    /// frames reach the wire (fsync-on-commit — a torn tail record can
+    /// only ever describe frames no peer received). Disabling trades the
+    /// power-cut guarantee for process-crash-only durability at much lower
+    /// latency; the `durability` bench leg tracks the gap.
+    pub wal_sync: bool,
 }
 
 impl BrokerConfig {
@@ -177,6 +225,9 @@ impl BrokerConfig {
             link_handshake_timeout: Duration::from_secs(2),
             write_stall_timeout: Duration::from_secs(5),
             seed_dataflow: false,
+            storage: None,
+            snapshot_every: 256,
+            wal_sync: true,
         }
     }
 }
@@ -197,6 +248,11 @@ pub(crate) enum Command {
         /// The event's wire encoding, sliced from the incoming frame.
         body: Bytes,
         links: Vec<LinkId>,
+        /// Where the event entered routing: `Some((neighbor, seq,
+        /// incarnation))` for a `Forward` from a peer, `None` for a local
+        /// publish. Dispatch journals the receive mark from this, so the
+        /// provenance must ride through the matching shards with the event.
+        source: Option<(BrokerId, u64, u64)>,
     },
     /// Periodic garbage collection of client logs.
     GcTick,
@@ -209,6 +265,9 @@ pub(crate) enum Command {
     QueueOverflow(ConnId),
     /// Stop the engine loop.
     Shutdown,
+    /// Crash-stop the engine loop (fault injection): exit immediately,
+    /// without the final ack flush a graceful `Shutdown` performs.
+    Crash,
 }
 
 /// One unit of work for a matching-worker shard.
@@ -218,6 +277,8 @@ struct MatchJob {
     /// The event's wire encoding, carried through so dispatch never
     /// re-serializes.
     body: Bytes,
+    /// Provenance for the WAL receive mark; see [`Command::Routed`].
+    source: Option<(BrokerId, u64, u64)>,
 }
 
 enum Peer {
@@ -401,6 +462,15 @@ impl BrokerNode {
             Arc::clone(&shutdown),
         )?;
 
+        // Durable-state recovery, before the engine loop exists: load the
+        // snapshot, replay the WAL suffix on top (discarding torn tails),
+        // and resume the recovered incarnation so peers' cumulative acks
+        // stay valid. With no storage configured this is a fresh boot.
+        let recovered = match &config.storage {
+            Some(st) => recover(st.as_ref(), &config.registry, &stats)?,
+            None => Recovered::fresh(),
+        };
+
         // Matching engine, shared read-mostly between the engine thread
         // (writes on subscribe/unsubscribe, reads when matching inline) and
         // the matching-worker shards (reads only).
@@ -410,6 +480,46 @@ impl BrokerNode {
             Arc::clone(&config.registry),
             config.options.clone(),
         )?));
+        if !recovered.subscriptions.is_empty() {
+            // Re-install the checkpointed subscription set. Failures are
+            // skipped rather than fatal (a subscription that no longer
+            // parses against the fabric is better dropped than blocking
+            // boot); the anti-entropy resync heals any gap from peers.
+            let mut eng = engine.write();
+            for (schema, subscription) in &recovered.subscriptions {
+                let _ = eng.subscribe(*schema, subscription.clone());
+            }
+            stats
+                .subscriptions
+                .store(eng.subscription_count() as u64, Ordering::Relaxed);
+        }
+        if let Some(st) = &config.storage {
+            // Commit recovery: a boot snapshot of the merged state, then
+            // truncate the WAL it absorbed. Snapshot-then-truncate order
+            // makes a cut between the two steps harmless — the old records
+            // replay idempotently on top of the new snapshot. Only after
+            // this point may the engine talk to peers (the snapshot is
+            // what makes the resumed incarnation durable).
+            let snapshot = encode_snapshot(
+                recovered.incarnation,
+                &recovered.sub_ids,
+                &recovered.tombstones,
+                &recovered.recv_from,
+                &recovered.spools,
+                &recovered.subscriptions,
+            );
+            st.write_snapshot(STATE_SNAPSHOT, &snapshot)?;
+            st.truncate(WAL_LOG)?;
+            stats.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        let Recovered {
+            incarnation,
+            sub_ids,
+            tombstones,
+            recv_from,
+            spools,
+            subscriptions: _,
+        } = recovered;
         let shards = config.match_shards.max(1);
         let match_stats: Arc<Vec<Mutex<MatchStats>>> =
             Arc::new((0..shards).map(|_| Mutex::new(MatchStats::new())).collect());
@@ -461,6 +571,7 @@ impl BrokerNode {
                                 tree: job.tree,
                                 body: job.body,
                                 links,
+                                source: job.source,
                             };
                             if cmd_tx.send(routed).is_err() {
                                 break;
@@ -481,11 +592,16 @@ impl BrokerNode {
             std::thread::Builder::new()
                 .name(format!("broker-{}", config.broker))
                 .spawn(move || {
+                    let durable = config2.storage.clone().map(|st| Durable {
+                        storage: st,
+                        records_since_snapshot: 0,
+                        buf: Vec::new(),
+                    });
                     EngineLoop {
                         match_cache: MatchCache::new(config2.match_cache_cap),
                         route_scratch: RouteScratch::new(),
                         config: config2,
-                        incarnation: mint_incarnation(),
+                        incarnation,
                         engine,
                         outbox,
                         stats,
@@ -495,12 +611,13 @@ impl BrokerNode {
                         clients: HashMap::new(),
                         neighbors: HashMap::new(),
                         awaiting_hello: HashSet::new(),
-                        spools: HashMap::new(),
-                        recv_from: HashMap::new(),
-                        tombstones: TombstoneSet::default(),
-                        sub_ids: SubIdAllocator::new(),
+                        spools,
+                        recv_from,
+                        tombstones,
+                        sub_ids,
                         last_heard: HashMap::new(),
                         heartbeat_ms,
+                        durable,
                     }
                     .run(cmd_rx)
                 })?
@@ -598,13 +715,14 @@ impl BrokerNode {
             .name(format!("link-{me}-{neighbor}"))
             .spawn(move || {
                 let mut backoff = LINK_REDIAL_MIN;
+                let mut jitter = jitter_seed(me, neighbor);
                 while !shutdown.load(Ordering::Acquire) {
                     // Dial failures (including per-connection setup inside
                     // the transport) back off instead of spin-dialing.
                     // Never panic here — that would kill the supervisor
                     // thread and orphan the link forever.
                     let Ok(connection) = transport.dial(addr) else {
-                        std::thread::sleep(backoff);
+                        std::thread::sleep(jittered_backoff(backoff, &mut jitter));
                         backoff = (backoff * 2).min(LINK_REDIAL_MAX);
                         continue;
                     };
@@ -662,7 +780,7 @@ impl BrokerNode {
                     } else {
                         (backoff * 2).min(LINK_REDIAL_MAX)
                     };
-                    std::thread::sleep(backoff);
+                    std::thread::sleep(jittered_backoff(backoff, &mut jitter));
                 }
             });
     }
@@ -737,6 +855,29 @@ impl BrokerNode {
         // deadline are cut off; the sender pool winds down either way.
         self.outbox.drain_all(self.drain_timeout);
     }
+
+    /// Crash-stops the node (fault injection): no final ack flush, no
+    /// queue drain, no checkpoint — in-memory state dies as a power cut
+    /// would take it, and the next start recovers from exactly what
+    /// [`BrokerConfig::storage`] holds. Production shutdown is
+    /// [`BrokerNode::shutdown`]; this exists so crash-consistency tests
+    /// exercise the recovery path honestly.
+    pub fn crash(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _ = self.cmd_tx.send(Command::Crash);
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.acceptor_thread.take() {
+            let _ = t.join();
+        }
+        // Instant transport teardown: queued frames (including any acks a
+        // graceful drain would have delivered) are discarded, sockets FIN.
+        self.outbox.close();
+        // `Drop` still runs `shutdown_inner`, which is a no-op by now: the
+        // threads are joined and `drain_all` on a closed outbox sees no
+        // connections.
+    }
 }
 
 impl Drop for BrokerNode {
@@ -806,6 +947,287 @@ fn mint_incarnation() -> u64 {
     (COUNTER.fetch_add(1, Ordering::Relaxed) << 32) | (nanos & 0xffff_ffff)
 }
 
+/// Name of the broker's single write-ahead log inside its [`Storage`].
+const WAL_LOG: &str = "wal";
+/// Name of the broker's control-state snapshot slot.
+const STATE_SNAPSHOT: &str = "state";
+/// Upper bound on any count field in a snapshot. Snapshots are
+/// self-written (never peer input), so a larger count only ever means
+/// corruption — reject the snapshot rather than trust the length.
+const MAX_SNAPSHOT_ITEMS: u32 = 1 << 24;
+
+/// Durable-state bookkeeping on the engine thread (present only with
+/// [`BrokerConfig::storage`] configured).
+struct Durable {
+    storage: Arc<dyn Storage>,
+    /// WAL records appended since the last checkpoint; reaching
+    /// [`BrokerConfig::snapshot_every`] triggers the next one.
+    records_since_snapshot: u64,
+    /// Reusable record-encoding buffer.
+    buf: Vec<u8>,
+}
+
+/// Broker state rebuilt by [`recover`] (or minted fresh) and handed to
+/// the engine loop at boot.
+struct Recovered {
+    incarnation: u64,
+    sub_ids: SubIdAllocator,
+    tombstones: TombstoneSet,
+    recv_from: HashMap<BrokerId, NeighborRecv>,
+    spools: HashMap<BrokerId, AckLog<Bytes>>,
+    subscriptions: Vec<(SchemaId, Subscription)>,
+}
+
+impl Recovered {
+    /// A fresh boot: new incarnation, empty state.
+    fn fresh() -> Self {
+        Recovered {
+            incarnation: mint_incarnation(),
+            sub_ids: SubIdAllocator::new(),
+            tombstones: TombstoneSet::default(),
+            recv_from: HashMap::new(),
+            spools: HashMap::new(),
+            subscriptions: Vec::new(),
+        }
+    }
+}
+
+/// Encodes the full control-state snapshot: incarnation, id allocator,
+/// tombstones, per-neighbor receive windows (their *durable* marks — a
+/// mark may never outrun the journaled effects it stands for), per-
+/// neighbor spools (unacknowledged frames only), and the subscription
+/// set. The layout is internal to this module; [`decode_snapshot`] is the
+/// only reader.
+fn encode_snapshot(
+    incarnation: u64,
+    sub_ids: &SubIdAllocator,
+    tombstones: &TombstoneSet,
+    recv_from: &HashMap<BrokerId, NeighborRecv>,
+    spools: &HashMap<BrokerId, AckLog<Bytes>>,
+    subscriptions: &[(SchemaId, Subscription)],
+) -> Vec<u8> {
+    let mut b: Vec<u8> = Vec::new();
+    b.put_u64_le(incarnation);
+    let (counter, free) = sub_ids.checkpoint();
+    b.put_u32_le(counter);
+    b.put_u32_le(free.len() as u32);
+    for raw in free {
+        b.put_u32_le(raw);
+    }
+    let tombs = tombstones.checkpoint();
+    b.put_u32_le(tombs.len() as u32);
+    for id in tombs {
+        b.put_u32_le(id.raw());
+    }
+    b.put_u32_le(recv_from.len() as u32);
+    for (broker, recv) in recv_from {
+        b.put_u32_le(broker.raw());
+        b.put_u64_le(recv.peer_incarnation);
+        b.put_u64_le(recv.durable_seq);
+    }
+    b.put_u32_le(spools.len() as u32);
+    for (broker, spool) in spools {
+        b.put_u32_le(broker.raw());
+        let acked = spool.acked();
+        b.put_u64_le(acked);
+        let frames: Vec<&Bytes> = spool.replay_after(acked).map(|(_, f)| f).collect();
+        b.put_u32_le(frames.len() as u32);
+        for frame in frames {
+            b.put_u32_le(frame.len() as u32);
+            b.extend_from_slice(frame);
+        }
+    }
+    b.put_u32_le(subscriptions.len() as u32);
+    for (schema, subscription) in subscriptions {
+        b.put_u32_le(schema.raw());
+        wire::put_subscription(&mut b, subscription);
+    }
+    b
+}
+
+/// Reads a length-prefixed count, rejecting corrupt (absurdly large)
+/// values before any caller sizes a loop by them.
+fn snap_count(buf: &mut &[u8]) -> Option<u32> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32_le();
+    if n > MAX_SNAPSHOT_ITEMS {
+        return None;
+    }
+    Some(n)
+}
+
+/// Decodes a snapshot written by [`encode_snapshot`]. Returns `None` on
+/// any structural violation: the caller falls back to a fresh boot (a new
+/// incarnation makes the discarded sequence space inert network-wide,
+/// so a corrupt snapshot costs durability, never correctness).
+fn decode_snapshot(mut data: &[u8], registry: &SchemaRegistry) -> Option<Recovered> {
+    let buf = &mut data;
+    if buf.remaining() < 8 + 4 {
+        return None;
+    }
+    let incarnation = buf.get_u64_le();
+    let counter = buf.get_u32_le();
+    let n_free = snap_count(buf)?;
+    let mut free = Vec::new();
+    for _ in 0..n_free {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        free.push(buf.get_u32_le());
+    }
+    let sub_ids = SubIdAllocator::restore(counter, free);
+    let n_tombs = snap_count(buf)?;
+    let mut tombstones = TombstoneSet::default();
+    for _ in 0..n_tombs {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        tombstones.insert(SubscriptionId::new(buf.get_u32_le()));
+    }
+    let n_recv = snap_count(buf)?;
+    let mut recv_from = HashMap::new();
+    for _ in 0..n_recv {
+        if buf.remaining() < 4 + 8 + 8 {
+            return None;
+        }
+        let broker = BrokerId::new(buf.get_u32_le());
+        let peer_incarnation = buf.get_u64_le();
+        let seq = buf.get_u64_le();
+        recv_from.insert(
+            broker,
+            NeighborRecv {
+                seq,
+                durable_seq: seq,
+                acked_sent: 0,
+                peer_incarnation,
+            },
+        );
+    }
+    let n_spools = snap_count(buf)?;
+    let mut spools = HashMap::new();
+    for _ in 0..n_spools {
+        if buf.remaining() < 4 + 8 {
+            return None;
+        }
+        let broker = BrokerId::new(buf.get_u32_le());
+        let acked = buf.get_u64_le();
+        let mut spool = AckLog::with_base(acked);
+        let n_frames = snap_count(buf)?;
+        for _ in 0..n_frames {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            let len = buf.get_u32_le() as usize;
+            if len > crate::protocol::MAX_FRAME {
+                return None;
+            }
+            let head = buf.get(..len)?;
+            spool.append(Bytes::copy_from_slice(head));
+            buf.advance(len);
+        }
+        spools.insert(broker, spool);
+    }
+    let n_subs = snap_count(buf)?;
+    let mut subscriptions = Vec::new();
+    for _ in 0..n_subs {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let schema_id = SchemaId::new(buf.get_u32_le());
+        let schema = registry.get(schema_id)?;
+        let subscription = wire::get_subscription(buf, schema).ok()?;
+        subscriptions.push((schema_id, subscription));
+    }
+    Some(Recovered {
+        incarnation,
+        sub_ids,
+        tombstones,
+        recv_from,
+        spools,
+        subscriptions,
+    })
+}
+
+/// Rebuilds broker state from storage: snapshot first, then the WAL
+/// suffix replayed idempotently on top (duplicate appends dedup by
+/// sequence, receive marks and trims are cumulative). Torn or corrupt
+/// tail records are discarded, never replayed as data. A missing or
+/// undecodable snapshot falls back to a fresh boot — with a *new*
+/// incarnation, so nothing of the dead sequence space leaks.
+fn recover(
+    st: &dyn Storage,
+    registry: &SchemaRegistry,
+    stats: &StatsInner,
+) -> std::io::Result<Recovered> {
+    let snap = st.read_snapshot(STATE_SNAPSHOT)?;
+    let wal = st.read(WAL_LOG)?;
+    let had_state = snap.is_some() || !wal.is_empty();
+    let mut recovered = snap
+        .and_then(|bytes| decode_snapshot(&bytes, registry))
+        .unwrap_or_else(Recovered::fresh);
+    let (records, torn) = storage::decode_records(&wal);
+    stats
+        .torn_records_discarded
+        .fetch_add(torn, Ordering::Relaxed);
+    'records: for record in records {
+        let Some(ops) = storage::decode_ops(&record) else {
+            // CRC-valid but semantically undecodable: version skew or a
+            // writer bug. Everything after it is unordered relative to the
+            // lost batch, so stop — same policy as a torn tail.
+            stats
+                .torn_records_discarded
+                .fetch_add(1, Ordering::Relaxed);
+            break 'records;
+        };
+        stats.wal_replayed.fetch_add(1, Ordering::Relaxed);
+        for op in ops {
+            match op {
+                WalOp::RecvMark {
+                    from,
+                    incarnation,
+                    seq,
+                } => {
+                    let recv = recovered.recv_from.entry(BrokerId::new(from)).or_default();
+                    if recv.peer_incarnation == incarnation {
+                        recv.seq = recv.seq.max(seq);
+                    } else {
+                        // The peer restarted after the snapshot: later
+                        // marks count a fresh sequence space.
+                        recv.peer_incarnation = incarnation;
+                        recv.seq = seq;
+                    }
+                    recv.durable_seq = recv.seq;
+                }
+                WalOp::Append {
+                    neighbor,
+                    seq,
+                    frame,
+                } => {
+                    let spool = recovered.spools.entry(BrokerId::new(neighbor)).or_default();
+                    // Idempotent replay: a record surviving both in the
+                    // boot snapshot and in an untruncated WAL (cut between
+                    // snapshot-commit and truncate) must not double-append.
+                    if seq == spool.last_seq() + 1 {
+                        spool.append(frame);
+                    }
+                }
+                WalOp::Trim { neighbor, acked } => {
+                    if let Some(spool) = recovered.spools.get_mut(&BrokerId::new(neighbor)) {
+                        spool.ack(acked);
+                        spool.collect();
+                    }
+                }
+            }
+        }
+    }
+    if had_state {
+        stats.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(recovered)
+}
+
 struct EngineLoop {
     config: BrokerConfig,
     /// This broker lifetime's nonce, announced in every link `Hello` so
@@ -853,6 +1275,9 @@ struct EngineLoop {
     /// Current heartbeat probe interval in milliseconds (shared with the
     /// ticker thread; retunable via [`BrokerNode::set_heartbeat_interval`]).
     heartbeat_ms: Arc<AtomicU64>,
+    /// WAL + snapshot bookkeeping; `None` without
+    /// [`BrokerConfig::storage`], and every journaling call is a no-op.
+    durable: Option<Durable>,
 }
 
 /// Receive-side state for one neighbor link.
@@ -862,6 +1287,11 @@ struct NeighborRecv {
     /// sequences are retransmissions and are dropped (the link is a TCP
     /// stream, so arrival is FIFO and a cumulative mark suffices).
     seq: u64,
+    /// Highest sequence whose receive mark is durable (equal to `seq`
+    /// when no storage is configured). Acks and `Hello` high-water marks
+    /// advertise *this*, never `seq`: an ack makes the peer trim its
+    /// spool, so it must only cover frames a crash here cannot lose.
+    durable_seq: u64,
     /// Highest sequence we have acknowledged back to the neighbor.
     acked_sent: u64,
     /// The neighbor incarnation `seq` was accumulated under (0 = none
@@ -895,7 +1325,8 @@ impl EngineLoop {
                     tree,
                     body,
                     links,
-                } => self.dispatch(&event, tree, &body, links),
+                    source,
+                } => self.dispatch(&event, tree, &body, links, source),
                 Command::GcTick => self.collect_garbage(),
                 Command::HeartbeatTick => self.heartbeat_tick(),
                 Command::QueueOverflow(conn) => self.handle_queue_overflow(conn),
@@ -905,6 +1336,12 @@ impl EngineLoop {
                     // trim their spools instead of retransmitting the tail
                     // at our restart. The frames flush in the drain phase.
                     self.flush_forward_acks();
+                    break;
+                }
+                Command::Crash => {
+                    // Fault injection: die as a power cut would — no ack
+                    // flush, no checkpoint. Whatever the WAL and the last
+                    // snapshot hold is what recovery gets.
                     break;
                 }
             }
@@ -989,7 +1426,7 @@ impl EngineLoop {
             }
         };
         self.stats.published.fetch_add(1, Ordering::Relaxed);
-        self.route_and_dispatch(event, tree, body);
+        self.route_and_dispatch(event, tree, body, None);
     }
 
     fn handle_client(&mut self, conn: ConnId, message: ClientToBroker) {
@@ -1089,6 +1526,7 @@ impl EngineLoop {
                             },
                             None,
                         );
+                        self.checkpoint_subscriptions();
                     }
                     Err(e) => self.client_error(conn, e.to_string()),
                 }
@@ -1122,6 +1560,7 @@ impl EngineLoop {
                 self.outbox
                     .send(conn, BrokerToClient::UnsubAck { id }.encode());
                 self.flood_broker_message(&BrokerToBroker::SubRemove { id }, None);
+                self.checkpoint_subscriptions();
             }
             ClientToBroker::Publish { event } => {
                 // Normally intercepted in `handle_frame` with the body
@@ -1184,12 +1623,14 @@ impl EngineLoop {
                     // drop the fresh stream.
                     recv.peer_incarnation = incarnation;
                     recv.seq = 0;
+                    recv.durable_seq = 0;
                     recv.acked_sent = 0;
                 } else if send_seq < recv.seq {
                     // Same lifetime but its send sequence regressed —
                     // should be impossible, kept as an independent guard
                     // against the silent-drop failure mode.
                     recv.seq = send_seq;
+                    recv.durable_seq = recv.durable_seq.min(send_seq);
                     recv.acked_sent = recv.acked_sent.min(send_seq);
                 }
                 if !known {
@@ -1216,9 +1657,16 @@ impl EngineLoop {
             }
             BrokerToBroker::FwdAck { seq } => {
                 if let Some(Peer::Broker(broker)) = self.conns.get(&conn) {
-                    if let Some(spool) = self.spools.get_mut(broker) {
+                    let broker = *broker;
+                    let acked = if let Some(spool) = self.spools.get_mut(&broker) {
                         spool.ack(seq);
                         spool.collect();
+                        Some(spool.acked())
+                    } else {
+                        None
+                    };
+                    if let Some(acked) = acked {
+                        self.wal_commit_trim(broker, acked);
                     }
                 }
             }
@@ -1273,6 +1721,7 @@ impl EngineLoop {
                         },
                         Some(conn),
                     );
+                    self.checkpoint_subscriptions();
                 } else {
                     debug_assert!(false, "replicated subscription {id} failed to install");
                 }
@@ -1302,6 +1751,7 @@ impl EngineLoop {
                 }
                 if removed || newly_tombstoned {
                     self.flood_broker_message(&BrokerToBroker::SubRemove { id }, Some(conn));
+                    self.checkpoint_subscriptions();
                 }
             }
         }
@@ -1328,10 +1778,12 @@ impl EngineLoop {
     /// trims and retransmits its spool) and our send sequence (so the peer
     /// can detect that we restarted and reset its dedup window).
     fn send_hello(&mut self, conn: ConnId, neighbor: BrokerId) {
+        // Advertise the *durable* receive mark: the peer trims its spool
+        // by it, so it must never cover frames a crash here could lose.
         let (last_recv, last_recv_incarnation) = self
             .recv_from
             .get(&neighbor)
-            .map_or((0, 0), |r| (r.seq, r.peer_incarnation));
+            .map_or((0, 0), |r| (r.durable_seq, r.peer_incarnation));
         let send_seq = self.spools.get(&neighbor).map_or(0, |s| s.last_seq());
         self.outbox.send(
             conn,
@@ -1354,10 +1806,12 @@ impl EngineLoop {
         };
         spool.ack(last_recv);
         spool.collect();
+        let acked = spool.acked();
         let frames: Vec<Bytes> = spool
-            .replay_after(spool.acked())
+            .replay_after(acked)
             .map(|(_, frame)| frame.clone())
             .collect();
+        self.wal_commit_trim(neighbor, acked);
         if frames.is_empty() {
             return;
         }
@@ -1383,6 +1837,7 @@ impl EngineLoop {
             );
             return;
         }
+        let source;
         {
             let Some(Peer::Broker(broker)) = self.conns.get(&conn) else {
                 // Not a registered broker peer — most likely an old stream
@@ -1393,6 +1848,7 @@ impl EngineLoop {
                 return;
             };
             let broker = *broker;
+            let journaling = self.durable.is_some();
             let recv = self.recv_from.entry(broker).or_default();
             if seq <= recv.seq {
                 // A retransmission of a frame that already crossed before
@@ -1401,13 +1857,21 @@ impl EngineLoop {
                 return;
             }
             recv.seq = seq;
-            if recv.seq - recv.acked_sent >= FWD_ACK_EVERY {
-                recv.acked_sent = recv.seq;
-                let ack = BrokerToBroker::FwdAck { seq: recv.seq }.encode();
-                self.outbox.send(conn, ack);
+            source = Some((broker, seq, recv.peer_incarnation));
+            if !journaling {
+                // Without storage the receive mark is "durable" the moment
+                // it lands in memory; with storage, `dispatch` advances
+                // `durable_seq` (and paces the ack) only after the WAL
+                // record holding this mark has committed.
+                recv.durable_seq = seq;
+                if recv.durable_seq - recv.acked_sent >= FWD_ACK_EVERY {
+                    recv.acked_sent = recv.durable_seq;
+                    let ack = BrokerToBroker::FwdAck { seq: recv.acked_sent }.encode();
+                    self.outbox.send(conn, ack);
+                }
             }
         }
-        self.route_and_dispatch(event, tree, body);
+        self.route_and_dispatch(event, tree, body, source);
     }
 
     /// Link matching plus dispatch. `body` is the event's wire encoding
@@ -1419,14 +1883,25 @@ impl EngineLoop {
     /// the event's information space and the link set comes back as
     /// [`Command::Routed`]; otherwise everything happens inline, in arrival
     /// order.
-    fn route_and_dispatch(&mut self, event: Event, tree: TreeId, body: Bytes) {
+    fn route_and_dispatch(
+        &mut self,
+        event: Event,
+        tree: TreeId,
+        body: Bytes,
+        source: Option<(BrokerId, u64, u64)>,
+    ) {
         if let Some(tx) = {
             let shards = self.shard_txs.len();
             (shards > 0).then(|| event.schema().id().raw() as usize % shards)
         }
         .and_then(|shard| self.shard_txs.get(shard))
         {
-            let _ = tx.send(MatchJob { event, tree, body });
+            let _ = tx.send(MatchJob {
+                event,
+                tree,
+                body,
+                source,
+            });
             return;
         }
         let mut stats = MatchStats::new();
@@ -1452,7 +1927,7 @@ impl EngineLoop {
         if let Some(shard_stats) = self.match_stats.first() {
             *shard_stats.lock() += stats;
         }
-        self.dispatch(&event, tree, &body, links);
+        self.dispatch(&event, tree, &body, links, source);
     }
 
     /// Dispatches a routed event: per-neighbor `Forward` frames (each link
@@ -1460,8 +1935,27 @@ impl EngineLoop {
     /// body) and one `Deliver` header per client around the same body.
     /// Runs on the engine thread only (log/spool appends and connection
     /// lookups are single-threaded).
-    fn dispatch(&mut self, event: &Event, tree: TreeId, body: &Bytes, links: Vec<LinkId>) {
+    ///
+    /// With storage configured, the event's spool appends and its receive
+    /// mark (`source`) commit as **one WAL record** before any `Forward`
+    /// frame reaches the wire — the record is the atomicity unit, so a
+    /// power cut either keeps the whole batch or loses a batch no peer
+    /// ever saw (the sender's spool retransmits it). Client deliveries are
+    /// volatile by design (client logs live outside the storage contract).
+    fn dispatch(
+        &mut self,
+        event: &Event,
+        tree: TreeId,
+        body: &Bytes,
+        links: Vec<LinkId>,
+        source: Option<(BrokerId, u64, u64)>,
+    ) {
         let network = self.config.fabric.network();
+        let journaling = self.durable.is_some();
+        let mut wal_ops: Vec<WalOp> = Vec::new();
+        // Broker sends deferred until the WAL record commits; client
+        // deliveries go out immediately.
+        let mut deferred: Vec<(ConnId, Bytes)> = Vec::new();
         for link in links {
             match network.link_target(self.config.broker, link) {
                 LinkTarget::Broker(neighbor) => {
@@ -1482,6 +1976,13 @@ impl EngineLoop {
                         protocol::forward_frame(tree, seq, body)
                     };
                     spool.append(frame.clone());
+                    if journaling {
+                        wal_ops.push(WalOp::Append {
+                            neighbor: neighbor.raw(),
+                            seq,
+                            frame: frame.clone(),
+                        });
+                    }
                     self.stats.spooled.fetch_add(1, Ordering::Relaxed);
                     if spool.len() > self.config.link_spool_bound {
                         let before = spool.lost();
@@ -1500,7 +2001,11 @@ impl EngineLoop {
                     if let Some(&conn) = self.neighbors.get(&neighbor) {
                         if !self.awaiting_hello.contains(&conn) {
                             self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                            self.outbox.send(conn, frame);
+                            if journaling {
+                                deferred.push((conn, frame));
+                            } else {
+                                self.outbox.send(conn, frame);
+                            }
                         }
                     }
                 }
@@ -1526,6 +2031,143 @@ impl EngineLoop {
                     }
                 }
             }
+        }
+        if journaling {
+            // The receive mark is journaled even when the event matched no
+            // links: `durable_seq` (and with it ack pacing and the `Hello`
+            // high-water mark) may only ever advance through the WAL.
+            if let Some((from, seq, peer_incarnation)) = source {
+                wal_ops.push(WalOp::RecvMark {
+                    from: from.raw(),
+                    incarnation: peer_incarnation,
+                    seq,
+                });
+            }
+            if !wal_ops.is_empty() {
+                let sync = self.config.wal_sync;
+                self.wal_commit(&wal_ops, sync);
+            }
+            if let Some((from, seq, peer_incarnation)) = source {
+                if let Some(recv) = self.recv_from.get_mut(&from) {
+                    // Skip if the peer restarted between receive and
+                    // dispatch (shards > 1): the mark counts a dead
+                    // sequence space and must not move the live window.
+                    if recv.peer_incarnation == peer_incarnation {
+                        recv.durable_seq = recv.durable_seq.max(seq);
+                        if recv.durable_seq - recv.acked_sent >= FWD_ACK_EVERY {
+                            recv.acked_sent = recv.durable_seq;
+                            if let Some(&conn) = self.neighbors.get(&from) {
+                                let ack = BrokerToBroker::FwdAck {
+                                    seq: recv.acked_sent,
+                                }
+                                .encode();
+                                self.outbox.send(conn, ack);
+                            }
+                        }
+                    }
+                }
+            }
+            for (conn, frame) in deferred {
+                self.outbox.send(conn, frame);
+            }
+            self.maybe_snapshot();
+        }
+    }
+
+    /// Appends one WAL record holding `ops` — the atomicity unit: recovery
+    /// replays a record wholly or not at all, so everything that must
+    /// survive together (an event's spool appends plus its receive mark)
+    /// rides in one record. `sync` makes it durable before returning;
+    /// trims pass `false` since losing one only re-replays already-acked
+    /// frames, which the receiver's dedup discards.
+    ///
+    /// Storage errors are swallowed: a broker cannot un-route mid-event,
+    /// and availability wins over durability by design (a persistently
+    /// failing `FsStorage` surfaces at the next recovery). See DESIGN.md
+    /// §14.
+    fn wal_commit(&mut self, ops: &[WalOp], sync: bool) {
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        let payload = storage::encode_ops(ops);
+        d.buf.clear();
+        storage::encode_record(&payload, &mut d.buf);
+        let _ = d.storage.append(WAL_LOG, &d.buf);
+        if sync {
+            let _ = d.storage.sync(WAL_LOG);
+        }
+        d.records_since_snapshot += 1;
+        self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Journals a spool trim (unsynced — see [`EngineLoop::wal_commit`]).
+    fn wal_commit_trim(&mut self, neighbor: BrokerId, acked: u64) {
+        if self.durable.is_some() {
+            self.wal_commit(
+                &[WalOp::Trim {
+                    neighbor: neighbor.raw(),
+                    acked,
+                }],
+                false,
+            );
+            self.maybe_snapshot();
+        }
+    }
+
+    /// Checkpoints once the WAL has grown past the configured cadence.
+    fn maybe_snapshot(&mut self) {
+        let due = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.records_since_snapshot >= self.config.snapshot_every.max(1));
+        if due {
+            self.checkpoint();
+        }
+    }
+
+    /// Writes a full-state snapshot and truncates the WAL it absorbs.
+    /// Snapshot-then-truncate order makes a cut between the two steps
+    /// harmless: the old records replay idempotently on top of the new
+    /// snapshot. A failed snapshot write leaves the WAL alone (nothing is
+    /// lost; the log just keeps growing until a write succeeds).
+    fn checkpoint(&mut self) {
+        // Snapshot under the engine read guard, encode with it dropped —
+        // same discipline as `resync_subscriptions`.
+        let subscriptions = {
+            let engine = self.engine.read();
+            engine.all_subscriptions()
+        };
+        let snapshot = encode_snapshot(
+            self.incarnation,
+            &self.sub_ids,
+            &self.tombstones,
+            &self.recv_from,
+            &self.spools,
+            &subscriptions,
+        );
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        if d.storage.write_snapshot(STATE_SNAPSHOT, &snapshot).is_ok() {
+            let _ = d.storage.truncate(WAL_LOG);
+            self.stats.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        d.records_since_snapshot = 0;
+    }
+
+    /// Checkpoints after a subscription-table, tombstone, or id-allocator
+    /// change. Unlike spool traffic, control-plane state has no WAL ops —
+    /// the snapshot is its only durable home — so waiting for the record
+    /// cadence would leave a window where a crash resurrects a removed
+    /// subscription. Resurrection is the one divergence the anti-entropy
+    /// resync cannot heal: neighbors can re-add what the crash forgot,
+    /// but nothing removes an extra the crash brought back (its
+    /// `SubRemove` flooded and died long ago). Subscription churn is rare
+    /// relative to event traffic (the paper's operating assumption), so
+    /// the eager snapshot is cheap.
+    fn checkpoint_subscriptions(&mut self) {
+        if self.durable.is_some() {
+            self.checkpoint();
         }
     }
 
@@ -1652,11 +2294,13 @@ impl EngineLoop {
     /// below the ack cadence) and the shutdown path.
     fn flush_forward_acks(&mut self) {
         for (&broker, recv) in self.recv_from.iter_mut() {
-            if recv.seq > recv.acked_sent {
+            // Acks advertise the durable mark only: a crash must never be
+            // able to lose a frame a peer already trimmed on our word.
+            if recv.durable_seq > recv.acked_sent {
                 if let Some(&conn) = self.neighbors.get(&broker) {
-                    recv.acked_sent = recv.seq;
+                    recv.acked_sent = recv.durable_seq;
                     self.outbox
-                        .send(conn, BrokerToBroker::FwdAck { seq: recv.seq }.encode());
+                        .send(conn, BrokerToBroker::FwdAck { seq: recv.acked_sent }.encode());
                 }
             }
         }
@@ -1705,7 +2349,9 @@ impl EngineLoop {
         self.flush_forward_acks();
         // Trim acknowledged spool entries and enforce the per-link bound
         // for neighbors that stay down.
-        for spool in self.spools.values_mut() {
+        let mut trims: Vec<(BrokerId, u64)> = Vec::new();
+        for (&broker, spool) in self.spools.iter_mut() {
+            let acked_before = spool.acked();
             spool.collect();
             let before = spool.lost();
             spool.enforce_bound(self.config.link_spool_bound);
@@ -1713,6 +2359,382 @@ impl EngineLoop {
             self.stats
                 .dropped_spool_overflow
                 .fetch_add(dropped, Ordering::Relaxed);
+            // Bound enforcement can advance the ack floor (dropped-as-lost
+            // frames); journal it so recovery agrees with memory.
+            if spool.acked() != acked_before {
+                trims.push((broker, spool.acked()));
+            }
         }
+        for (broker, acked) in trims {
+            self.wal_commit_trim(broker, acked);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{PowerCut, SimStorage};
+    use linkcast_types::{EventSchema, ValueKind};
+
+    fn registry() -> SchemaRegistry {
+        let mut r = SchemaRegistry::new();
+        r.register(
+            EventSchema::builder("trades")
+                .attribute("issue", ValueKind::Str)
+                .attribute("volume", ValueKind::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        r
+    }
+
+    fn subscription(reg: &SchemaRegistry, id: u32) -> (SchemaId, Subscription) {
+        let schema_id = SchemaId::new(0);
+        let schema = reg.get(schema_id).unwrap();
+        let sub = Subscription::new(
+            SubscriptionId::new(id),
+            SubscriberId::new(BrokerId::new(1), ClientId::new(2)),
+            linkcast_types::parse_predicate(schema, "volume > 10").unwrap(),
+        );
+        (schema_id, sub)
+    }
+
+    /// One WAL record, encoded the way `wal_commit` writes it.
+    fn record(ops: &[WalOp]) -> Vec<u8> {
+        let payload = storage::encode_ops(ops);
+        let mut out = Vec::new();
+        storage::encode_record(&payload, &mut out);
+        out
+    }
+
+    #[test]
+    fn redial_jitter_stays_in_band_and_spreads_the_herd() {
+        // In-band: every jittered value lands in [backoff, 1.5*backoff].
+        for base in [LINK_REDIAL_MIN, Duration::from_millis(400), LINK_REDIAL_MAX] {
+            let mut state = jitter_seed(BrokerId::new(1), BrokerId::new(2));
+            for _ in 0..64 {
+                let j = jittered_backoff(base, &mut state);
+                assert!(j >= base, "{j:?} < {base:?}");
+                assert!(j <= base + base / 2 + Duration::from_millis(1), "{j:?} too far over {base:?}");
+            }
+        }
+        // Spread: the first redial of distinct (local, neighbor) pairs —
+        // the lockstep moment after a hub crash — must not collapse onto
+        // one instant. Demand a majority of distinct values across 16
+        // supervisors (50ms base gives 26 possible slots).
+        let base = LINK_REDIAL_MIN;
+        let firsts: std::collections::HashSet<Duration> = (0..16)
+            .map(|n| {
+                let mut state = jitter_seed(BrokerId::new(n), BrokerId::new(0));
+                jittered_backoff(base, &mut state)
+            })
+            .collect();
+        assert!(firsts.len() >= 8, "only {} distinct first backoffs", firsts.len());
+        // And successive redials of one supervisor spread too.
+        let mut state = jitter_seed(BrokerId::new(3), BrokerId::new(0));
+        let series: std::collections::HashSet<Duration> =
+            (0..16).map(|_| jittered_backoff(base, &mut state)).collect();
+        assert!(series.len() >= 8, "only {} distinct successive backoffs", series.len());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_full_state() {
+        let reg = registry();
+        let mut sub_ids = SubIdAllocator::new();
+        let a = sub_ids.allocate().unwrap();
+        let _b = sub_ids.allocate().unwrap();
+        sub_ids.free(a);
+        let mut tombstones = TombstoneSet::default();
+        tombstones.insert(SubscriptionId::new(77));
+        let mut recv_from = HashMap::new();
+        recv_from.insert(
+            BrokerId::new(3),
+            NeighborRecv {
+                seq: 9,
+                durable_seq: 9,
+                acked_sent: 0,
+                peer_incarnation: 0xabc,
+            },
+        );
+        let mut spools = HashMap::new();
+        let mut spool: AckLog<Bytes> = AckLog::new();
+        spool.append(Bytes::from_static(b"one"));
+        spool.append(Bytes::from_static(b"two"));
+        spool.append(Bytes::from_static(b"three"));
+        spool.ack(1);
+        spools.insert(BrokerId::new(4), spool);
+        let subs = vec![subscription(&reg, 5)];
+
+        let bytes = encode_snapshot(0xfeed, &sub_ids, &tombstones, &recv_from, &spools, &subs);
+        let back = decode_snapshot(&bytes, &reg).expect("snapshot decodes");
+
+        assert_eq!(back.incarnation, 0xfeed);
+        assert_eq!(back.sub_ids.checkpoint(), sub_ids.checkpoint());
+        assert!(back.tombstones.contains(SubscriptionId::new(77)));
+        let recv = back.recv_from.get(&BrokerId::new(3)).unwrap();
+        assert_eq!((recv.seq, recv.durable_seq, recv.peer_incarnation), (9, 9, 0xabc));
+        // Acked-sent restarts at zero: the next flush re-advertises the
+        // durable mark, which is harmless (cumulative acks clamp).
+        assert_eq!(recv.acked_sent, 0);
+        let spool = back.spools.get(&BrokerId::new(4)).unwrap();
+        // Only unacknowledged frames survive, in the same sequence space.
+        assert_eq!(spool.acked(), 1);
+        assert_eq!(spool.last_seq(), 3);
+        let frames: Vec<&Bytes> = spool.replay_after(1).map(|(_, f)| f).collect();
+        assert_eq!(frames, vec![&Bytes::from_static(b"two"), &Bytes::from_static(b"three")]);
+        assert_eq!(back.subscriptions.len(), 1);
+        assert_eq!(back.subscriptions.first().unwrap().1.id(), SubscriptionId::new(5));
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_fresh_boot() {
+        let reg = registry();
+        assert!(decode_snapshot(&[1, 2, 3], &reg).is_none());
+        let st = SimStorage::default();
+        st.write_snapshot(STATE_SNAPSHOT, &[9, 9, 9, 9]).unwrap();
+        let stats = StatsInner::default();
+        let r = recover(&st, &reg, &stats).unwrap();
+        // Fresh state, fresh incarnation — but the boot still counts as a
+        // recovery attempt (durable state existed).
+        assert!(r.spools.is_empty());
+        assert_ne!(r.incarnation, 0);
+        assert_eq!(stats.recoveries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fresh_storage_recovers_to_fresh_boot_without_counting() {
+        let reg = registry();
+        let st = SimStorage::default();
+        let stats = StatsInner::default();
+        let r = recover(&st, &reg, &stats).unwrap();
+        assert!(r.recv_from.is_empty());
+        assert_eq!(stats.recoveries.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.wal_replayed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn recover_replays_wal_suffix_on_top_of_snapshot() {
+        let reg = registry();
+        let st = SimStorage::default();
+        // Snapshot: incarnation 7, one spool with one unacked frame.
+        let mut spools = HashMap::new();
+        let mut spool: AckLog<Bytes> = AckLog::new();
+        spool.append(Bytes::from_static(b"f1"));
+        spools.insert(BrokerId::new(2), spool);
+        let snap = encode_snapshot(
+            7,
+            &SubIdAllocator::new(),
+            &TombstoneSet::default(),
+            &HashMap::new(),
+            &spools,
+            &[],
+        );
+        st.write_snapshot(STATE_SNAPSHOT, &snap).unwrap();
+        // WAL suffix: one more append + a receive mark, then a trim.
+        st.append(
+            WAL_LOG,
+            &record(&[
+                WalOp::Append {
+                    neighbor: 2,
+                    seq: 2,
+                    frame: Bytes::from_static(b"f2"),
+                },
+                WalOp::RecvMark {
+                    from: 3,
+                    incarnation: 0xabc,
+                    seq: 5,
+                },
+            ]),
+        )
+        .unwrap();
+        st.append(WAL_LOG, &record(&[WalOp::Trim { neighbor: 2, acked: 1 }])).unwrap();
+        st.sync(WAL_LOG).unwrap();
+
+        let stats = StatsInner::default();
+        let r = recover(&st, &reg, &stats).unwrap();
+        assert_eq!(r.incarnation, 7);
+        let spool = r.spools.get(&BrokerId::new(2)).unwrap();
+        assert_eq!((spool.acked(), spool.last_seq()), (1, 2));
+        let frames: Vec<&Bytes> = spool.replay_after(1).map(|(_, f)| f).collect();
+        assert_eq!(frames, vec![&Bytes::from_static(b"f2")]);
+        let recv = r.recv_from.get(&BrokerId::new(3)).unwrap();
+        assert_eq!((recv.seq, recv.durable_seq, recv.peer_incarnation), (5, 5, 0xabc));
+        assert_eq!(stats.recoveries.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.wal_replayed.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.torn_records_discarded.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn snapshot_torn_cut_recovers_from_previous_snapshot_and_wal() {
+        // A cut that interrupts the snapshot rename itself (no storage op
+        // followed the write) reverts the slot to its previous contents.
+        // The WAL was not yet truncated — the truncate would have
+        // committed the rename — so the previous snapshot plus the full
+        // WAL reconstructs the state the torn snapshot described.
+        let reg = registry();
+        let st = SimStorage::default();
+        let old = encode_snapshot(
+            7,
+            &SubIdAllocator::new(),
+            &TombstoneSet::default(),
+            &HashMap::new(),
+            &HashMap::new(),
+            &[],
+        );
+        st.write_snapshot(STATE_SNAPSHOT, &old).unwrap();
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::RecvMark {
+                from: 3,
+                incarnation: 0xabc,
+                seq: 4,
+            }]),
+        )
+        .unwrap();
+        st.sync(WAL_LOG).unwrap();
+        // The interrupted checkpoint (a decodable snapshot with a
+        // recognizably different incarnation, so a failed revert shows).
+        let torn = encode_snapshot(
+            9,
+            &SubIdAllocator::new(),
+            &TombstoneSet::default(),
+            &HashMap::new(),
+            &HashMap::new(),
+            &[],
+        );
+        st.write_snapshot(STATE_SNAPSHOT, &torn).unwrap();
+        st.power_cut(PowerCut::SnapshotTorn);
+
+        let stats = StatsInner::default();
+        let r = recover(&st, &reg, &stats).unwrap();
+        assert_eq!(r.incarnation, 7, "torn rename must revert to the committed snapshot");
+        let recv = r.recv_from.get(&BrokerId::new(3)).unwrap();
+        assert_eq!((recv.seq, recv.durable_seq), (4, 4));
+        assert_eq!(stats.wal_replayed.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.recoveries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wal_replay_is_idempotent_over_an_untruncated_log() {
+        // A cut between boot-snapshot commit and WAL truncate leaves the
+        // absorbed records behind: replaying them on top of the snapshot
+        // that already contains their effects must change nothing.
+        let reg = registry();
+        let st = SimStorage::default();
+        let append = record(&[
+            WalOp::Append {
+                neighbor: 2,
+                seq: 1,
+                frame: Bytes::from_static(b"f1"),
+            },
+            WalOp::RecvMark {
+                from: 3,
+                incarnation: 0xabc,
+                seq: 4,
+            },
+        ]);
+        st.append(WAL_LOG, &append).unwrap();
+        st.sync(WAL_LOG).unwrap();
+        let stats = StatsInner::default();
+        let first = recover(&st, &reg, &stats).unwrap();
+        // Simulate the boot snapshot without the truncate.
+        let snap = encode_snapshot(
+            first.incarnation,
+            &first.sub_ids,
+            &first.tombstones,
+            &first.recv_from,
+            &first.spools,
+            &[],
+        );
+        st.write_snapshot(STATE_SNAPSHOT, &snap).unwrap();
+        let second = recover(&st, &reg, &stats).unwrap();
+        assert_eq!(second.incarnation, first.incarnation);
+        let spool = second.spools.get(&BrokerId::new(2)).unwrap();
+        assert_eq!((spool.acked(), spool.last_seq(), spool.len()), (0, 1, 1));
+        let recv = second.recv_from.get(&BrokerId::new(3)).unwrap();
+        assert_eq!(recv.seq, 4);
+    }
+
+    #[test]
+    fn torn_tail_record_is_discarded_on_recovery_not_replayed() {
+        let reg = registry();
+        let st = SimStorage::default();
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::Append {
+                neighbor: 2,
+                seq: 1,
+                frame: Bytes::from_static(b"durable"),
+            }]),
+        )
+        .unwrap();
+        st.sync(WAL_LOG).unwrap();
+        // The second record never syncs; the power cut tears it.
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::Append {
+                neighbor: 2,
+                seq: 2,
+                frame: Bytes::from_static(b"torn"),
+            }]),
+        )
+        .unwrap();
+        st.power_cut(PowerCut::TornTail);
+
+        let stats = StatsInner::default();
+        let r = recover(&st, &reg, &stats).unwrap();
+        let spool = r.spools.get(&BrokerId::new(2)).unwrap();
+        assert_eq!(spool.last_seq(), 1, "torn append must not be replayed as data");
+        assert_eq!(stats.torn_records_discarded.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.wal_replayed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn lost_suffix_reverts_to_synced_prefix_on_recovery() {
+        let reg = registry();
+        let st = SimStorage::default();
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::RecvMark {
+                from: 3,
+                incarnation: 1,
+                seq: 10,
+            }]),
+        )
+        .unwrap();
+        st.sync(WAL_LOG).unwrap();
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::RecvMark {
+                from: 3,
+                incarnation: 1,
+                seq: 20,
+            }]),
+        )
+        .unwrap();
+        st.power_cut(PowerCut::LostSuffix);
+
+        let stats = StatsInner::default();
+        let r = recover(&st, &reg, &stats).unwrap();
+        let recv = r.recv_from.get(&BrokerId::new(3)).unwrap();
+        assert_eq!(recv.durable_seq, 10, "unsynced mark must not survive the cut");
+    }
+
+    #[test]
+    fn recv_mark_replay_tracks_peer_restarts_in_order() {
+        let reg = registry();
+        let st = SimStorage::default();
+        // Peer incarnation A reaches seq 10, restarts as B, reaches seq 2.
+        st.append(WAL_LOG, &record(&[WalOp::RecvMark { from: 3, incarnation: 0xa, seq: 10 }]))
+            .unwrap();
+        st.append(WAL_LOG, &record(&[WalOp::RecvMark { from: 3, incarnation: 0xb, seq: 2 }]))
+            .unwrap();
+        st.sync(WAL_LOG).unwrap();
+        let stats = StatsInner::default();
+        let r = recover(&st, &reg, &stats).unwrap();
+        let recv = r.recv_from.get(&BrokerId::new(3)).unwrap();
+        assert_eq!((recv.peer_incarnation, recv.seq), (0xb, 2));
     }
 }

@@ -71,6 +71,8 @@ pub struct Client {
     inbox: VecDeque<(u64, Event)>,
     /// Highest sequence number returned to the application.
     last_seq: u64,
+    /// The cursor the broker actually resumed from (the `Welcome` echo).
+    resumed_from: u64,
 }
 
 impl Client {
@@ -113,13 +115,20 @@ impl Client {
             client,
             inbox: VecDeque::new(),
             last_seq: resume_from,
+            resumed_from: 0,
         };
         c.send(&ClientToBroker::Hello {
             client,
             resume_from,
         })?;
         match c.read_message(Duration::from_secs(5))? {
-            BrokerToClient::Welcome { client: echoed, .. } if echoed == client => Ok(c),
+            BrokerToClient::Welcome {
+                client: echoed,
+                resume_from: resumed,
+            } if echoed == client => {
+                c.resumed_from = resumed;
+                Ok(c)
+            }
             BrokerToClient::Error { message } => Err(ClientError::Rejected(message)),
             other => Err(ClientError::Protocol(format!(
                 "expected welcome, got {other:?}"
@@ -135,6 +144,18 @@ impl Client {
     /// Highest sequence number the application has consumed.
     pub fn last_seq(&self) -> u64 {
         self.last_seq
+    }
+
+    /// The cursor this session actually resumed from — the broker's echo
+    /// of the `resume_from` handshake field after clamping it to the
+    /// delivery log. It can sit *above* the requested cursor (the
+    /// requested events were acknowledged and trimmed, so they cannot
+    /// replay) or *below* it (the requested cursor overshot the log, e.g.
+    /// against a broker whose crash-recovery rebuilt an empty log —
+    /// client delivery logs are volatile; DESIGN.md §14). Either gap
+    /// tells the application exactly which deliveries no replay covers.
+    pub fn resumed_from(&self) -> u64 {
+        self.resumed_from
     }
 
     /// Registers a subscription and waits for the broker's acknowledgment.

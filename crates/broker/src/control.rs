@@ -56,6 +56,22 @@ impl SubIdAllocator {
         }
         self.free.push_back(raw);
     }
+
+    /// Checkpoint view for the durable-state snapshot: the never-used
+    /// counter and the freed values in recycling (FIFO) order.
+    pub(crate) fn checkpoint(&self) -> (u32, Vec<u32>) {
+        (self.counter, self.free.iter().copied().collect())
+    }
+
+    /// Rebuilds an allocator from a [`SubIdAllocator::checkpoint`].
+    pub(crate) fn restore(counter: u32, free: Vec<u32>) -> Self {
+        let freed = free.iter().copied().collect();
+        SubIdAllocator {
+            counter,
+            free: free.into(),
+            freed,
+        }
+    }
 }
 
 /// A bounded FIFO set of removed subscription ids.
@@ -136,6 +152,17 @@ impl TombstoneSet {
     pub(crate) fn remove(&mut self, id: SubscriptionId) {
         self.live.remove(&id);
     }
+
+    /// Checkpoint view for the durable-state snapshot: live tombstones in
+    /// insertion order. Re-`insert`ing these in order into a fresh set
+    /// reproduces the same eviction (FIFO) behavior.
+    pub(crate) fn checkpoint(&self) -> Vec<SubscriptionId> {
+        self.order
+            .iter()
+            .filter(|(id, generation)| self.live.get(id) == Some(generation))
+            .map(|(id, _)| *id)
+            .collect()
+    }
 }
 
 impl Default for TombstoneSet {
@@ -206,6 +233,42 @@ mod tests {
         // Exactly one recycled id remains, not three.
         assert_eq!(alloc.allocate(), Some(a));
         assert_eq!(alloc.allocate(), None);
+    }
+
+    #[test]
+    fn allocator_checkpoint_restores_identical_behavior() {
+        let mut alloc = SubIdAllocator::new();
+        for _ in 0..10 {
+            alloc.allocate();
+        }
+        alloc.free(3);
+        alloc.free(7);
+        alloc.free(1);
+        let (counter, free) = alloc.checkpoint();
+        let mut restored = SubIdAllocator::restore(counter, free);
+        // Both must hand out the same ids in the same order forever.
+        for _ in 0..16 {
+            assert_eq!(restored.allocate(), alloc.allocate());
+        }
+        // Double-free protection survives the roundtrip.
+        restored.free(3);
+        alloc.free(3);
+        restored.free(3);
+        alloc.free(3);
+        assert_eq!(restored.allocate(), alloc.allocate());
+        assert_eq!(restored.allocate(), alloc.allocate());
+    }
+
+    #[test]
+    fn tombstone_checkpoint_is_live_ids_in_insertion_order() {
+        let mut t = TombstoneSet::new(8);
+        for i in 0..4u32 {
+            t.insert(SubscriptionId::new(i));
+        }
+        t.remove(SubscriptionId::new(1));
+        t.insert(SubscriptionId::new(1)); // re-inserted: now newest
+        let ids: Vec<u32> = t.checkpoint().iter().map(|id| id.raw()).collect();
+        assert_eq!(ids, vec![0, 2, 3, 1]);
     }
 
     #[test]

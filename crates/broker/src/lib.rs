@@ -36,6 +36,7 @@ mod log;
 mod outbox;
 mod protocol;
 mod simnet;
+mod storage;
 mod tcp;
 mod transport;
 
@@ -49,5 +50,6 @@ pub use protocol::{
     MAX_FRAME_LEN,
 };
 pub use simnet::{SimHost, SimNet};
+pub use storage::{FsStorage, PowerCut, SimStorage, Storage};
 pub use tcp::TcpTransport;
 pub use transport::{Connection, LinkReader, LinkWriter, Listener, Transport};

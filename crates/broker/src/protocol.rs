@@ -747,6 +747,11 @@ mod tests {
                 match_cache_hits: 14,
                 match_cache_misses: 15,
                 match_cache_invalidations: 16,
+                wal_appends: 17,
+                wal_replayed: 18,
+                snapshot_writes: 19,
+                torn_records_discarded: 20,
+                recoveries: 21,
             }),
         ];
         for m in messages {
@@ -935,13 +940,14 @@ mod tests {
     #[test]
     fn stats_ignores_longer_newer_payloads() {
         let reg = registry();
-        // A 20-counter payload from a future build: the 16 counters this
+        // A 25-counter payload from a future build: the 21 counters this
         // build knows decode in wire order, the 4 extra are ignored.
-        let counters: Vec<u64> = (1..=20).collect();
+        let counters: Vec<u64> = (1..=25).collect();
         match BrokerToClient::decode(stats_payload(&counters), &reg).unwrap() {
             BrokerToClient::Stats(c) => {
                 assert_eq!(c.published, 1);
                 assert_eq!(c.match_cache_invalidations, 16);
+                assert_eq!(c.recoveries, 21);
             }
             other => panic!("expected stats, got {other:?}"),
         }

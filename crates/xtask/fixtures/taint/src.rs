@@ -64,6 +64,19 @@ fn sanitized_cursor_and_index(buf: &mut Bytes, table: &[Handler]) -> Option<Hand
     Some(table[slot])
 }
 
+fn tainted_wal_record_len(buf: &mut Bytes) -> Bytes {
+    let wal_len = buf.get_u32_le() as usize;
+    buf.split_to(wal_len) // seeded: record length from a torn WAL header
+}
+
+fn sanitized_wal_record_len(buf: &mut Bytes) -> Option<Bytes> {
+    let wal_len = buf.get_u32_le() as usize;
+    if wal_len > MAX_WAL_RECORD || buf.remaining() < wal_len {
+        return None;
+    }
+    Some(buf.split_to(wal_len))
+}
+
 fn allowed_without_reason(buf: &mut Bytes) -> Vec<u8> {
     let len = buf.get_u32_le() as usize;
     // analyzer:allow(wire-taint)

@@ -59,6 +59,7 @@ const HOT_MODULES: &[&str] = &[
     "control.rs",
     "transport.rs",
     "simnet.rs",
+    "storage.rs",
 ];
 
 /// Core matching modules on the per-event path (the arena walk and the
@@ -312,8 +313,16 @@ fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
     findings.extend(wire::check(&ws));
 
     // Pass 4: wire-taint over every file that decodes untrusted bytes —
-    // the broker codec plus the types decode surface.
+    // the broker codec, the WAL record decoder (a torn write leaves
+    // arbitrary garbage in the length headers `recover()` reads back),
+    // and the types decode surface.
     findings.extend(taint::check(&ws.protocol));
+    for file in &lock_files {
+        let name = file.path.rsplit('/').next().unwrap_or(&file.path);
+        if file.path.starts_with("crates/broker/src") && name == "storage.rs" {
+            findings.extend(taint::check(file));
+        }
+    }
     for file in &types_files {
         findings.extend(taint::check(file));
     }
@@ -433,6 +442,7 @@ fn run_selftest(root: &Path) -> Result<(), String> {
         "loop bounded by untrusted wire value `count`",
         "`.advance()` driven by untrusted wire value `doubled`",
         "slice index derived from untrusted wire value `slot`",
+        "`.split_to()` driven by untrusted wire value `wal_len`",
     ] {
         if !found.iter().any(|f| f.message.contains(needle)) {
             return Err(format!(
@@ -440,11 +450,17 @@ fn run_selftest(root: &Path) -> Result<(), String> {
             ));
         }
     }
-    if found.len() != 5 {
+    if found.len() != 6 {
         return Err(format!(
-            "taint fixture: expected exactly 5 findings (sanitized twins and the \
+            "taint fixture: expected exactly 6 findings (sanitized twins and the \
              allow-annotated sink must stay quiet), got {found:?}"
         ));
+    }
+    // Coverage pin for the durability work: the WAL record decoder must
+    // stay in the hot set — dropping it from `HOT_MODULES` would silently
+    // exempt `recover()`'s byte handling from the panic lint.
+    if !HOT_MODULES.contains(&"storage.rs") {
+        return Err("HOT_MODULES must cover storage.rs (WAL record decoding)".into());
     }
     // The deliberately bare allow comment must trip the hygiene rule.
     expect_rule(&allow_hygiene(&file), "allow-without-reason", "taint")?;

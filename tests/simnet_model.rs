@@ -19,6 +19,13 @@
 //! - **zero counter leaks** — no queued frames/bytes, spool overflows,
 //!   protocol errors, or overflow evictions left behind.
 //!
+//! A second test, `seeded_crash_model`, runs the same machinery with
+//! durable [`SimStorage`] under every broker and replaces the graceful
+//! hub restart with a power-cut crash ([`Op::CrashBroker`]): the hub is
+//! killed without draining, its simulated disk is degraded by the
+//! `SIMNET_CUT` mode, and the reboot must recover from WAL + snapshot
+//! such that every assertion above still holds (DESIGN.md §14).
+//!
 //! A failing schedule is re-run through a greedy ddmin-style shrinker
 //! and the minimal failing op sequence is printed with the seed, so a CI
 //! failure replays locally with `SIMNET_SEED=<seed>` (DESIGN.md §12).
@@ -38,7 +45,9 @@ use std::time::{Duration, Instant};
 
 use fault::{registry, seed_from_env, tick, Lcg};
 use linkcast::{LinkSpace, LinkTarget, NetworkBuilder, RoutingFabric, TreeId};
-use linkcast_broker::{BrokerConfig, BrokerNode, Client, ClientError, SimHost, SimNet};
+use linkcast_broker::{
+    BrokerConfig, BrokerNode, Client, ClientError, PowerCut, SimHost, SimNet, SimStorage, Storage,
+};
 use linkcast_types::{
     parse_predicate, BrokerId, ClientId, Event, SchemaId, SchemaRegistry, SubscriberId,
     Subscription, SubscriptionId, TritVec,
@@ -77,6 +86,13 @@ enum Op {
     /// exactly-once claim under test is for restarts of a *connected*
     /// broker (DESIGN.md §12 documents the limit).
     RestartHub,
+    /// Kill the hub without draining (power cut) and reboot it from its
+    /// durable storage, degraded by the run's [`PowerCut`] mode. No-op
+    /// in a storage-less run, and while any edge is down — the crash
+    /// survives arbitrary *broker* state loss, but the hub subscriber's
+    /// client delivery log is volatile by design (DESIGN.md §14), so the
+    /// pre-crash barrier needs a connected mesh to drain it first.
+    CrashBroker,
     /// Let in-flight traffic land.
     Settle { ms: u64 },
 }
@@ -126,6 +142,40 @@ fn schedule(seed: u64, len: usize) -> Vec<Op> {
             },
         };
         ops.push(op);
+    }
+    ops
+}
+
+/// The crash-model schedule: the seed's graceful [`Op::RestartHub`]
+/// becomes a power-cut [`Op::CrashBroker`]. Seeds whose schedule never
+/// drew the restart arm get a crash appended (after reviving any
+/// still-down edges, so it is not no-op'd away), keeping every seed in
+/// the CI matrix an actual crash test.
+fn crash_schedule(seed: u64, len: usize) -> Vec<Op> {
+    let mut ops: Vec<Op> = schedule(seed, len)
+        .into_iter()
+        .map(|op| match op {
+            Op::RestartHub => Op::CrashBroker,
+            other => other,
+        })
+        .collect();
+    if !ops.contains(&Op::CrashBroker) {
+        let mut up = [true; EDGES.len()];
+        for op in &ops {
+            match *op {
+                Op::KillLink { edge } => up[edge] = false,
+                Op::ReviveLink { edge } => up[edge] = true,
+                _ => {}
+            }
+        }
+        for (edge, &u) in up.iter().enumerate() {
+            if !u {
+                ops.push(Op::ReviveLink { edge });
+            }
+        }
+        ops.push(Op::Settle { ms: 100 });
+        ops.push(Op::CrashBroker);
+        ops.push(Op::Publish);
     }
     ops
 }
@@ -201,10 +251,14 @@ struct Cluster {
     client_host: Arc<SimHost>,
     spaces: Vec<LinkSpace>,
     tree: TreeId,
+    /// Per-broker durable storage, `None` in storage-less runs. The
+    /// harness holds the `Arc`s, so the bytes survive a crashed broker
+    /// the way a disk survives a dead process.
+    storage: Vec<Option<Arc<SimStorage>>>,
 }
 
 impl Cluster {
-    fn start(seed: u64) -> (Cluster, Vec<ClientId>, Vec<ClientId>, ClientId) {
+    fn start(seed: u64, durable: bool) -> (Cluster, Vec<ClientId>, Vec<ClientId>, ClientId) {
         let mut builder = NetworkBuilder::new();
         let brokers: Vec<BrokerId> = (0..N_BROKERS).map(|_| builder.add_broker()).collect();
         for &(a, b) in &EDGES {
@@ -236,6 +290,9 @@ impl Cluster {
             .collect();
         let tree = fabric.tree_for(brokers[0]).unwrap();
 
+        let storage: Vec<Option<Arc<SimStorage>>> = (0..N_BROKERS)
+            .map(|_| durable.then(|| Arc::new(SimStorage::new())))
+            .collect();
         let mut cluster = Cluster {
             net,
             fabric,
@@ -247,6 +304,7 @@ impl Cluster {
             client_host,
             spaces,
             tree,
+            storage,
         };
         for i in 0..N_BROKERS {
             cluster.boot_broker(i);
@@ -267,6 +325,10 @@ impl Cluster {
         config.liveness_timeout = Duration::from_secs(2);
         config.drain_timeout = Duration::from_secs(2);
         config.match_cache_cap = 64;
+        config.storage = self.storage[i].clone().map(|s| s as Arc<dyn Storage>);
+        // A short cadence so crash schedules exercise checkpoint +
+        // WAL-suffix replay, not just one long log.
+        config.snapshot_every = 8;
         config
     }
 
@@ -365,11 +427,18 @@ fn assert_quiet(client: &mut Client, who: &str) -> Result<(), String> {
     }
 }
 
+/// Executes one schedule against a fresh storage-less cluster — see
+/// [`run_model`].
+fn run_ops(seed: u64, ops: &[Op]) -> Result<String, String> {
+    run_model(seed, ops, None)
+}
+
 /// Executes one schedule against a fresh cluster and returns the event
 /// trace (ops + quiescent observables). `Err` carries the first model
-/// violation.
-fn run_ops(seed: u64, ops: &[Op]) -> Result<String, String> {
-    let (mut cluster, stable_ids, churner_ids, publisher_id) = Cluster::start(seed);
+/// violation. `cut: Some(mode)` gives every broker durable [`SimStorage`]
+/// and arms [`Op::CrashBroker`] with that power-cut mode.
+fn run_model(seed: u64, ops: &[Op], cut: Option<PowerCut>) -> Result<String, String> {
+    let (mut cluster, stable_ids, churner_ids, publisher_id) = Cluster::start(seed, cut.is_some());
     let registry = Arc::clone(&cluster.registry);
     let schema = SchemaId::new(0);
 
@@ -503,6 +572,91 @@ fn run_ops(seed: u64, ops: &[Op]) -> Result<String, String> {
                 // Reconnect the hub's subscriber. resume_from = 0: the
                 // restarted broker's log is fresh, and the subscription
                 // itself is restored by the neighbors' resync floods.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    match Client::connect_via(
+                        &*cluster.client_host,
+                        cluster.addrs[HUB],
+                        stable_ids[HUB],
+                        0,
+                        Arc::clone(&registry),
+                    ) {
+                        Ok(c) => {
+                            stable[HUB] = c;
+                            break;
+                        }
+                        Err(e) => {
+                            ensure!(
+                                Instant::now() < deadline,
+                                "op {step}: hub client reconnect failed: {e}"
+                            );
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                    }
+                }
+            }
+            Op::CrashBroker => {
+                let Some(cut) = cut else {
+                    continue; // storage-less run: nothing to recover from
+                };
+                if !edge_up.iter().all(|&u| u) {
+                    continue; // see Op::CrashBroker docs
+                }
+                // Pre-crash barrier. Unlike the graceful restart this is
+                // not about the spools — those are durable now — but
+                // about the hub subscriber's client delivery log, which
+                // is volatile by design: drain it so the crash cannot
+                // eat deliveries the flooding baseline requires.
+                cluster.wait("pre-crash mesh", Duration::from_secs(15), |c| {
+                    (0..N_BROKERS).all(|i| {
+                        let s = c.node(i).stats();
+                        s.connections >= c.baseline_connections(i)
+                            && s.queued_frames == 0
+                            && s.queued_bytes == 0
+                    })
+                })?;
+                drain_into(
+                    &mut stable[HUB],
+                    &mut received[HUB],
+                    published.len(),
+                    "hub subscriber (pre-crash)",
+                )?;
+                std::thread::sleep(Duration::from_millis(400)); // ack flush
+                let node = cluster.nodes[HUB].take().expect("hub running");
+                node.crash();
+                let storage = cluster.storage[HUB].clone().expect("durable cluster");
+                storage.power_cut(cut);
+                cluster.boot_broker(HUB);
+                // The reboot must resume from durable state (same
+                // incarnation, recovered spools and receive marks), not
+                // boot fresh — to its neighbors the crash should look
+                // like a long link stall, not a restart.
+                ensure!(
+                    cluster.node(HUB).stats().recoveries == 1,
+                    "op {step}: rebooted hub did not recover its durable state"
+                );
+                // The crash severed the subscriber's connection with no
+                // drain. Read the dead conn to EOF: after the pre-crash
+                // drain nothing should surface, and anything that does
+                // is a duplicate — push it into `received` so the
+                // equivalence check flags it.
+                let drain_deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    match stable[HUB].recv_unacked(Duration::from_millis(200)) {
+                        Ok((_, event)) => {
+                            received[HUB].push(event.value(0).unwrap().as_int().unwrap());
+                        }
+                        Err(ClientError::Timeout) => {
+                            ensure!(
+                                Instant::now() < drain_deadline,
+                                "op {step}: hub connection never reached EOF after crash"
+                            );
+                        }
+                        Err(_) => break, // EOF
+                    }
+                }
+                // Reconnect with resume_from = 0: client delivery logs
+                // are volatile, so recovery rebuilt an empty one.
                 let deadline = Instant::now() + Duration::from_secs(10);
                 loop {
                     match Client::connect_via(
@@ -783,6 +937,38 @@ fn seeded_cluster_model() {
              minimal failing schedule ({} ops): {minimal:#?}\n\
              minimal-schedule failure: {replay}\n\
              replay with SIMNET_SEED={seed}",
+            minimal.len()
+        );
+    }
+}
+
+/// The crash model: same schedule machinery and assertion suite, but
+/// the hub dies by power cut mid-schedule and reboots from its WAL and
+/// snapshots. `SIMNET_CUT` selects the injected disk state (`torn-tail`
+/// default, `lost-suffix`, `snapshot-torn`); CI runs the full
+/// seed × mode matrix. The flooding-oracle equivalence, the probe
+/// counter accounting, and the convergence/leak checks all still hold
+/// across the crash — recovery that lost a committed frame, replayed a
+/// torn record, or re-entered a dead sequence space would break one of
+/// them.
+#[test]
+fn seeded_crash_model() {
+    let seed = seed_from_env("SIMNET_SEED", 42);
+    let cut = match std::env::var("SIMNET_CUT") {
+        Ok(s) => PowerCut::parse(&s).unwrap_or_else(|| {
+            panic!("unknown SIMNET_CUT {s:?} (torn-tail | lost-suffix | snapshot-torn)")
+        }),
+        Err(_) => PowerCut::TornTail,
+    };
+    let ops = crash_schedule(seed, 30);
+    if let Err(err) = run_model(seed, &ops, Some(cut)) {
+        let minimal = shrink(&ops, |o| run_model(seed, o, Some(cut)).map(|_| ()));
+        let replay = run_model(seed, &minimal, Some(cut)).err().unwrap_or_default();
+        panic!(
+            "crash model failed (seed {seed}, {cut:?}): {err}\n\
+             minimal failing schedule ({} ops): {minimal:#?}\n\
+             minimal-schedule failure: {replay}\n\
+             replay with SIMNET_SEED={seed} SIMNET_CUT=<mode>",
             minimal.len()
         );
     }
