@@ -73,6 +73,14 @@ fn jitter_seed(me: BrokerId, neighbor: BrokerId) -> u64 {
     (u64::from(me.raw()) << 32) ^ u64::from(neighbor.raw()) ^ 0x5851_f42d_4c95_7f2d
 }
 
+/// Seed for the heartbeat ping jitter stream: derived from the redial
+/// seed for the same (local, neighbor) pair but offset so the two
+/// schedules draw from decorrelated splitmix64 sequences — a link's ping
+/// cadence must not mirror its redial cadence.
+fn heartbeat_jitter_seed(me: BrokerId, neighbor: BrokerId) -> u64 {
+    jitter_seed(me, neighbor) ^ 0x9e37_79b9_7f4a_7c15
+}
+
 /// Configuration of one broker node.
 #[derive(Debug, Clone)]
 pub struct BrokerConfig {
@@ -186,6 +194,18 @@ pub struct BrokerConfig {
     /// records the broker checkpoints a snapshot and truncates the log,
     /// bounding both recovery replay time and WAL growth.
     pub snapshot_every: u64,
+    /// Consecutive failed redials of a supervised link
+    /// ([`BrokerNode::connect_to_persistent`]) after which the dialing
+    /// broker declares the link dead and floods a `LinkDown` statement,
+    /// triggering a topology repair: every broker recomputes its spanning
+    /// forest over the surviving graph and routing cuts over under a new
+    /// topology epoch (see `DESIGN.md` §15). `0` (the default) disables
+    /// escalation — transient flaps then rely on spool-and-retransmit
+    /// alone, which on a non-redundant (tree) topology is the only option
+    /// anyway: repair can reroute only while the surviving graph stays
+    /// connected. Escalation fires once per down episode; a successful
+    /// handshake re-arms it.
+    pub repair_after: u32,
     /// With storage configured: fsync the WAL before journaled `Forward`
     /// frames reach the wire (fsync-on-commit — a torn tail record can
     /// only ever describe frames no peer received). Disabling trades the
@@ -225,6 +245,7 @@ impl BrokerConfig {
             link_handshake_timeout: Duration::from_secs(2),
             write_stall_timeout: Duration::from_secs(5),
             seed_dataflow: false,
+            repair_after: 0,
             storage: None,
             snapshot_every: 256,
             wal_sync: true,
@@ -253,7 +274,19 @@ pub(crate) enum Command {
         /// publish. Dispatch journals the receive mark from this, so the
         /// provenance must ride through the matching shards with the event.
         source: Option<(BrokerId, u64, u64)>,
+        /// The topology epoch the links were computed under. A shard
+        /// result that crosses an epoch flip in flight carries a stale
+        /// epoch; the engine discards its links and re-matches inline
+        /// under the repaired trees instead of dispatching over dead
+        /// edges.
+        epoch: u64,
     },
+    /// A supervised link's redial escalation crossed
+    /// [`BrokerConfig::repair_after`] consecutive failures (or an
+    /// operator called [`BrokerNode::mark_link_down`]): declare the edge
+    /// to this neighbor dead, flood the `LinkDown` statement, and repair
+    /// the topology around it.
+    LinkUnreachable(BrokerId),
     /// Periodic garbage collection of client logs.
     GcTick,
     /// Periodic liveness timer: ping idle broker links, tear down links
@@ -279,6 +312,8 @@ struct MatchJob {
     body: Bytes,
     /// Provenance for the WAL receive mark; see [`Command::Routed`].
     source: Option<(BrokerId, u64, u64)>,
+    /// Topology epoch at enqueue time; see [`Command::Routed`].
+    epoch: u64,
 }
 
 enum Peer {
@@ -340,6 +375,13 @@ pub struct BrokerNode {
     /// Current heartbeat probe interval in milliseconds, shared with the
     /// ticker thread and the engine loop so it can be retuned at runtime.
     heartbeat_ms: Arc<AtomicU64>,
+    /// Current topology epoch, stored by the engine loop on every
+    /// link-state flip and sampled by [`stats`](Self::stats). Equal
+    /// epochs across brokers mean identical link-state tables, hence
+    /// identical repaired forests — the cluster-convergence signal.
+    topology_epoch: Arc<AtomicU64>,
+    /// [`BrokerConfig::repair_after`], kept for link supervisors.
+    repair_after: u32,
     engine_thread: Option<std::thread::JoinHandle<()>>,
     /// Joined on shutdown so the listener is unbound before `shutdown`
     /// returns — a restart re-binding the same address must not race the
@@ -572,6 +614,7 @@ impl BrokerNode {
                                 body: job.body,
                                 links,
                                 source: job.source,
+                                epoch: job.epoch,
                             };
                             if cmd_tx.send(routed).is_err() {
                                 break;
@@ -583,12 +626,14 @@ impl BrokerNode {
         }
 
         // Engine loop.
+        let topology_epoch = Arc::new(AtomicU64::new(0));
         let engine_thread = {
             let outbox = Arc::clone(&outbox);
             let stats = Arc::clone(&stats);
             let match_stats = Arc::clone(&match_stats);
             let config2 = config.clone();
             let heartbeat_ms = Arc::clone(&heartbeat_ms);
+            let topology_epoch = Arc::clone(&topology_epoch);
             std::thread::Builder::new()
                 .name(format!("broker-{}", config.broker))
                 .spawn(move || {
@@ -600,6 +645,11 @@ impl BrokerNode {
                     EngineLoop {
                         match_cache: MatchCache::new(config2.match_cache_cap),
                         route_scratch: RouteScratch::new(),
+                        fabric: Arc::clone(&config2.fabric),
+                        link_state: crate::repair::LinkStateTable::default(),
+                        epoch: 0,
+                        epoch_gauge: topology_epoch,
+                        ping_jitter: HashMap::new(),
                         config: config2,
                         incarnation,
                         engine,
@@ -637,6 +687,8 @@ impl BrokerNode {
             drain_timeout: config.drain_timeout,
             link_handshake_timeout: config.link_handshake_timeout,
             heartbeat_ms,
+            topology_epoch,
+            repair_after: config.repair_after,
             engine_thread: Some(engine_thread),
             acceptor_thread: Some(acceptor_thread),
         })
@@ -710,18 +762,32 @@ impl BrokerNode {
         let shutdown = Arc::clone(&self.shutdown);
         let transport = Arc::clone(&self.transport);
         let handshake_timeout = self.link_handshake_timeout;
+        let repair_after = self.repair_after;
         let me = self.broker;
         let _ = std::thread::Builder::new()
             .name(format!("link-{me}-{neighbor}"))
             .spawn(move || {
                 let mut backoff = LINK_REDIAL_MIN;
                 let mut jitter = jitter_seed(me, neighbor);
+                // Consecutive redial failures since the link last completed
+                // a handshake; crossing `repair_after` escalates ONCE per
+                // down episode to a `LinkDown` topology repair. A
+                // successful handshake re-arms the escalation.
+                let mut failures: u32 = 0;
+                let mut escalated = false;
                 while !shutdown.load(Ordering::Acquire) {
                     // Dial failures (including per-connection setup inside
                     // the transport) back off instead of spin-dialing.
                     // Never panic here — that would kill the supervisor
                     // thread and orphan the link forever.
                     let Ok(connection) = transport.dial(addr) else {
+                        failures = failures.saturating_add(1);
+                        if repair_after > 0 && failures >= repair_after && !escalated {
+                            escalated = true;
+                            if cmd_tx.send(Command::LinkUnreachable(neighbor)).is_err() {
+                                return;
+                            }
+                        }
                         std::thread::sleep(jittered_backoff(backoff, &mut jitter));
                         backoff = (backoff * 2).min(LINK_REDIAL_MAX);
                         continue;
@@ -750,7 +816,13 @@ impl BrokerNode {
                         }
                         match transport::read_frame(&mut reader) {
                             Ok(Some(payload)) => {
-                                greeted = true;
+                                if !greeted {
+                                    greeted = true;
+                                    // The peer answered: the down episode
+                                    // (if any) is over; re-arm escalation.
+                                    failures = 0;
+                                    escalated = false;
+                                }
                                 if cmd_tx.send(Command::Frame(conn, payload)).is_err() {
                                     return;
                                 }
@@ -780,9 +852,34 @@ impl BrokerNode {
                     } else {
                         (backoff * 2).min(LINK_REDIAL_MAX)
                     };
+                    if !greeted {
+                        // Accept-then-stall counts toward repair escalation
+                        // like a refused dial: the link is not usable.
+                        failures = failures.saturating_add(1);
+                        if repair_after > 0 && failures >= repair_after && !escalated {
+                            escalated = true;
+                            if cmd_tx.send(Command::LinkUnreachable(neighbor)).is_err() {
+                                return;
+                            }
+                        }
+                    }
                     std::thread::sleep(jittered_backoff(backoff, &mut jitter));
                 }
             });
+    }
+
+    /// Operator escalation: declare the link to `neighbor` dead *now*,
+    /// without waiting for [`BrokerConfig::repair_after`] redial
+    /// failures. The broker floods a `LinkDown` statement and repairs
+    /// its topology exactly as if the link supervisor had escalated.
+    ///
+    /// A link whose connection is currently live (handshake complete) is
+    /// left alone — marking a healthy link down is a no-op, which also
+    /// makes a stale supervisor escalation racing a reconnect harmless.
+    /// The repair undoes itself when the link next completes a `Hello`
+    /// handshake (a `LinkUp` statement floods).
+    pub fn mark_link_down(&self, neighbor: BrokerId) {
+        let _ = self.cmd_tx.send(Command::LinkUnreachable(neighbor));
     }
 
     /// Opens an in-process connection (bypassing TCP). The returned pair is
@@ -814,6 +911,7 @@ impl BrokerNode {
                 queued_frames,
                 queued_bytes,
                 connections: self.outbox.connections(),
+                topology_epoch: self.topology_epoch.load(Ordering::Relaxed),
             },
         )
     }
@@ -1176,9 +1274,7 @@ fn recover(
             // CRC-valid but semantically undecodable: version skew or a
             // writer bug. Everything after it is unordered relative to the
             // lost batch, so stop — same policy as a torn tail.
-            stats
-                .torn_records_discarded
-                .fetch_add(1, Ordering::Relaxed);
+            stats.torn_records_discarded.fetch_add(1, Ordering::Relaxed);
             break 'records;
         };
         stats.wal_replayed.fetch_add(1, Ordering::Relaxed);
@@ -1278,6 +1374,27 @@ struct EngineLoop {
     /// WAL + snapshot bookkeeping; `None` without
     /// [`BrokerConfig::storage`], and every journaling call is a no-op.
     durable: Option<Durable>,
+    /// The routing fabric currently in force: [`BrokerConfig::fabric`]
+    /// at boot, swapped for a rebuild over the surviving graph on every
+    /// topology repair. Routing, dispatch, and the tree-bound check all
+    /// read this — never `config.fabric` — so a repair cuts the whole
+    /// data plane over atomically (single-threaded engine loop).
+    fabric: Arc<RoutingFabric>,
+    /// Flooded link-state statements folded into per-edge versions; the
+    /// source of truth for `epoch` and the dead-edge exclusion set.
+    link_state: crate::repair::LinkStateTable,
+    /// Current topology epoch (`link_state.epoch()`), stitched into
+    /// every outgoing `Forward` frame and compared against incoming
+    /// ones. Plain engine-thread copy of `epoch_gauge`.
+    epoch: u64,
+    /// Shared copy of `epoch` for [`BrokerNode::stats`].
+    epoch_gauge: Arc<AtomicU64>,
+    /// Per-neighbor splitmix64 state for jittering the heartbeat ping
+    /// schedule, seeded deterministically per (local, neighbor) pair —
+    /// same rationale as the redial jitter: without it every broker
+    /// pings every link on the same clock edge and the probe traffic
+    /// arrives mesh-wide in lockstep bursts.
+    ping_jitter: HashMap<BrokerId, u64>,
 }
 
 /// Receive-side state for one neighbor link.
@@ -1318,6 +1435,12 @@ impl EngineLoop {
                     self.awaiting_hello.insert(conn);
                     self.send_hello(conn, neighbor);
                     self.resync_subscriptions(conn);
+                    // Link-state statements must precede any spool
+                    // retransmission on this conn (FIFO link): a peer
+                    // that rebooted at epoch 0 flips forward before it
+                    // processes replayed frames stitched under the
+                    // current epoch.
+                    self.resync_link_state(conn);
                 }
                 Command::Disconnected(conn) => self.handle_disconnect(conn),
                 Command::Routed {
@@ -1326,7 +1449,19 @@ impl EngineLoop {
                     body,
                     links,
                     source,
-                } => self.dispatch(&event, tree, &body, links, source),
+                    epoch,
+                } => {
+                    if epoch == self.epoch {
+                        self.dispatch(&event, tree, &body, links, source);
+                    } else {
+                        // The shard matched under a topology that has
+                        // since been repaired: its links may cross dead
+                        // edges or miss the new trees. Discard them and
+                        // re-match inline under the current engine.
+                        self.rematch_stale(&event, &body, source);
+                    }
+                }
+                Command::LinkUnreachable(neighbor) => self.handle_link_unreachable(neighbor),
                 Command::GcTick => self.collect_garbage(),
                 Command::HeartbeatTick => self.heartbeat_tick(),
                 Command::QueueOverflow(conn) => self.handle_queue_overflow(conn),
@@ -1370,9 +1505,14 @@ impl EngineLoop {
             }
         } else if (0x21..=0x2f).contains(&tag) {
             match BrokerToBroker::decode(payload.clone(), &self.config.registry) {
-                Ok(BrokerToBroker::Forward { tree, seq, event }) => {
+                Ok(BrokerToBroker::Forward {
+                    tree,
+                    seq,
+                    epoch,
+                    event,
+                }) => {
                     let body = payload.slice(protocol::FORWARD_BODY_OFFSET..);
-                    self.handle_forward(conn, tree, seq, event, body);
+                    self.handle_forward(conn, tree, seq, epoch, event, body);
                 }
                 Ok(msg) => self.handle_broker(conn, msg),
                 Err(e) => self.protocol_error_disconnect(conn, e.to_string()),
@@ -1418,7 +1558,7 @@ impl EngineLoop {
             self.client_error(conn, e.to_string());
             return;
         }
-        let tree = match self.config.fabric.tree_for(self.config.broker) {
+        let tree = match self.fabric.tree_for(self.config.broker) {
             Ok(t) => t,
             Err(e) => {
                 self.client_error(conn, e.to_string());
@@ -1640,6 +1780,10 @@ impl EngineLoop {
                     // replay the full set. Duplicates are dropped by the
                     // flood dedup, dead ids by the tombstone filter.
                     self.resync_subscriptions(conn);
+                    // Same for link-state statements, and strictly before
+                    // the spool retransmission below: the peer must reach
+                    // our epoch before it processes replayed frames.
+                    self.resync_link_state(conn);
                 }
                 // The peer's `last_recv` is also a cumulative ack: trim the
                 // spool, then retransmit everything it missed. But only if
@@ -1653,6 +1797,27 @@ impl EngineLoop {
                 } else {
                     0
                 };
+                // Apply the ack before any repair flip below: frames the
+                // peer already received must not look pending to the epoch
+                // flip's re-homing sweep, or they would be re-dispatched
+                // as duplicates.
+                if let Some(spool) = self.spools.get_mut(&broker) {
+                    spool.ack(effective_last_recv);
+                    spool.collect();
+                    let acked = spool.acked();
+                    self.wal_commit_trim(broker, acked);
+                }
+                // A Hello on this link proves the edge is live again: if
+                // our table says it is down, originate the LinkUp
+                // statement. Both endpoints may do so concurrently — the
+                // strictly-monotone apply test makes the duplicate
+                // converge instead of ping-ponging.
+                let me = self.config.broker;
+                let (a, b) = crate::repair::normalize_edge(me, broker);
+                let (ver, down) = self.link_state.get(a, b);
+                if down {
+                    self.apply_link_state(a, b, ver.saturating_add(1), false, None);
+                }
                 self.retransmit_spool(broker, conn, effective_last_recv);
             }
             BrokerToBroker::FwdAck { seq } => {
@@ -1670,12 +1835,17 @@ impl EngineLoop {
                     }
                 }
             }
-            BrokerToBroker::Forward { tree, seq, event } => {
+            BrokerToBroker::Forward {
+                tree,
+                seq,
+                epoch,
+                event,
+            } => {
                 // Normally intercepted in `handle_frame` with the body
                 // sliced from the wire; this arm only serves locally
                 // constructed messages, so it pays one serialization.
                 let body = protocol::encode_event_body(&event);
-                self.handle_forward(conn, tree, seq, event, body);
+                self.handle_forward(conn, tree, seq, epoch, event, body);
             }
             BrokerToBroker::SubAdd {
                 schema,
@@ -1734,6 +1904,12 @@ impl EngineLoop {
             BrokerToBroker::Pong => {
                 // Its arrival already refreshed `last_heard` in
                 // `handle_frame`; there is nothing else to do.
+            }
+            BrokerToBroker::LinkDown { a, b, ver } => {
+                self.handle_link_statement(conn, a, b, ver, true);
+            }
+            BrokerToBroker::LinkUp { a, b, ver } => {
+                self.handle_link_statement(conn, a, b, ver, false);
             }
             BrokerToBroker::SubRemove { id } => {
                 // Tombstone-insert doubles as flood dedup: a removal we
@@ -1825,12 +2001,32 @@ impl EngineLoop {
 
     /// An inbound `Forward`: dedup against the per-neighbor receive window,
     /// pace a cumulative `FwdAck` back, then route.
-    fn handle_forward(&mut self, conn: ConnId, tree: TreeId, seq: u64, event: Event, body: Bytes) {
+    fn handle_forward(
+        &mut self,
+        conn: ConnId,
+        tree: TreeId,
+        seq: u64,
+        epoch: u64,
+        event: Event,
+        body: Bytes,
+    ) {
+        // Epoch check FIRST, before the tree-bound check: a frame stitched
+        // under a different topology epoch refers to trees that no longer
+        // exist here (its tree index may not even be in range of the
+        // repaired forest). Dropping it is safe precisely because it is
+        // *not* acked and does *not* advance the receive window: the frame
+        // stays pending in the sender's spool, and the sender's own epoch
+        // flip re-homes every pending frame down its repaired trees (see
+        // `rehome_spools` and DESIGN.md §15).
+        if epoch != self.epoch {
+            self.stats.stale_epoch_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         // The tree id arrives as a raw index; an out-of-range value from a
         // corrupt or hostile peer would panic deep inside the matching
         // engine's per-tree tables. Treat it like any other undecodable
         // frame: count it and cut the link.
-        if tree.index() >= self.config.fabric.forest().len() {
+        if tree.index() >= self.fabric.forest().len() {
             self.protocol_error_disconnect(
                 conn,
                 format!("forward on unknown spanning tree {}", tree.index()),
@@ -1866,7 +2062,10 @@ impl EngineLoop {
                 recv.durable_seq = seq;
                 if recv.durable_seq - recv.acked_sent >= FWD_ACK_EVERY {
                     recv.acked_sent = recv.durable_seq;
-                    let ack = BrokerToBroker::FwdAck { seq: recv.acked_sent }.encode();
+                    let ack = BrokerToBroker::FwdAck {
+                        seq: recv.acked_sent,
+                    }
+                    .encode();
                     self.outbox.send(conn, ack);
                 }
             }
@@ -1901,14 +2100,26 @@ impl EngineLoop {
                 tree,
                 body,
                 source,
+                epoch: self.epoch,
             });
             return;
         }
+        let links = self.route_inline(&event, tree);
+        self.dispatch(&event, tree, &body, links, source);
+    }
+
+    /// The inline matching path: the engine-thread-owned cache and
+    /// scratch buffers, cost accounted to shard slot 0. Factored out of
+    /// [`route_and_dispatch`](Self::route_and_dispatch) because the
+    /// repair paths (stale shard results, spool re-homing) must re-match
+    /// synchronously under the current topology regardless of the
+    /// configured shard count.
+    fn route_inline(&mut self, event: &Event, tree: TreeId) -> Vec<LinkId> {
         let mut stats = MatchStats::new();
         let mut links = Vec::new();
         if self.config.match_arena {
             self.engine.read().route_cached(
-                &event,
+                event,
                 tree,
                 self.config.match_threads,
                 &mut self.match_cache,
@@ -1918,7 +2129,7 @@ impl EngineLoop {
             );
         } else {
             links = self.engine.read().route_parallel(
-                &event,
+                event,
                 tree,
                 self.config.match_threads,
                 &mut stats,
@@ -1927,7 +2138,38 @@ impl EngineLoop {
         if let Some(shard_stats) = self.match_stats.first() {
             *shard_stats.lock() += stats;
         }
-        self.dispatch(&event, tree, &body, links, source);
+        links
+    }
+
+    /// A matching-worker shard handed back a link set computed under a
+    /// topology epoch that has since flipped: the links may cross dead
+    /// edges or miss the repaired trees entirely. The shard's answer is
+    /// discarded and the event re-matched inline under this broker's own
+    /// tree in the current fabric — correct for delivery (the tree spans
+    /// every reachable broker) at the cost of possibly re-covering
+    /// subtrees the old dispatch already reached; the transition window
+    /// is at-least-once by design (receiver dedup and client logs keep
+    /// client-visible delivery exactly-once in the quiescent cases, see
+    /// DESIGN.md §15). The link back toward the frame's source is
+    /// excluded — the tree discipline never returns an event to its
+    /// sender.
+    fn rematch_stale(&mut self, event: &Event, body: &Bytes, source: Option<(BrokerId, u64, u64)>) {
+        self.stats.rerouted_frames.fetch_add(1, Ordering::Relaxed);
+        let Ok(tree) = self.fabric.tree_for(self.config.broker) else {
+            return;
+        };
+        let mut links = self.route_inline(event, tree);
+        if let Some((from, _, _)) = source {
+            let fabric = Arc::clone(&self.fabric);
+            let network = fabric.network();
+            links.retain(|&link| {
+                !matches!(
+                    network.link_target(self.config.broker, link),
+                    LinkTarget::Broker(n) if n == from
+                )
+            });
+        }
+        self.dispatch(event, tree, body, links, source);
     }
 
     /// Dispatches a routed event: per-neighbor `Forward` frames (each link
@@ -1950,7 +2192,8 @@ impl EngineLoop {
         links: Vec<LinkId>,
         source: Option<(BrokerId, u64, u64)>,
     ) {
-        let network = self.config.fabric.network();
+        let fabric = Arc::clone(&self.fabric);
+        let network = fabric.network();
         let journaling = self.durable.is_some();
         let mut wal_ops: Vec<WalOp> = Vec::new();
         // Broker sends deferred until the WAL record commits; client
@@ -1969,11 +2212,12 @@ impl EngineLoop {
                         BrokerToBroker::Forward {
                             tree,
                             seq,
+                            epoch: self.epoch,
                             event: event.clone(),
                         }
                         .encode()
                     } else {
-                        protocol::forward_frame(tree, seq, body)
+                        protocol::forward_frame(tree, seq, self.epoch, body)
                     };
                     spool.append(frame.clone());
                     if journaling {
@@ -2210,6 +2454,231 @@ impl EngineLoop {
         self.outbox.send_many(&targets, &frame);
     }
 
+    /// A link supervisor crossed [`BrokerConfig::repair_after`]
+    /// consecutive redial failures (or the operator called
+    /// [`BrokerNode::mark_link_down`]): originate the `LinkDown`
+    /// statement for the edge between this broker and `neighbor`.
+    fn handle_link_unreachable(&mut self, neighbor: BrokerId) {
+        let me = self.config.broker;
+        let network = self.fabric.network();
+        // Only real topology edges can be declared dead; and a link whose
+        // connection is currently live (handshake complete) is
+        // demonstrably not unreachable — a stale supervisor escalation
+        // racing a reconnect must not take a healthy link down.
+        if neighbor == me || network.link_to_broker(me, neighbor).is_none() {
+            return;
+        }
+        if let Some(&conn) = self.neighbors.get(&neighbor) {
+            if !self.awaiting_hello.contains(&conn) {
+                return;
+            }
+        }
+        let (a, b) = crate::repair::normalize_edge(me, neighbor);
+        let (ver, down) = self.link_state.get(a, b);
+        if down {
+            return; // already repaired around in a previous episode
+        }
+        self.apply_link_state(a, b, ver.saturating_add(1), true, None);
+    }
+
+    /// A flooded `LinkDown`/`LinkUp` statement arrived from a peer.
+    /// Statements about edges outside the shared static topology are
+    /// silently ignored (they cannot affect any tree this broker could
+    /// compute); everything else goes through the apply test.
+    fn handle_link_statement(
+        &mut self,
+        conn: ConnId,
+        a: BrokerId,
+        b: BrokerId,
+        ver: u64,
+        down: bool,
+    ) {
+        if !matches!(self.conns.get(&conn), Some(Peer::Broker(_))) {
+            return; // link-state is broker-to-broker control traffic only
+        }
+        let network = self.fabric.network();
+        let count = network.broker_count();
+        // Endpoints come straight off the wire: bound-check before any
+        // adjacency lookup (those index per-broker tables).
+        if a.index() >= count || b.index() >= count || a == b {
+            return;
+        }
+        if network.link_to_broker(a, b).is_none() {
+            return;
+        }
+        let (a, b) = crate::repair::normalize_edge(a, b);
+        self.apply_link_state(a, b, ver, down, Some(conn));
+    }
+
+    /// Folds one link-state statement into the table and, if it applied,
+    /// performs the topology cutover: rebuild the spanning forest over
+    /// the surviving graph, rebuild the matching engines' link spaces,
+    /// flip the epoch, flood the statement onward, re-home every pending
+    /// spooled frame down the repaired trees, and re-propagate
+    /// subscription state over edges that just became tree-adjacent.
+    ///
+    /// Ordering inside this method is load-bearing (DESIGN.md §15): the
+    /// flood (step 5) must precede the re-homing sweep (step 6) so that
+    /// on every FIFO link the statement outruns any frame stitched under
+    /// the new epoch — receivers flip before they see the frames.
+    fn apply_link_state(
+        &mut self,
+        a: BrokerId,
+        b: BrokerId,
+        ver: u64,
+        down: bool,
+        from: Option<ConnId>,
+    ) {
+        // Speculative apply: only commit the table once the fabric
+        // rebuild has succeeded, so the table never disagrees with the
+        // fabric actually in force.
+        let mut table = self.link_state.clone();
+        if !table.apply(a, b, ver, down) {
+            return; // stale or duplicate — already known, flood stops here
+        }
+        let Ok(fabric) = self.fabric.rebuild_excluding(&table.dead_edges()) else {
+            // Unreachable with a fabric whose roots all exist in the
+            // (immutable) network; bail without committing the statement.
+            debug_assert!(false, "spanning-forest recompute failed");
+            return;
+        };
+        let old_fabric = Arc::clone(&self.fabric);
+        // Rebuild the matching engines in place: each per-space engine
+        // swaps its link space and bumps its generation, so the match
+        // caches (engine-thread and shard-owned alike) can never serve a
+        // link set computed against the dead topology.
+        self.engine
+            .write()
+            .rebuild_topology(self.config.broker, &fabric);
+        self.link_state = table;
+        self.fabric = fabric;
+        self.epoch = self.link_state.epoch();
+        self.epoch_gauge.store(self.epoch, Ordering::Relaxed);
+        self.stats.epoch_flips.fetch_add(1, Ordering::Relaxed);
+        if from.is_none() {
+            self.stats.repairs_initiated.fetch_add(1, Ordering::Relaxed);
+        }
+        let statement = if down {
+            BrokerToBroker::LinkDown { a, b, ver }
+        } else {
+            BrokerToBroker::LinkUp { a, b, ver }
+        };
+        self.flood_broker_message(&statement, from);
+        self.rehome_spools();
+        // Subscription state lives where the old trees put it; edges that
+        // are tree-adjacent in the repaired forest but were not in the
+        // old one have never carried this broker's subscription set.
+        // Re-propagate over exactly those (the resync flag routes the
+        // adds through the receiver's tombstone filter, so removals that
+        // flooded before the repair stay removed).
+        let me = self.config.broker;
+        let resync: Vec<ConnId> = self
+            .neighbors
+            .iter()
+            .filter(|&(&n, _)| {
+                self.fabric.forest().tree_adjacent(me, n)
+                    && !old_fabric.forest().tree_adjacent(me, n)
+            })
+            .map(|(_, &conn)| conn)
+            .collect();
+        for conn in resync {
+            self.resync_subscriptions(conn);
+        }
+    }
+
+    /// The epoch-flip sweep: every frame still pending (unacked) in any
+    /// neighbor spool was stitched under a dead topology — receivers
+    /// drop it on sight (stale epoch) and will never ack it. Pull each
+    /// one out, trim the spools (journaled), and re-dispatch its event
+    /// down this broker's tree in the repaired fabric, **broker links
+    /// only**: the local client deliveries from its first dispatch
+    /// already happened and client logs must not see it twice.
+    ///
+    /// Re-homing is what makes the stale-epoch drop lossless: a pending
+    /// frame is either re-sent here (under the new epoch, with a fresh
+    /// spool sequence) or provably unreachable (its subscribers sit in a
+    /// component the surviving graph no longer connects). Subtrees the
+    /// old dispatch already covered may be covered again — receiver
+    /// sequence dedup cannot catch a re-homed frame (fresh sequence), so
+    /// transition windows are at-least-once into routing; quiescent cuts
+    /// (nothing pending except toward the dead link) stay exactly-once.
+    fn rehome_spools(&mut self) {
+        let me = self.config.broker;
+        let Ok(tree) = self.fabric.tree_for(me) else {
+            return;
+        };
+        let mut pending: Vec<Bytes> = Vec::new();
+        let mut trims: Vec<(BrokerId, u64)> = Vec::new();
+        for (&neighbor, spool) in self.spools.iter_mut() {
+            let acked = spool.acked();
+            let frames: Vec<Bytes> = spool
+                .replay_after(acked)
+                .map(|(_, frame)| frame.clone())
+                .collect();
+            if frames.is_empty() {
+                continue;
+            }
+            spool.ack(spool.last_seq());
+            spool.collect();
+            trims.push((neighbor, spool.acked()));
+            pending.extend(frames);
+        }
+        for (neighbor, acked) in trims {
+            self.wal_commit_trim(neighbor, acked);
+        }
+        for frame in pending {
+            // Spooled frames are full wire frames (length prefix + payload).
+            let payload = frame.slice(4..);
+            let Ok(BrokerToBroker::Forward { event, .. }) =
+                BrokerToBroker::decode(payload.clone(), &self.config.registry)
+            else {
+                // A frame this broker stitched always decodes; skip
+                // defensively rather than poison the sweep.
+                continue;
+            };
+            let body = payload.slice(protocol::FORWARD_BODY_OFFSET..);
+            self.stats.rerouted_frames.fetch_add(1, Ordering::Relaxed);
+            let links = self.route_inline(&event, tree);
+            let fabric = Arc::clone(&self.fabric);
+            let network = fabric.network();
+            let broker_links: Vec<LinkId> = links
+                .into_iter()
+                .filter(|&link| matches!(network.link_target(me, link), LinkTarget::Broker(_)))
+                .collect();
+            if broker_links.is_empty() {
+                continue;
+            }
+            self.dispatch(&event, tree, &body, broker_links, None);
+        }
+    }
+
+    /// Replays every link-state statement with a non-zero version to a
+    /// (re)connecting neighbor, exactly like the subscription resync: a
+    /// peer that rebooted (epoch 0, empty table) or sat out a repair
+    /// behind a partition applies what it is missing and flips forward;
+    /// a peer that already knows everything rejects them all in the
+    /// apply test and the flood stops. Must be sent before any spool
+    /// retransmission on the same conn — FIFO ordering is what
+    /// guarantees the peer reaches our epoch before our replayed frames.
+    fn resync_link_state(&self, conn: ConnId) {
+        for s in self.link_state.statements() {
+            let statement = if s.down {
+                BrokerToBroker::LinkDown {
+                    a: s.a,
+                    b: s.b,
+                    ver: s.ver,
+                }
+            } else {
+                BrokerToBroker::LinkUp {
+                    a: s.a,
+                    b: s.b,
+                    ver: s.ver,
+                }
+            };
+            self.outbox.send(conn, statement.encode());
+        }
+    }
+
     fn client_of(&self, conn: ConnId) -> Option<ClientId> {
         match self.conns.get(&conn) {
             Some(Peer::Client(c)) => Some(*c),
@@ -2230,9 +2699,10 @@ impl EngineLoop {
     /// idle ones so a live peer always has something to answer.
     fn heartbeat_tick(&mut self) {
         let now = std::time::Instant::now();
+        let me = self.config.broker;
         // Snapshot: teardown mutates `neighbors`.
-        let links: Vec<ConnId> = self.neighbors.values().copied().collect();
-        for conn in links {
+        let links: Vec<(BrokerId, ConnId)> = self.neighbors.iter().map(|(&b, &c)| (b, c)).collect();
+        for (neighbor, conn) in links {
             let idle = match self.last_heard.get(&conn) {
                 Some(&at) => now.saturating_duration_since(at),
                 None => {
@@ -2248,11 +2718,25 @@ impl EngineLoop {
                 // unresponsive, and unregistering shuts the socket so both
                 // our reader and a dialing supervisor notice and redial.
                 self.handle_disconnect(conn);
-            } else if idle.as_millis()
-                >= u128::from(self.heartbeat_ms.load(Ordering::Relaxed).max(1))
-            {
-                self.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
-                self.outbox.send(conn, BrokerToBroker::Ping.encode());
+            } else {
+                // Jitter the ping threshold per link and per tick (same
+                // splitmix64 draw as the redial jitter, distinct seed):
+                // with a fixed threshold every broker pings every idle
+                // link on the same timer edge and the whole mesh's probe
+                // traffic lands in lockstep bursts. The draw stays within
+                // [interval, 1.5*interval), so detection latency is still
+                // bounded by the same order of one heartbeat interval.
+                let interval =
+                    Duration::from_millis(self.heartbeat_ms.load(Ordering::Relaxed).max(1));
+                let state = self
+                    .ping_jitter
+                    .entry(neighbor)
+                    .or_insert_with(|| heartbeat_jitter_seed(me, neighbor));
+                let threshold = jittered_backoff(interval, state);
+                if idle >= threshold {
+                    self.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
+                    self.outbox.send(conn, BrokerToBroker::Ping.encode());
+                }
             }
         }
     }
@@ -2299,8 +2783,13 @@ impl EngineLoop {
             if recv.durable_seq > recv.acked_sent {
                 if let Some(&conn) = self.neighbors.get(&broker) {
                     recv.acked_sent = recv.durable_seq;
-                    self.outbox
-                        .send(conn, BrokerToBroker::FwdAck { seq: recv.acked_sent }.encode());
+                    self.outbox.send(
+                        conn,
+                        BrokerToBroker::FwdAck {
+                            seq: recv.acked_sent,
+                        }
+                        .encode(),
+                    );
                 }
             }
         }
@@ -2417,7 +2906,10 @@ mod tests {
             for _ in 0..64 {
                 let j = jittered_backoff(base, &mut state);
                 assert!(j >= base, "{j:?} < {base:?}");
-                assert!(j <= base + base / 2 + Duration::from_millis(1), "{j:?} too far over {base:?}");
+                assert!(
+                    j <= base + base / 2 + Duration::from_millis(1),
+                    "{j:?} too far over {base:?}"
+                );
             }
         }
         // Spread: the first redial of distinct (local, neighbor) pairs —
@@ -2431,12 +2923,66 @@ mod tests {
                 jittered_backoff(base, &mut state)
             })
             .collect();
-        assert!(firsts.len() >= 8, "only {} distinct first backoffs", firsts.len());
+        assert!(
+            firsts.len() >= 8,
+            "only {} distinct first backoffs",
+            firsts.len()
+        );
         // And successive redials of one supervisor spread too.
         let mut state = jitter_seed(BrokerId::new(3), BrokerId::new(0));
-        let series: std::collections::HashSet<Duration> =
-            (0..16).map(|_| jittered_backoff(base, &mut state)).collect();
-        assert!(series.len() >= 8, "only {} distinct successive backoffs", series.len());
+        let series: std::collections::HashSet<Duration> = (0..16)
+            .map(|_| jittered_backoff(base, &mut state))
+            .collect();
+        assert!(
+            series.len() >= 8,
+            "only {} distinct successive backoffs",
+            series.len()
+        );
+    }
+
+    #[test]
+    fn heartbeat_jitter_stays_in_band_and_decorrelates_from_redials() {
+        // In-band: every jittered ping threshold lands in
+        // [interval, 1.5*interval] — detection latency stays bounded by
+        // the same order of one heartbeat interval.
+        for base in [
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+            Duration::from_secs(2),
+        ] {
+            let mut state = heartbeat_jitter_seed(BrokerId::new(1), BrokerId::new(2));
+            for _ in 0..64 {
+                let j = jittered_backoff(base, &mut state);
+                assert!(j >= base, "{j:?} < {base:?}");
+                assert!(
+                    j <= base + base / 2 + Duration::from_millis(1),
+                    "{j:?} too far over {base:?}"
+                );
+            }
+        }
+        // Spread: distinct links draw distinct first thresholds, so the
+        // mesh's pings do not land on one timer edge.
+        let base = Duration::from_millis(500);
+        let firsts: std::collections::HashSet<Duration> = (0..16)
+            .map(|n| {
+                let mut state = heartbeat_jitter_seed(BrokerId::new(n), BrokerId::new(0));
+                jittered_backoff(base, &mut state)
+            })
+            .collect();
+        assert!(
+            firsts.len() >= 8,
+            "only {} distinct ping thresholds",
+            firsts.len()
+        );
+        // Decorrelated from the redial stream: the same (local, neighbor)
+        // pair must not draw the same schedule for pings as for redials.
+        let mut redial = jitter_seed(BrokerId::new(1), BrokerId::new(2));
+        let mut ping = heartbeat_jitter_seed(BrokerId::new(1), BrokerId::new(2));
+        let redials: Vec<Duration> = (0..8)
+            .map(|_| jittered_backoff(base, &mut redial))
+            .collect();
+        let pings: Vec<Duration> = (0..8).map(|_| jittered_backoff(base, &mut ping)).collect();
+        assert_ne!(redials, pings, "ping jitter mirrors the redial jitter");
     }
 
     #[test]
@@ -2474,7 +3020,10 @@ mod tests {
         assert_eq!(back.sub_ids.checkpoint(), sub_ids.checkpoint());
         assert!(back.tombstones.contains(SubscriptionId::new(77)));
         let recv = back.recv_from.get(&BrokerId::new(3)).unwrap();
-        assert_eq!((recv.seq, recv.durable_seq, recv.peer_incarnation), (9, 9, 0xabc));
+        assert_eq!(
+            (recv.seq, recv.durable_seq, recv.peer_incarnation),
+            (9, 9, 0xabc)
+        );
         // Acked-sent restarts at zero: the next flush re-advertises the
         // durable mark, which is harmless (cumulative acks clamp).
         assert_eq!(recv.acked_sent, 0);
@@ -2483,9 +3032,15 @@ mod tests {
         assert_eq!(spool.acked(), 1);
         assert_eq!(spool.last_seq(), 3);
         let frames: Vec<&Bytes> = spool.replay_after(1).map(|(_, f)| f).collect();
-        assert_eq!(frames, vec![&Bytes::from_static(b"two"), &Bytes::from_static(b"three")]);
+        assert_eq!(
+            frames,
+            vec![&Bytes::from_static(b"two"), &Bytes::from_static(b"three")]
+        );
         assert_eq!(back.subscriptions.len(), 1);
-        assert_eq!(back.subscriptions.first().unwrap().1.id(), SubscriptionId::new(5));
+        assert_eq!(
+            back.subscriptions.first().unwrap().1.id(),
+            SubscriptionId::new(5)
+        );
     }
 
     #[test]
@@ -2549,7 +3104,14 @@ mod tests {
             ]),
         )
         .unwrap();
-        st.append(WAL_LOG, &record(&[WalOp::Trim { neighbor: 2, acked: 1 }])).unwrap();
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::Trim {
+                neighbor: 2,
+                acked: 1,
+            }]),
+        )
+        .unwrap();
         st.sync(WAL_LOG).unwrap();
 
         let stats = StatsInner::default();
@@ -2560,7 +3122,10 @@ mod tests {
         let frames: Vec<&Bytes> = spool.replay_after(1).map(|(_, f)| f).collect();
         assert_eq!(frames, vec![&Bytes::from_static(b"f2")]);
         let recv = r.recv_from.get(&BrokerId::new(3)).unwrap();
-        assert_eq!((recv.seq, recv.durable_seq, recv.peer_incarnation), (5, 5, 0xabc));
+        assert_eq!(
+            (recv.seq, recv.durable_seq, recv.peer_incarnation),
+            (5, 5, 0xabc)
+        );
         assert_eq!(stats.recoveries.load(Ordering::Relaxed), 1);
         assert_eq!(stats.wal_replayed.load(Ordering::Relaxed), 2);
         assert_eq!(stats.torn_records_discarded.load(Ordering::Relaxed), 0);
@@ -2609,7 +3174,10 @@ mod tests {
 
         let stats = StatsInner::default();
         let r = recover(&st, &reg, &stats).unwrap();
-        assert_eq!(r.incarnation, 7, "torn rename must revert to the committed snapshot");
+        assert_eq!(
+            r.incarnation, 7,
+            "torn rename must revert to the committed snapshot"
+        );
         let recv = r.recv_from.get(&BrokerId::new(3)).unwrap();
         assert_eq!((recv.seq, recv.durable_seq), (4, 4));
         assert_eq!(stats.wal_replayed.load(Ordering::Relaxed), 1);
@@ -2686,7 +3254,11 @@ mod tests {
         let stats = StatsInner::default();
         let r = recover(&st, &reg, &stats).unwrap();
         let spool = r.spools.get(&BrokerId::new(2)).unwrap();
-        assert_eq!(spool.last_seq(), 1, "torn append must not be replayed as data");
+        assert_eq!(
+            spool.last_seq(),
+            1,
+            "torn append must not be replayed as data"
+        );
         assert_eq!(stats.torn_records_discarded.load(Ordering::Relaxed), 1);
         assert_eq!(stats.wal_replayed.load(Ordering::Relaxed), 1);
     }
@@ -2719,7 +3291,10 @@ mod tests {
         let stats = StatsInner::default();
         let r = recover(&st, &reg, &stats).unwrap();
         let recv = r.recv_from.get(&BrokerId::new(3)).unwrap();
-        assert_eq!(recv.durable_seq, 10, "unsynced mark must not survive the cut");
+        assert_eq!(
+            recv.durable_seq, 10,
+            "unsynced mark must not survive the cut"
+        );
     }
 
     #[test]
@@ -2727,10 +3302,24 @@ mod tests {
         let reg = registry();
         let st = SimStorage::default();
         // Peer incarnation A reaches seq 10, restarts as B, reaches seq 2.
-        st.append(WAL_LOG, &record(&[WalOp::RecvMark { from: 3, incarnation: 0xa, seq: 10 }]))
-            .unwrap();
-        st.append(WAL_LOG, &record(&[WalOp::RecvMark { from: 3, incarnation: 0xb, seq: 2 }]))
-            .unwrap();
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::RecvMark {
+                from: 3,
+                incarnation: 0xa,
+                seq: 10,
+            }]),
+        )
+        .unwrap();
+        st.append(
+            WAL_LOG,
+            &record(&[WalOp::RecvMark {
+                from: 3,
+                incarnation: 0xb,
+                seq: 2,
+            }]),
+        )
+        .unwrap();
         st.sync(WAL_LOG).unwrap();
         let stats = StatsInner::default();
         let r = recover(&st, &reg, &stats).unwrap();

@@ -63,6 +63,22 @@ impl MatchingEngine {
         &self.registry
     }
 
+    /// Rebuilds every per-space engine over a repaired routing fabric
+    /// (topology repair: some links declared dead, spanning forest
+    /// recomputed over the surviving graph).
+    ///
+    /// Subscriptions are preserved — only the link space (tree shapes,
+    /// init masks, virtual-link classes) is rederived. Each underlying
+    /// [`LinkMatchEngine`] bumps its generation in place, so match
+    /// caches keyed by [`generation`](Self::generation) are invalidated
+    /// without any risk of generation collision from a fresh engine.
+    pub fn rebuild_topology(&mut self, broker: BrokerId, fabric: &RoutingFabric) {
+        for engine in &mut self.engines {
+            let space = LinkSpace::build(fabric.network(), fabric.forest(), broker);
+            engine.rebuild_space(space);
+        }
+    }
+
     /// Parses a subscription expression against an information space.
     ///
     /// # Errors

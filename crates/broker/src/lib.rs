@@ -35,6 +35,7 @@ mod engine;
 mod log;
 mod outbox;
 mod protocol;
+mod repair;
 mod simnet;
 mod storage;
 mod tcp;

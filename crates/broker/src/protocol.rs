@@ -26,7 +26,7 @@ pub const MAX_FRAME_LEN: usize = MAX_FRAME;
 
 /// Maximum encoded *event body* accepted into routing. Tighter than
 /// [`MAX_FRAME_LEN`] by a headroom margin because an accepted publish body
-/// is re-stitched as a `Forward` frame (+13 bytes of routing header) and a
+/// is re-stitched as a `Forward` frame (+21 bytes of routing header) and a
 /// `Deliver` frame; the result must still fit every receiver's
 /// [`MAX_FRAME`], or the oversized Forward would flap the link forever
 /// (retransmit → reject → disconnect → resync → retransmit).
@@ -201,6 +201,12 @@ pub enum BrokerToBroker {
         /// modulo spool-overflow gaps). The receiver drops sequence numbers
         /// at or below its high-water mark as retransmission duplicates.
         seq: u64,
+        /// The sender's topology epoch when the frame was spooled. A
+        /// receiver at a different epoch drops the frame *without* acking
+        /// it or advancing its dedup window — the sender's epoch-flip
+        /// sweep re-homes the still-spooled frame down the repaired tree,
+        /// so a stale-epoch drop can never lose an event.
+        epoch: u64,
         /// The event.
         event: Event,
     },
@@ -236,6 +242,31 @@ pub enum BrokerToBroker {
     /// Liveness probe answer. Like `Ping`, its only payload is its
     /// arrival.
     Pong,
+    /// Flooded link-state statement: the broker-broker edge `(a, b)` is
+    /// down. Endpoints are normalized (`a < b`); `ver` is the per-edge
+    /// statement version. A receiver applies the statement iff it is newer
+    /// than its recorded state for the edge, recomputes the spanning
+    /// forest over the surviving graph (bumping its topology epoch), and
+    /// re-floods to every neighbor except the one it heard from.
+    LinkDown {
+        /// Lower-numbered endpoint of the edge.
+        a: BrokerId,
+        /// Higher-numbered endpoint of the edge.
+        b: BrokerId,
+        /// Per-edge statement version (monotone; dedups the flood).
+        ver: u64,
+    },
+    /// Flooded link-state statement: the broker-broker edge `(a, b)` is
+    /// live again. Same normalization, versioning, and apply-if-newer
+    /// semantics as [`LinkDown`](Self::LinkDown).
+    LinkUp {
+        /// Lower-numbered endpoint of the edge.
+        a: BrokerId,
+        /// Higher-numbered endpoint of the edge.
+        b: BrokerId,
+        /// Per-edge statement version (monotone; dedups the flood).
+        ver: u64,
+    },
 }
 
 // Tag bytes are owned by `FrameTag` in `linkcast_types::wire` — the consts
@@ -262,6 +293,8 @@ const B2B_SUBREMOVE: u8 = FrameTag::SubRemove as u8;
 const B2B_FWDACK: u8 = FrameTag::FwdAck as u8;
 const B2B_PING: u8 = FrameTag::Ping as u8;
 const B2B_PONG: u8 = FrameTag::Pong as u8;
+const B2B_LINKDOWN: u8 = FrameTag::LinkDown as u8;
+const B2B_LINKUP: u8 = FrameTag::LinkUp as u8;
 
 fn frame(payload: BytesMut) -> Bytes {
     let mut out = BytesMut::with_capacity(payload.len() + 4);
@@ -273,8 +306,8 @@ fn frame(payload: BytesMut) -> Bytes {
 /// Byte offset of the encoded event inside a `Publish` payload (tag byte).
 pub(crate) const PUBLISH_BODY_OFFSET: usize = 1;
 /// Byte offset of the encoded event inside a `Forward` payload (tag byte +
-/// tree id + per-link sequence number).
-pub(crate) const FORWARD_BODY_OFFSET: usize = 13;
+/// tree id + per-link sequence number + topology epoch).
+pub(crate) const FORWARD_BODY_OFFSET: usize = 21;
 
 /// Serializes an event body exactly once, for fan-out through the frame
 /// stitchers below. The broker calls this only for events that did not
@@ -300,12 +333,13 @@ pub(crate) fn publish_frame(body: &[u8]) -> Bytes {
 /// body. The sequence number is per-link (each neighbor's spool assigns
 /// its own), so every link gets its own header, but the body bytes are
 /// never re-serialized.
-pub(crate) fn forward_frame(tree: TreeId, seq: u64, body: &[u8]) -> Bytes {
+pub(crate) fn forward_frame(tree: TreeId, seq: u64, epoch: u64, body: &[u8]) -> Bytes {
     let mut out = BytesMut::with_capacity(4 + FORWARD_BODY_OFFSET + body.len());
     out.put_u32_le((FORWARD_BODY_OFFSET + body.len()) as u32);
     out.put_u8(B2B_FORWARD);
     out.put_u32_le(tree.index() as u32);
     out.put_u64_le(seq);
+    out.put_u64_le(epoch);
     out.extend_from_slice(body);
     out.freeze()
 }
@@ -542,10 +576,16 @@ impl BrokerToBroker {
                 b.put_u64_le(*last_recv_incarnation);
                 b.put_u64_le(*send_seq);
             }
-            BrokerToBroker::Forward { tree, seq, event } => {
+            BrokerToBroker::Forward {
+                tree,
+                seq,
+                epoch,
+                event,
+            } => {
                 b.put_u8(B2B_FORWARD);
                 b.put_u32_le(tree.index() as u32);
                 b.put_u64_le(*seq);
+                b.put_u64_le(*epoch);
                 wire::put_event(&mut b, event);
             }
             BrokerToBroker::FwdAck { seq } => {
@@ -571,6 +611,18 @@ impl BrokerToBroker {
             }
             BrokerToBroker::Pong => {
                 b.put_u8(B2B_PONG);
+            }
+            BrokerToBroker::LinkDown { a, b: bb, ver } => {
+                b.put_u8(B2B_LINKDOWN);
+                b.put_u32_le(a.raw());
+                b.put_u32_le(bb.raw());
+                b.put_u64_le(*ver);
+            }
+            BrokerToBroker::LinkUp { a, b: bb, ver } => {
+                b.put_u8(B2B_LINKUP);
+                b.put_u32_le(a.raw());
+                b.put_u32_le(bb.raw());
+                b.put_u64_le(*ver);
             }
         }
         frame(b)
@@ -601,13 +653,19 @@ impl BrokerToBroker {
                 })
             }
             B2B_FORWARD => {
-                if buf.remaining() < 12 {
+                if buf.remaining() < 20 {
                     return Err(ProtocolError::Malformed("short forward".into()));
                 }
                 let tree = tree_from_raw(buf.get_u32_le());
                 let seq = buf.get_u64_le();
+                let epoch = buf.get_u64_le();
                 let event = wire::get_event(buf, registry)?;
-                Ok(BrokerToBroker::Forward { tree, seq, event })
+                Ok(BrokerToBroker::Forward {
+                    tree,
+                    seq,
+                    epoch,
+                    event,
+                })
             }
             B2B_FWDACK => {
                 if buf.remaining() < 8 {
@@ -643,6 +701,26 @@ impl BrokerToBroker {
             }
             B2B_PING => Ok(BrokerToBroker::Ping),
             B2B_PONG => Ok(BrokerToBroker::Pong),
+            B2B_LINKDOWN => {
+                if buf.remaining() < 16 {
+                    return Err(ProtocolError::Malformed("short linkdown".into()));
+                }
+                Ok(BrokerToBroker::LinkDown {
+                    a: BrokerId::new(buf.get_u32_le()),
+                    b: BrokerId::new(buf.get_u32_le()),
+                    ver: buf.get_u64_le(),
+                })
+            }
+            B2B_LINKUP => {
+                if buf.remaining() < 16 {
+                    return Err(ProtocolError::Malformed("short linkup".into()));
+                }
+                Ok(BrokerToBroker::LinkUp {
+                    a: BrokerId::new(buf.get_u32_le()),
+                    b: BrokerId::new(buf.get_u32_le()),
+                    ver: buf.get_u64_le(),
+                })
+            }
             tag => Err(ProtocolError::Malformed(format!(
                 "unknown broker-to-broker tag {tag:#x}"
             ))),
@@ -752,6 +830,10 @@ mod tests {
                 snapshot_writes: 19,
                 torn_records_discarded: 20,
                 recoveries: 21,
+                repairs_initiated: 22,
+                epoch_flips: 23,
+                stale_epoch_drops: 24,
+                rerouted_frames: 25,
             }),
         ];
         for m in messages {
@@ -813,12 +895,31 @@ mod tests {
         let fwd = BrokerToBroker::Forward {
             tree: TreeId::from_index(2),
             seq: 31,
+            epoch: 6,
             event,
         };
         assert_eq!(
             BrokerToBroker::decode(strip(fwd.encode()), &reg).unwrap(),
             fwd
         );
+
+        for msg in [
+            BrokerToBroker::LinkDown {
+                a: BrokerId::new(1),
+                b: BrokerId::new(3),
+                ver: 7,
+            },
+            BrokerToBroker::LinkUp {
+                a: BrokerId::new(1),
+                b: BrokerId::new(3),
+                ver: 8,
+            },
+        ] {
+            assert_eq!(
+                BrokerToBroker::decode(strip(msg.encode()), &reg).unwrap(),
+                msg
+            );
+        }
     }
 
     #[test]
@@ -835,10 +936,11 @@ mod tests {
             .encode()
         );
         assert_eq!(
-            forward_frame(TreeId::from_index(3), 17, &body),
+            forward_frame(TreeId::from_index(3), 17, 5, &body),
             BrokerToBroker::Forward {
                 tree: TreeId::from_index(3),
                 seq: 17,
+                epoch: 5,
                 event: event.clone()
             }
             .encode()
@@ -866,6 +968,7 @@ mod tests {
             BrokerToBroker::Forward {
                 tree: TreeId::from_index(1),
                 seq: 9,
+                epoch: 2,
                 event,
             }
             .encode(),
@@ -940,14 +1043,15 @@ mod tests {
     #[test]
     fn stats_ignores_longer_newer_payloads() {
         let reg = registry();
-        // A 25-counter payload from a future build: the 21 counters this
+        // A 29-counter payload from a future build: the 25 counters this
         // build knows decode in wire order, the 4 extra are ignored.
-        let counters: Vec<u64> = (1..=25).collect();
+        let counters: Vec<u64> = (1..=29).collect();
         match BrokerToClient::decode(stats_payload(&counters), &reg).unwrap() {
             BrokerToClient::Stats(c) => {
                 assert_eq!(c.published, 1);
                 assert_eq!(c.match_cache_invalidations, 16);
                 assert_eq!(c.recoveries, 21);
+                assert_eq!(c.rerouted_frames, 25);
             }
             other => panic!("expected stats, got {other:?}"),
         }

@@ -81,7 +81,11 @@ const fn build_crc_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         // analyzer:allow(index): i < 256 by the loop bound
@@ -519,7 +523,11 @@ impl Storage for SimStorage {
 
     fn read(&self, log: &str) -> io::Result<Vec<u8>> {
         let state = self.locked();
-        Ok(state.logs.get(log).map(|l| l.data.clone()).unwrap_or_default())
+        Ok(state
+            .logs
+            .get(log)
+            .map(|l| l.data.clone())
+            .unwrap_or_default())
     }
 
     fn truncate(&self, log: &str) -> io::Result<()> {

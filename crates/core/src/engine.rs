@@ -561,6 +561,16 @@ impl LinkMatchEngine {
         })
     }
 
+    /// Swaps in a new link space (topology repair) and rebuilds every
+    /// derived structure: leaf vectors, annotations, and the flattened
+    /// arena. The engine's generation counter keeps counting up from its
+    /// current value, so match-cache entries minted under the old space
+    /// are invalidated rather than aliased.
+    pub fn rebuild_space(&mut self, space: LinkSpace) {
+        self.space = space;
+        self.rebuild_annotations();
+    }
+
     /// Refreshes the leaf-vector cache (call after the link space changes;
     /// topology is otherwise static in this reproduction).
     pub fn rebuild_annotations(&mut self) {

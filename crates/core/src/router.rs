@@ -44,6 +44,25 @@ impl RoutingFabric {
         Ok(Arc::new(RoutingFabric { network, forest }))
     }
 
+    /// Rebuilds the fabric over the surviving graph: the same network and
+    /// the same (sorted) root set, with the spanning forest recomputed as
+    /// if the `excluded` edges were severed. Link numbering is untouched —
+    /// dead edges stay in the network and keep their [`LinkId`]s; they are
+    /// only barred from tree membership, so trit-vector positions remain
+    /// stable across repairs. Every broker recomputing from the same
+    /// exclusion set derives the same forest (and the same [`TreeId`]
+    /// assignment), which is what lets topology epochs stand in for full
+    /// tree comparison on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Any topology error from [`SpanningForest::compute_excluding`].
+    pub fn rebuild_excluding(&self, excluded: &[(BrokerId, BrokerId)]) -> Result<Arc<Self>> {
+        let network = self.network.clone();
+        let forest = SpanningForest::compute_excluding(&network, &self.forest.roots(), excluded)?;
+        Ok(Arc::new(RoutingFabric { network, forest }))
+    }
+
     /// The broker network.
     pub fn network(&self) -> &BrokerNetwork {
         &self.network
@@ -299,4 +318,49 @@ pub(crate) fn child_links(
                 .expect("tree edges are network links")
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    #[test]
+    fn rebuild_excluding_preserves_network_and_reroots_trees() {
+        let mut b = NetworkBuilder::new();
+        let ids = b.add_brokers(4);
+        b.connect(ids[0], ids[1], 10.0).unwrap();
+        b.connect(ids[1], ids[2], 10.0).unwrap();
+        b.connect(ids[2], ids[3], 10.0).unwrap();
+        b.connect(ids[3], ids[0], 10.0).unwrap();
+        for &id in &ids {
+            b.add_client(id).unwrap();
+        }
+        let net = b.build().unwrap();
+        let fabric = RoutingFabric::new_all_roots(net).unwrap();
+        let repaired = fabric.rebuild_excluding(&[(ids[0], ids[1])]).unwrap();
+        // The network (and its link numbering) is untouched; only the
+        // forest changes, recomputed for the same root set.
+        assert_eq!(
+            repaired.network().link_count(ids[0]),
+            fabric.network().link_count(ids[0])
+        );
+        let roots: Vec<BrokerId> = fabric.network().brokers().collect();
+        assert_eq!(repaired.forest().roots(), roots);
+        let tree = repaired
+            .forest()
+            .tree(repaired.tree_for(ids[0]).unwrap())
+            .unwrap();
+        assert_eq!(tree.parent(ids[1]), Some(ids[2]));
+        // Rebuilding with no exclusions reproduces the original forest.
+        let same = fabric.rebuild_excluding(&[]).unwrap();
+        for &root in &roots {
+            let a = fabric
+                .forest()
+                .tree(fabric.tree_for(root).unwrap())
+                .unwrap();
+            let b = same.forest().tree(same.tree_for(root).unwrap()).unwrap();
+            assert_eq!(a, b);
+        }
+    }
 }

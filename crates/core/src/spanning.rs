@@ -47,9 +47,16 @@ pub struct SpanningTree {
 }
 
 impl SpanningTree {
-    /// Builds the shortest-path tree rooted at `root`.
-    fn shortest_path_tree(network: &BrokerNetwork, root: BrokerId) -> Self {
-        let (_, parent) = network.shortest_paths(root);
+    /// Builds the shortest-path tree rooted at `root` over the surviving
+    /// graph (edges in `excluded` are treated as severed). Brokers the
+    /// exclusions disconnect from `root` are simply absent from the tree
+    /// ([`SpanningTree::contains`] reports them).
+    fn shortest_path_tree(
+        network: &BrokerNetwork,
+        root: BrokerId,
+        excluded: &[(BrokerId, BrokerId)],
+    ) -> Self {
+        let (_, parent) = network.shortest_paths_excluding(root, excluded);
         let n = network.broker_count();
         let mut children: Vec<Vec<BrokerId>> = vec![Vec::new(); n];
         for (i, p) in parent.iter().enumerate() {
@@ -101,10 +108,21 @@ impl SpanningTree {
         &self.children[broker.index()]
     }
 
+    /// Whether `broker` is part of this tree. On a fully connected graph
+    /// every broker is; after excluded-edge recomputation (topology repair)
+    /// brokers cut off from the root are not, and their Euler-tour stamps
+    /// are meaningless — every structural query below guards on this.
+    pub fn contains(&self, broker: BrokerId) -> bool {
+        broker == self.root || self.parent[broker.index()].is_some()
+    }
+
     /// Whether `descendant` lies in the subtree rooted at `ancestor`
-    /// (inclusive).
+    /// (inclusive). Brokers outside the tree are nobody's descendant and
+    /// nobody's ancestor.
     pub fn is_descendant(&self, descendant: BrokerId, ancestor: BrokerId) -> bool {
-        self.tin[ancestor.index()] <= self.tin[descendant.index()]
+        self.contains(descendant)
+            && self.contains(ancestor)
+            && self.tin[ancestor.index()] <= self.tin[descendant.index()]
             && self.tout[descendant.index()] <= self.tout[ancestor.index()]
     }
 
@@ -165,6 +183,25 @@ impl SpanningForest {
     /// [`CoreError::Topology`] if `roots` is empty or contains an unknown
     /// broker.
     pub fn compute(network: &BrokerNetwork, roots: &[BrokerId]) -> Result<Self> {
+        Self::compute_excluding(network, roots, &[])
+    }
+
+    /// [`compute`](Self::compute) over the surviving graph: edges in
+    /// `excluded` are treated as severed, so every tree spans only the
+    /// component its root sits in. Brokers disconnected from a root are
+    /// absent from that root's tree (no error — topology repair keeps
+    /// routing the reachable component); an excluded edge that appears
+    /// nowhere in the network is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Topology`] if `roots` is empty or contains an unknown
+    /// broker.
+    pub fn compute_excluding(
+        network: &BrokerNetwork,
+        roots: &[BrokerId],
+        excluded: &[(BrokerId, BrokerId)],
+    ) -> Result<Self> {
         if roots.is_empty() {
             return Err(CoreError::Topology(
                 "at least one publisher-hosting broker is required".into(),
@@ -181,7 +218,7 @@ impl SpanningForest {
             if forest.by_root.contains_key(&root) {
                 continue;
             }
-            let tree = SpanningTree::shortest_path_tree(network, root);
+            let tree = SpanningTree::shortest_path_tree(network, root, excluded);
             // Dedup: trees with identical parent structure are the same
             // distribution tree regardless of root label.
             let id = match forest.trees.iter().position(|t| t.parent == tree.parent) {
@@ -214,6 +251,25 @@ impl SpanningForest {
     /// Whether the forest is empty (never true for a built forest).
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
+    }
+
+    /// The roots this forest was computed for, in ascending id order — the
+    /// exact argument to hand [`SpanningForest::compute_excluding`] so a
+    /// repaired forest assigns [`TreeId`]s deterministically across brokers
+    /// (every broker recomputes from the same sorted root list).
+    pub fn roots(&self) -> Vec<BrokerId> {
+        let mut roots: Vec<BrokerId> = self.by_root.keys().copied().collect();
+        roots.sort_unstable();
+        roots
+    }
+
+    /// Whether `a` and `b` are parent/child in *any* tree of the forest.
+    /// Topology repair uses the old-vs-new answer to decide which live
+    /// links need a subscription resync after an epoch flip.
+    pub fn tree_adjacent(&self, a: BrokerId, b: BrokerId) -> bool {
+        self.trees
+            .iter()
+            .any(|t| t.parent(a) == Some(b) || t.parent(b) == Some(a))
     }
 
     /// The tree used by publishers attached to `root`, if computed.
@@ -315,12 +371,21 @@ impl LinkSpace {
         broker: BrokerId,
     ) -> HashMap<ClientId, LinkId> {
         let mut mapping = HashMap::new();
+        if !tree.contains(broker) {
+            // The broker sits outside this tree's component (an excluded
+            // edge cut it off from the root): events on this tree can never
+            // reach it, so it routes nothing — not even to local clients.
+            return mapping;
+        }
         for client in network.clients() {
             let home = network.home_broker(client).expect("client exists");
             let link = if home == broker {
                 network
                     .link_to_client(broker, client)
                     .expect("local client has a link")
+            } else if !tree.contains(home) {
+                // Unreachable on the surviving graph: no next hop exists.
+                continue;
             } else if let Some(child) = tree.child_toward(broker, home) {
                 network
                     .link_to_broker(broker, child)
@@ -566,5 +631,225 @@ mod tests {
     #[test]
     fn tree_id_display() {
         assert_eq!(TreeId(3).to_string(), "T3");
+    }
+
+    /// Square B0-B1-B2-B3-B0 with a client per broker (unit delays).
+    fn square() -> (BrokerNetwork, Vec<BrokerId>) {
+        let mut b = NetworkBuilder::new();
+        let ids = b.add_brokers(4);
+        b.connect(ids[0], ids[1], 10.0).unwrap();
+        b.connect(ids[1], ids[2], 10.0).unwrap();
+        b.connect(ids[2], ids[3], 10.0).unwrap();
+        b.connect(ids[3], ids[0], 10.0).unwrap();
+        for &id in &ids {
+            b.add_client(id).unwrap();
+        }
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn excluding_a_cycle_edge_reroutes_the_long_way() {
+        let (net, ids) = square();
+        let roots: Vec<BrokerId> = net.brokers().collect();
+        let forest = SpanningForest::compute_excluding(&net, &roots, &[(ids[0], ids[1])]).unwrap();
+        let tree = forest.tree(forest.tree_for_root(ids[0]).unwrap()).unwrap();
+        // With 0-1 severed, B1 is reached the long way round: 0-3-2-1.
+        assert_eq!(tree.parent(ids[1]), Some(ids[2]));
+        assert_eq!(tree.parent(ids[2]), Some(ids[3]));
+        assert_eq!(tree.parent(ids[3]), Some(ids[0]));
+        for &b in &ids {
+            assert!(tree.contains(b), "square stays connected without one edge");
+        }
+        // The reversed endpoint order must sever the same edge.
+        let flipped = SpanningForest::compute_excluding(&net, &roots, &[(ids[1], ids[0])]).unwrap();
+        let t2 = flipped
+            .tree(flipped.tree_for_root(ids[0]).unwrap())
+            .unwrap();
+        assert_eq!(t2.parent(ids[1]), Some(ids[2]));
+    }
+
+    #[test]
+    fn excluding_a_bridge_cuts_brokers_out_of_the_tree() {
+        let (net, ids, _) = star();
+        let roots: Vec<BrokerId> = net.brokers().collect();
+        // 0-1 is a bridge of the star: B0 ends up alone.
+        let forest = SpanningForest::compute_excluding(&net, &roots, &[(ids[0], ids[1])]).unwrap();
+        let t1 = forest.tree(forest.tree_for_root(ids[1]).unwrap()).unwrap();
+        assert!(!t1.contains(ids[0]));
+        assert!(t1.contains(ids[2]));
+        assert!(!t1.is_descendant(ids[0], ids[1]));
+        assert!(!t1.is_descendant(ids[1], ids[0]));
+        assert_eq!(t1.child_toward(ids[1], ids[0]), None);
+        assert_eq!(t1.path_down(ids[1], ids[0]), None);
+        let t0 = forest.tree(forest.tree_for_root(ids[0]).unwrap()).unwrap();
+        assert!(t0.contains(ids[0]));
+        assert!(!t0.contains(ids[1]) && !t0.contains(ids[2]) && !t0.contains(ids[3]));
+        // A broker outside the tree's component routes nothing, and
+        // reachable brokers never map destinations beyond the cut.
+        let space0 = LinkSpace::build(&net, &forest, ids[0]);
+        let tree1 = forest.tree_for_root(ids[1]).unwrap();
+        assert_eq!(space0.init_mask(tree1).count_maybe(), 0);
+        let space1 = LinkSpace::build(&net, &forest, ids[1]);
+        let tree0 = forest.tree_for_root(ids[0]).unwrap();
+        assert_eq!(space1.init_mask(tree0).count_maybe(), 0);
+    }
+
+    #[test]
+    fn roots_are_sorted_and_tree_adjacency_tracks_the_forest() {
+        let (net, ids, _) = star();
+        let forest = SpanningForest::compute(&net, &[ids[2], ids[0]]).unwrap();
+        assert_eq!(forest.roots(), vec![ids[0], ids[2]]);
+        assert!(forest.tree_adjacent(ids[0], ids[1]));
+        assert!(forest.tree_adjacent(ids[1], ids[0]));
+        assert!(!forest.tree_adjacent(ids[0], ids[2]), "not an edge");
+        let (net2, ids2) = square();
+        let roots: Vec<BrokerId> = net2.brokers().collect();
+        let full = SpanningForest::compute(&net2, &roots).unwrap();
+        let cut = SpanningForest::compute_excluding(&net2, &roots, &[(ids2[0], ids2[1])]).unwrap();
+        // The severed edge is tree-adjacent in the full forest but cannot
+        // be in the repaired one; some surviving edge takes over.
+        assert!(full.tree_adjacent(ids2[0], ids2[1]));
+        assert!(!cut.tree_adjacent(ids2[0], ids2[1]));
+        assert!(cut.tree_adjacent(ids2[1], ids2[2]));
+    }
+
+    /// Satellite: incremental recompute after k link removals must agree
+    /// with a from-scratch `compute_all` over the surviving graph — tree
+    /// for tree, parent for parent — and never orphan a reachable broker.
+    mod repair_equivalence {
+        use std::collections::HashSet;
+
+        use proptest::prelude::*;
+
+        use super::*;
+
+        /// Random connected multigraph: a random tree plus chord edges.
+        #[derive(Debug, Clone)]
+        struct Graph {
+            parents: Vec<usize>,
+            chords: Vec<(usize, usize)>,
+            /// Candidate removals, as indices into the edge list.
+            removals: Vec<usize>,
+        }
+
+        fn graph_strategy() -> impl Strategy<Value = Graph> {
+            (3usize..8).prop_flat_map(|n| {
+                let parents = proptest::collection::vec(0usize..n, n - 1)
+                    .prop_map(|raw| raw.iter().enumerate().map(|(i, &p)| p % (i + 1)).collect());
+                let chords = proptest::collection::vec((0usize..n, 0usize..n), 1..4);
+                let removals = proptest::collection::vec(0usize..(n + 3), 1..4);
+                (parents, chords, removals).prop_map(|(parents, chords, removals)| Graph {
+                    parents,
+                    chords,
+                    removals,
+                })
+            })
+        }
+
+        fn edge_list(g: &Graph) -> Vec<(usize, usize)> {
+            let mut edges: Vec<(usize, usize)> = g
+                .parents
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i + 1))
+                .collect();
+            for &(a, b) in &g.chords {
+                let (a, b) = (a.min(b), a.max(b));
+                if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                    edges.push((a, b));
+                }
+            }
+            edges
+        }
+
+        fn connected(n: usize, edges: &[(usize, usize)]) -> bool {
+            let mut seen = HashSet::from([0usize]);
+            let mut stack = vec![0usize];
+            while let Some(v) = stack.pop() {
+                for &(a, b) in edges {
+                    let next = if a == v {
+                        b
+                    } else if b == v {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if seen.insert(next) {
+                        stack.push(next);
+                    }
+                }
+            }
+            seen.len() == n
+        }
+
+        fn build(n: usize, edges: &[(usize, usize)]) -> BrokerNetwork {
+            let mut b = NetworkBuilder::new();
+            let ids = b.add_brokers(n);
+            for &(x, y) in edges {
+                b.connect(ids[x], ids[y], 10.0).unwrap();
+            }
+            for &id in &ids {
+                b.add_client(id).unwrap();
+            }
+            b.build().unwrap()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn incremental_recompute_matches_from_scratch(g in graph_strategy()) {
+                let n = g.parents.len() + 1;
+                let edges = edge_list(&g);
+                // Greedily honor each removal candidate while the surviving
+                // graph stays connected (NetworkBuilder rejects
+                // disconnected graphs, and a connected survivor is the
+                // interesting repair case anyway).
+                let mut surviving = edges.clone();
+                let mut removed: Vec<(usize, usize)> = Vec::new();
+                for &r in &g.removals {
+                    if surviving.len() < 2 {
+                        break;
+                    }
+                    let idx = r % surviving.len();
+                    let candidate: Vec<_> = surviving
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &e)| (i != idx).then_some(e))
+                        .collect();
+                    if connected(n, &candidate) {
+                        removed.push(surviving[idx]);
+                        surviving = candidate;
+                    }
+                }
+                prop_assume!(!removed.is_empty());
+
+                let full = build(n, &edges);
+                let roots: Vec<BrokerId> = full.brokers().collect();
+                let excluded: Vec<(BrokerId, BrokerId)> = removed
+                    .iter()
+                    .map(|&(a, b)| (BrokerId::new(a as u32), BrokerId::new(b as u32)))
+                    .collect();
+                let incremental =
+                    SpanningForest::compute_excluding(&full, &roots, &excluded).unwrap();
+                let scratch_net = build(n, &surviving);
+                let scratch = SpanningForest::compute_all(&scratch_net).unwrap();
+
+                prop_assert_eq!(incremental.len(), scratch.len());
+                for &root in &roots {
+                    let a = incremental
+                        .tree(incremental.tree_for_root(root).unwrap())
+                        .unwrap();
+                    let b = scratch.tree(scratch.tree_for_root(root).unwrap()).unwrap();
+                    prop_assert_eq!(a.root(), b.root());
+                    for broker in full.brokers() {
+                        prop_assert_eq!(a.parent(broker), b.parent(broker));
+                        prop_assert_eq!(a.children(broker), b.children(broker));
+                        // No orphans: the survivor is connected, so every
+                        // broker must sit inside every repaired tree.
+                        prop_assert!(a.contains(broker));
+                    }
+                }
+            }
+        }
     }
 }

@@ -188,6 +188,20 @@ impl BrokerNetwork {
     ///
     /// Returns `(distance, parent)` vectors indexed by broker.
     pub fn shortest_paths(&self, source: BrokerId) -> (Vec<f64>, Vec<Option<BrokerId>>) {
+        self.shortest_paths_excluding(source, &[])
+    }
+
+    /// [`shortest_paths`](Self::shortest_paths) over the surviving graph:
+    /// edges listed in `excluded` (either endpoint order) are skipped during
+    /// relaxation, as if severed. Brokers unreachable without them keep
+    /// `INFINITY` distance and `None` parent — callers treat those as
+    /// outside the tree rather than erroring, so topology repair can route
+    /// the surviving component while a partition is in effect.
+    pub fn shortest_paths_excluding(
+        &self,
+        source: BrokerId,
+        excluded: &[(BrokerId, BrokerId)],
+    ) -> (Vec<f64>, Vec<Option<BrokerId>>) {
         use std::cmp::Ordering;
         use std::collections::BinaryHeap;
 
@@ -221,6 +235,12 @@ impl BrokerNetwork {
                 continue;
             }
             for &(next, w) in &self.brokers[b.index()].neighbors {
+                if excluded
+                    .iter()
+                    .any(|&(x, y)| (x, y) == (b, next) || (y, x) == (b, next))
+                {
+                    continue;
+                }
                 let nd = d + w;
                 let cur = dist[next.index()];
                 // Deterministic tie-break: prefer the lower-id parent.

@@ -84,6 +84,15 @@ pub enum FrameTag {
     /// liveness, but `Pong` is the guaranteed answer to a `Ping` on an
     /// otherwise idle link.
     Pong = 0x27,
+    /// Flooded link-state statement: a broker-broker edge is down
+    /// (broker ↔ broker). Carries the edge's normalized endpoints and a
+    /// per-edge version; receivers apply it if newer, recompute the
+    /// spanning forest over the surviving graph, and re-flood.
+    LinkDown = 0x28,
+    /// Flooded link-state statement: a previously dead edge is live again
+    /// (broker ↔ broker). Same payload and apply-if-newer semantics as
+    /// [`FrameTag::LinkDown`].
+    LinkUp = 0x29,
 }
 
 fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {

@@ -77,6 +77,19 @@ fn sanitized_wal_record_len(buf: &mut Bytes) -> Option<Bytes> {
     Some(buf.split_to(wal_len))
 }
 
+fn tainted_epoch_reserve(buf: &mut Bytes) -> Vec<TreeId> {
+    let epoch = buf.get_u64_le();
+    Vec::with_capacity(epoch as usize) // seeded: topology epoch is peer-controlled
+}
+
+fn sanitized_epoch_reserve(buf: &mut Bytes, current: u64) -> Option<u64> {
+    let epoch = buf.get_u64_le();
+    if epoch != current {
+        return None; // stale or future epoch: drop, never size anything by it
+    }
+    Some(epoch)
+}
+
 fn allowed_without_reason(buf: &mut Bytes) -> Vec<u8> {
     let len = buf.get_u32_le() as usize;
     // analyzer:allow(wire-taint)

@@ -60,6 +60,7 @@ const HOT_MODULES: &[&str] = &[
     "transport.rs",
     "simnet.rs",
     "storage.rs",
+    "repair.rs",
 ];
 
 /// Core matching modules on the per-event path (the arena walk and the
@@ -313,13 +314,17 @@ fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
     findings.extend(wire::check(&ws));
 
     // Pass 4: wire-taint over every file that decodes untrusted bytes —
-    // the broker codec, the WAL record decoder (a torn write leaves
-    // arbitrary garbage in the length headers `recover()` reads back),
-    // and the types decode surface.
+    // the broker codec (including the LinkDown/LinkUp repair arms, whose
+    // epoch and version fields arrive from peers), the WAL record
+    // decoder (a torn write leaves arbitrary garbage in the length
+    // headers `recover()` reads back), the link-state table the decoded
+    // statements flow into, and the types decode surface.
     findings.extend(taint::check(&ws.protocol));
     for file in &lock_files {
         let name = file.path.rsplit('/').next().unwrap_or(&file.path);
-        if file.path.starts_with("crates/broker/src") && name == "storage.rs" {
+        if file.path.starts_with("crates/broker/src")
+            && (name == "storage.rs" || name == "repair.rs")
+        {
             findings.extend(taint::check(file));
         }
     }
@@ -443,6 +448,7 @@ fn run_selftest(root: &Path) -> Result<(), String> {
         "`.advance()` driven by untrusted wire value `doubled`",
         "slice index derived from untrusted wire value `slot`",
         "`.split_to()` driven by untrusted wire value `wal_len`",
+        "allocation sized by untrusted wire value `epoch`",
     ] {
         if !found.iter().any(|f| f.message.contains(needle)) {
             return Err(format!(
@@ -450,9 +456,9 @@ fn run_selftest(root: &Path) -> Result<(), String> {
             ));
         }
     }
-    if found.len() != 6 {
+    if found.len() != 7 {
         return Err(format!(
-            "taint fixture: expected exactly 6 findings (sanitized twins and the \
+            "taint fixture: expected exactly 7 findings (sanitized twins and the \
              allow-annotated sink must stay quiet), got {found:?}"
         ));
     }
@@ -461,6 +467,11 @@ fn run_selftest(root: &Path) -> Result<(), String> {
     // exempt `recover()`'s byte handling from the panic lint.
     if !HOT_MODULES.contains(&"storage.rs") {
         return Err("HOT_MODULES must cover storage.rs (WAL record decoding)".into());
+    }
+    // Same pin for the repair work: the link-state table consumes
+    // peer-supplied versions from the LinkDown/LinkUp decode arms.
+    if !HOT_MODULES.contains(&"repair.rs") {
+        return Err("HOT_MODULES must cover repair.rs (link-state statements)".into());
     }
     // The deliberately bare allow comment must trip the hygiene rule.
     expect_rule(&allow_hygiene(&file), "allow-without-reason", "taint")?;

@@ -73,6 +73,12 @@ pub struct DirState {
     /// make the receiver notice (undecodable frame → protocol error →
     /// hangup) instead of silently misrouting.
     corrupt_next: AtomicBool,
+    /// One-shot: XOR the next `Forward` frame's event payload (the schema
+    /// word past the 21-byte routing header). Unlike [`corrupt_next`],
+    /// the tag dispatch succeeds and the *event decode* fails —
+    /// exercising the error path behind the frame switch, where a sloppy
+    /// handler could advance the receive window or ack before noticing.
+    corrupt_payload_next: AtomicBool,
     /// Hold each frame this long before forwarding it.
     delay_ms: AtomicU64,
 }
@@ -90,6 +96,13 @@ impl DirState {
         self.corrupt_next.store(true, Ordering::Release);
     }
 
+    /// Arms the one-shot payload corruption: the next `Forward` frame
+    /// passing this direction gets its event body scrambled (the frame
+    /// header survives). Control frames pass untouched while armed.
+    pub fn corrupt_next_payload(&self) {
+        self.corrupt_payload_next.store(true, Ordering::Release);
+    }
+
     pub fn delay(&self, ms: u64) {
         self.delay_ms.store(ms, Ordering::Release);
     }
@@ -99,6 +112,7 @@ impl DirState {
         self.stall.store(false, Ordering::Release);
         self.dribble.store(false, Ordering::Release);
         self.corrupt_next.store(false, Ordering::Release);
+        self.corrupt_payload_next.store(false, Ordering::Release);
         self.delay_ms.store(0, Ordering::Release);
     }
 }
@@ -243,6 +257,17 @@ fn pump(from: TcpStream, to: TcpStream, state: Arc<DirState>) {
             // protocol error and hangs up instead of misinterpreting.
             if state.corrupt_next.swap(false, Ordering::AcqRel) && len > 0 {
                 frame[4] = 0xff;
+            }
+            // Payload corruption waits for a Forward (tag 0x22) and
+            // scrambles the event's schema word past the 21-byte routing
+            // header: the frame decodes, the event inside does not.
+            if len >= 25
+                && frame[4] == 0x22
+                && state.corrupt_payload_next.swap(false, Ordering::AcqRel)
+            {
+                for byte in &mut frame[25..29] {
+                    *byte ^= 0xff;
+                }
             }
             let delay = state.delay_ms.load(Ordering::Acquire);
             if delay > 0 {

@@ -267,6 +267,90 @@ fn chain_survives_killed_links_with_match_cache() {
     );
 }
 
+/// Payload corruption (not tag corruption): a `Forward` frame whose
+/// *event body* is scrambled decodes past the tag dispatch and fails in
+/// the event parser. The receiver must count a protocol error and drop
+/// the peer without acking or advancing its receive window, so the
+/// sender's spool replays the original, uncorrupted frame on redial —
+/// the subscriber sees the exact sequence, no loss, no duplicate.
+#[test]
+fn corrupted_payload_is_rejected_and_replayed_from_the_spool() {
+    let mut net = NetworkBuilder::new();
+    let a = net.add_broker(); // acceptor: hosts the subscriber
+    let b = net.add_broker(); // dialer: hosts the publisher
+    net.connect(a, b, 5.0).unwrap();
+    let sub_client = net.add_client(a).unwrap();
+    let pub_client = net.add_client(b).unwrap();
+    let fabric = RoutingFabric::new_all_roots(net.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let start = |broker| {
+        let mut config = BrokerConfig::localhost(broker, fabric.clone(), Arc::clone(&registry));
+        config.gc_interval = Duration::from_millis(50);
+        config.heartbeat_interval = HEARTBEAT;
+        config.liveness_timeout = LIVENESS;
+        config.link_handshake_timeout = Duration::from_millis(500);
+        BrokerNode::start(config).unwrap()
+    };
+    let node_a = start(a);
+    let node_b = start(b);
+    let link = FaultLink::start(node_a.addr());
+    node_b.connect_to_persistent(a, link.addr());
+
+    let mut subscriber =
+        Client::connect(node_a.addr(), sub_client, 0, Arc::clone(&registry)).unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    await_subscriptions(&[&node_a, &node_b], 1);
+
+    let mut publisher =
+        Client::connect(node_b.addr(), pub_client, 0, Arc::clone(&registry)).unwrap();
+
+    // One event crosses the healthy link, establishing sequence state.
+    publisher.publish(&tick(&registry, 0)).unwrap();
+    let (_, event) = subscriber.recv(Duration::from_secs(5)).unwrap();
+    assert_eq!(event.value(0).unwrap().as_int().unwrap(), 0);
+
+    // Arm the one-shot body corruption on B→A, then publish through it:
+    // the first Forward (value 1) arrives with a scrambled event body.
+    link.forward().corrupt_next_payload();
+    for n in 1..=4 {
+        publisher.publish(&tick(&registry, n)).unwrap();
+    }
+
+    // A must notice in the event parser and hang up on the peer.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while node_a.stats().protocol_errors == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "a corrupted Forward body never surfaced as a protocol error"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        node_a.stats().protocol_errors,
+        1,
+        "the one-shot corruption must count exactly one protocol error"
+    );
+
+    // The redial's spool replay must deliver the original frame (the
+    // corruption lived on the wire, not in the spool) and everything
+    // behind it, exactly once each.
+    for expected in 1..=4 {
+        let (_, event) = subscriber
+            .recv(Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("event {expected} never arrived after the redial: {e}"));
+        assert_eq!(event.value(0).unwrap().as_int().unwrap(), expected);
+    }
+    assert!(
+        subscriber.recv(Duration::from_millis(300)).is_err(),
+        "duplicate delivered after the corruption recovery"
+    );
+    assert!(
+        node_b.stats().retransmitted > 0,
+        "the rejected frame must have been replayed from the spool"
+    );
+}
+
 /// The half-open detection bound (tentpole acceptance): a stalled — not
 /// closed — broker link must be torn down by the liveness sweep within the
 /// configured timeout (plus scheduling slack), the spool must retain the

@@ -55,6 +55,15 @@ use linkcast_types::{
 
 /// Tree topology: broker 1 is the hub.
 const EDGES: [(usize, usize); 4] = [(0, 1), (1, 2), (2, 3), (1, 4)];
+/// Redundant (cyclic) topology for the repair model: brokers 1-2-3-4
+/// form a cycle, so any single cycle edge can die permanently and the
+/// surviving graph stays connected — the precondition for a topology
+/// repair to reroute around the cut. Edge 0 (0–1) is a bridge and is
+/// never partitioned.
+const REPAIR_EDGES: [(usize, usize); 5] = [(0, 1), (1, 2), (2, 3), (1, 4), (3, 4)];
+/// Indices of `REPAIR_EDGES` the repair schedule may partition (the
+/// cycle edges; killing the bridge would disconnect broker 0).
+const REPAIR_CYCLE: std::ops::Range<usize> = 1..5;
 const N_BROKERS: usize = 5;
 const HUB: usize = 1;
 /// Brokers hosting a churner client (not the hub: the hub restarts, and
@@ -95,6 +104,16 @@ enum Op {
     CrashBroker,
     /// Let in-flight traffic land.
     Settle { ms: u64 },
+    /// Permanently sever a cycle edge of the redundant repair topology
+    /// and wait for the LinkDown repair to converge (every broker at the
+    /// expected topology epoch). Emitted only by [`repair_schedule`];
+    /// no-op when another partition is already active (two dead cycle
+    /// edges could disconnect the graph, which is outside the repair
+    /// contract), so shrunk subsequences stay well-formed.
+    PartitionLink { edge: usize },
+    /// Heal the active partition and wait for the LinkUp repair to
+    /// converge. No-op when `edge` is not the active partition.
+    HealLink { edge: usize },
 }
 
 /// Derives the op schedule from the seed. Generation tracks link and
@@ -180,6 +199,42 @@ fn crash_schedule(seed: u64, len: usize) -> Vec<Op> {
     ops
 }
 
+/// The repair-model schedule: publishes and settles interleaved with
+/// permanent single-link partitions (and heals) of the redundant
+/// [`REPAIR_EDGES`] cycle. At most one partition is active at a time —
+/// the repair contract covers any *single* link failure of a redundant
+/// graph. If the drawn ops left the mesh whole, a final partition is
+/// appended so the closing publish and the probe phase always run
+/// *through* a repaired topology.
+fn repair_schedule(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = Lcg::new(seed);
+    let mut active: Option<usize> = None;
+    let mut ops = Vec::with_capacity(len + 2);
+    for _ in 0..len {
+        let op = match rng.below(10) {
+            0..=4 => Op::Publish,
+            5..=6 => match active.take() {
+                Some(edge) => Op::HealLink { edge },
+                None => {
+                    let edge = REPAIR_CYCLE.start + rng.below(REPAIR_CYCLE.len() as u64) as usize;
+                    active = Some(edge);
+                    Op::PartitionLink { edge }
+                }
+            },
+            _ => Op::Settle {
+                ms: 20 + rng.below(80),
+            },
+        };
+        ops.push(op);
+    }
+    if active.is_none() {
+        let edge = REPAIR_CYCLE.start + rng.below(REPAIR_CYCLE.len() as u64) as usize;
+        ops.push(Op::PartitionLink { edge });
+    }
+    ops.push(Op::Publish);
+    ops
+}
+
 macro_rules! ensure {
     ($cond:expr, $($fmt:tt)*) => {
         if !$cond {
@@ -255,13 +310,28 @@ struct Cluster {
     /// harness holds the `Arc`s, so the bytes survive a crashed broker
     /// the way a disk survives a dead process.
     storage: Vec<Option<Arc<SimStorage>>>,
+    /// The broker graph this cluster was built over ([`EDGES`] or
+    /// [`REPAIR_EDGES`]).
+    edges: &'static [(usize, usize)],
+    /// The `repair_after` escalation threshold every broker runs with
+    /// (0 = repair disabled, the tree-model default).
+    repair_after: u32,
 }
 
 impl Cluster {
     fn start(seed: u64, durable: bool) -> (Cluster, Vec<ClientId>, Vec<ClientId>, ClientId) {
+        Cluster::start_with(seed, durable, &EDGES, 0)
+    }
+
+    fn start_with(
+        seed: u64,
+        durable: bool,
+        edges: &'static [(usize, usize)],
+        repair_after: u32,
+    ) -> (Cluster, Vec<ClientId>, Vec<ClientId>, ClientId) {
         let mut builder = NetworkBuilder::new();
         let brokers: Vec<BrokerId> = (0..N_BROKERS).map(|_| builder.add_broker()).collect();
-        for &(a, b) in &EDGES {
+        for &(a, b) in edges {
             builder.connect(brokers[a], brokers[b], 5.0).unwrap();
         }
         let stable: Vec<ClientId> = brokers
@@ -305,6 +375,8 @@ impl Cluster {
             spaces,
             tree,
             storage,
+            edges,
+            repair_after,
         };
         for i in 0..N_BROKERS {
             cluster.boot_broker(i);
@@ -329,6 +401,7 @@ impl Cluster {
         // A short cadence so crash schedules exercise checkpoint +
         // WAL-suffix replay, not just one long log.
         config.snapshot_every = 8;
+        config.repair_after = self.repair_after;
         config
     }
 
@@ -336,7 +409,7 @@ impl Cluster {
     /// (the higher-numbered endpoint of each edge supervises the dial).
     fn boot_broker(&mut self, i: usize) {
         let node = BrokerNode::start(self.config(i)).unwrap();
-        for &(a, b) in &EDGES {
+        for &(a, b) in self.edges {
             if b == i {
                 node.connect_to_persistent(self.brokers[a], self.addrs[a]);
             }
@@ -351,7 +424,11 @@ impl Cluster {
     /// Expected steady-state connection count of broker `i`: incident
     /// tree edges plus connected local clients.
     fn baseline_connections(&self, i: usize) -> usize {
-        let links = EDGES.iter().filter(|&&(a, b)| a == i || b == i).count();
+        let links = self
+            .edges
+            .iter()
+            .filter(|&&(a, b)| a == i || b == i)
+            .count();
         let clients = self.fabric.network().clients_of(self.brokers[i]).len();
         links + clients
     }
@@ -681,6 +758,10 @@ fn run_model(seed: u64, ops: &[Op], cut: Option<PowerCut>) -> Result<String, Str
                 }
             }
             Op::Settle { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            // Repair ops belong to run_repair's redundant topology; on
+            // the tree they would disconnect the graph, so the tree
+            // model never schedules them.
+            Op::PartitionLink { .. } | Op::HealLink { .. } => continue,
         }
     }
 
@@ -896,6 +977,375 @@ fn run_model(seed: u64, ops: &[Op], cut: Option<PowerCut>) -> Result<String, Str
     Ok(trace)
 }
 
+/// Quiescent-cut barrier for the repair model: waits for the mesh to
+/// match the expected shape (baseline minus the dead edge's two
+/// endpoint connections), drains every stable subscriber to the full
+/// published sequence (asserting flooding-baseline equivalence *now*,
+/// which localizes a divergence to the op that caused it), then lets
+/// the cumulative acks flush so every spool is trimmed empty. A
+/// partition or heal fired after this barrier flips the epoch with no
+/// frame pending anywhere, which is what makes the model's claim
+/// exactly-once rather than at-least-once (DESIGN.md §15).
+fn repair_quiesce(
+    cluster: &Cluster,
+    stable: &mut [Client],
+    received: &mut [Vec<i64>],
+    published: &[i64],
+    dead: Option<usize>,
+    what: &str,
+) -> Result<(), String> {
+    cluster.wait(&format!("{what}: mesh"), Duration::from_secs(30), |c| {
+        (0..N_BROKERS).all(|i| {
+            let lost = dead.map_or(0, |e| {
+                let (a, b) = REPAIR_EDGES[e];
+                usize::from(a == i || b == i)
+            });
+            c.node(i).stats().connections == c.baseline_connections(i) - lost
+        })
+    })?;
+    for i in 0..N_BROKERS {
+        drain_into(
+            &mut stable[i],
+            &mut received[i],
+            published.len(),
+            &format!("{what}: stable subscriber {i}"),
+        )?;
+        ensure!(
+            received[i] == published,
+            "{what}: stable subscriber {i} diverged from the flooding baseline:\n \
+             got {:?}\nwant {:?}",
+            received[i],
+            published
+        );
+    }
+    std::thread::sleep(Duration::from_millis(400)); // ack flush → empty spools
+    cluster.wait(
+        &format!("{what}: queue quiescence"),
+        Duration::from_secs(30),
+        |c| {
+            (0..N_BROKERS).all(|i| {
+                let s = c.node(i).stats();
+                s.queued_frames == 0 && s.queued_bytes == 0
+            })
+        },
+    )?;
+    Ok(())
+}
+
+/// Executes one repair schedule against a fresh storage-less cluster on
+/// the redundant [`REPAIR_EDGES`] graph with repair escalation armed
+/// (`repair_after = 2`) and returns the event trace. Partitions are
+/// *permanent* until healed: instead of spooling across the outage, the
+/// dead edge's dialer escalates its redial failures into a `LinkDown`
+/// flood, every broker recomputes its spanning forest over the
+/// surviving graph, and routing cuts over under a new topology epoch —
+/// so the flooding-baseline delivery equivalence must hold *through*
+/// the repair, and the probe oracle is computed over the repaired
+/// fabric when a partition is active at probe time.
+fn run_repair(seed: u64, ops: &[Op]) -> Result<String, String> {
+    let (mut cluster, stable_ids, churner_ids, publisher_id) =
+        Cluster::start_with(seed, false, &REPAIR_EDGES, 2);
+    let registry = Arc::clone(&cluster.registry);
+    let schema = SchemaId::new(0);
+
+    // Phase A: stable match-all subscriber at every broker. The churner
+    // clients connect but never subscribe — they exist so the cluster's
+    // connection baseline is the same shape as the tree model's.
+    let mut stable: Vec<Client> = stable_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let mut c = Client::connect_via(
+                &*cluster.client_host,
+                cluster.addrs[i],
+                id,
+                0,
+                Arc::clone(&registry),
+            )
+            .unwrap();
+            c.subscribe(schema, "n >= 0").unwrap();
+            c
+        })
+        .collect();
+    let _idle: Vec<Client> = churner_ids
+        .iter()
+        .zip(CHURN_BROKERS)
+        .map(|(&id, b)| {
+            Client::connect_via(
+                &*cluster.client_host,
+                cluster.addrs[b],
+                id,
+                0,
+                Arc::clone(&registry),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut publisher = Client::connect_via(
+        &*cluster.client_host,
+        cluster.addrs[0],
+        publisher_id,
+        0,
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    cluster.wait("stable subscription flood", Duration::from_secs(10), |c| {
+        (0..N_BROKERS).all(|i| c.node(i).stats().subscriptions >= N_BROKERS as u64)
+    })?;
+    cluster.wait("initial link mesh", Duration::from_secs(10), |c| {
+        (0..N_BROKERS).all(|i| c.node(i).stats().connections >= c.baseline_connections(i))
+    })?;
+
+    // Phase B: the seeded schedule, with a harness-side mirror of the
+    // link-state table: per-edge versions plus the active partition give
+    // the expected topology epoch Σ(2·ver + down) every broker must
+    // converge to after each flood.
+    let mut published: Vec<i64> = Vec::new();
+    let mut received: Vec<Vec<i64>> = vec![Vec::new(); N_BROKERS];
+    let mut vers = [0u64; REPAIR_EDGES.len()];
+    let mut dead: Option<usize> = None;
+    let mut partitions = 0u32;
+    let epoch_of = |vers: &[u64; REPAIR_EDGES.len()], dead: Option<usize>| -> u64 {
+        vers.iter()
+            .enumerate()
+            .map(|(e, &v)| 2 * v + u64::from(dead == Some(e)))
+            .sum()
+    };
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Publish => {
+                let value = VALUE_BASE + published.len() as i64;
+                publisher
+                    .publish(&tick(&registry, value))
+                    .map_err(|e| format!("op {step}: publish failed: {e}"))?;
+                published.push(value);
+            }
+            Op::PartitionLink { edge } => {
+                if dead.is_some() {
+                    continue; // see Op::PartitionLink docs
+                }
+                repair_quiesce(
+                    &cluster,
+                    &mut stable,
+                    &mut received,
+                    &published,
+                    dead,
+                    &format!("op {step} pre-partition"),
+                )?;
+                let (a, b) = REPAIR_EDGES[edge];
+                cluster
+                    .net
+                    .kill_link(cluster.hosts[a].ip(), cluster.hosts[b].ip());
+                vers[edge] += 1;
+                dead = Some(edge);
+                partitions += 1;
+                let expected = epoch_of(&vers, dead);
+                cluster.wait(
+                    &format!("op {step}: LinkDown repair convergence (epoch {expected})"),
+                    Duration::from_secs(30),
+                    |c| (0..N_BROKERS).all(|i| c.node(i).stats().topology_epoch == expected),
+                )?;
+            }
+            Op::HealLink { edge } => {
+                if dead != Some(edge) {
+                    continue; // see Op::HealLink docs
+                }
+                repair_quiesce(
+                    &cluster,
+                    &mut stable,
+                    &mut received,
+                    &published,
+                    dead,
+                    &format!("op {step} pre-heal"),
+                )?;
+                let (a, b) = REPAIR_EDGES[edge];
+                cluster
+                    .net
+                    .revive_link(cluster.hosts[a].ip(), cluster.hosts[b].ip());
+                vers[edge] += 1;
+                dead = None;
+                let expected = epoch_of(&vers, dead);
+                cluster.wait(
+                    &format!("op {step}: LinkUp repair convergence (epoch {expected})"),
+                    Duration::from_secs(30),
+                    |c| (0..N_BROKERS).all(|i| c.node(i).stats().topology_epoch == expected),
+                )?;
+            }
+            Op::Settle { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            // Tree-model ops are never part of repair schedules.
+            _ => continue,
+        }
+    }
+
+    // Phase C: converge and probe *through* the repaired topology.
+    repair_quiesce(
+        &cluster,
+        &mut stable,
+        &mut received,
+        &published,
+        dead,
+        "phase C",
+    )?;
+    cluster.wait("subscription convergence", Duration::from_secs(30), |c| {
+        (0..N_BROKERS).all(|i| c.node(i).stats().subscriptions == N_BROKERS as u64)
+    })?;
+
+    // The probe oracle over the *surviving* graph: the same excluded-
+    // edge recompute the brokers ran, so the expected per-broker deltas
+    // follow the repaired trees when a partition is active.
+    let excluded: Vec<(BrokerId, BrokerId)> = dead
+        .iter()
+        .map(|&e| {
+            let (a, b) = REPAIR_EDGES[e];
+            (cluster.brokers[a], cluster.brokers[b])
+        })
+        .collect();
+    let oracle_fabric = cluster
+        .fabric
+        .rebuild_excluding(&excluded)
+        .map_err(|e| format!("oracle fabric rebuild failed: {e}"))?;
+    let oracle_spaces: Vec<LinkSpace> = cluster
+        .brokers
+        .iter()
+        .map(|&b| LinkSpace::build(oracle_fabric.network(), oracle_fabric.forest(), b))
+        .collect();
+    let oracle_tree = oracle_fabric.tree_for(cluster.brokers[0]).unwrap();
+    let mut oracle_live: HashMap<SubscriptionId, Subscription> = HashMap::new();
+    let tick_schema = registry.get(schema).unwrap().clone();
+    for (i, &id) in stable_ids.iter().enumerate() {
+        let sid = SubscriptionId::new(1 + i as u32);
+        oracle_live.insert(
+            sid,
+            Subscription::new(
+                sid,
+                SubscriberId::new(cluster.brokers[i], id),
+                parse_predicate(&tick_schema, "n >= 0").unwrap(),
+            ),
+        );
+    }
+
+    let before: Vec<_> = (0..N_BROKERS).map(|i| cluster.node(i).stats()).collect();
+    let probes: Vec<i64> = (0..=5).collect();
+    let mut expected_deltas = [(0u64, 0u64); N_BROKERS];
+    for &p in &probes {
+        let event = tick(&registry, p);
+        for (i, d) in probe_flood(
+            &oracle_fabric,
+            &oracle_spaces,
+            &cluster.brokers,
+            &oracle_live,
+            &event,
+            oracle_tree,
+        )
+        .into_iter()
+        .enumerate()
+        {
+            expected_deltas[i].0 += d.0;
+            expected_deltas[i].1 += d.1;
+        }
+        publisher
+            .publish(&event)
+            .map_err(|e| format!("probe publish failed: {e}"))?;
+    }
+
+    let mut expected_stable = published.clone();
+    expected_stable.extend(&probes);
+    for i in 0..N_BROKERS {
+        drain_into(
+            &mut stable[i],
+            &mut received[i],
+            expected_stable.len(),
+            &format!("stable subscriber {i}"),
+        )?;
+        ensure!(
+            received[i] == expected_stable,
+            "stable subscriber {i} diverged on the probe sequence:\n got {:?}\nwant {:?}",
+            received[i],
+            expected_stable
+        );
+    }
+    for (i, client) in stable.iter_mut().enumerate() {
+        assert_quiet(client, &format!("stable subscriber {i}"))?;
+    }
+
+    cluster.wait("probe quiescence", Duration::from_secs(10), |c| {
+        (0..N_BROKERS).all(|i| {
+            let s = c.node(i).stats();
+            s.queued_frames == 0 && s.queued_bytes == 0
+        })
+    })?;
+    for i in 0..N_BROKERS {
+        let after = cluster.node(i).stats();
+        let fwd = after.forwarded - before[i].forwarded;
+        let del = after.delivered - before[i].delivered;
+        ensure!(
+            (fwd, del) == expected_deltas[i],
+            "broker {i} probe counters diverged from the repaired-fabric oracle: \
+             forwarded/delivered got ({fwd}, {del}) want {:?}",
+            expected_deltas[i]
+        );
+    }
+
+    // Repair accounting: every partition was detected by the dead
+    // edge's dialer (escalation, not an operator call), every broker
+    // flipped at least once per flood, and the final epoch agrees with
+    // the harness's link-state mirror everywhere.
+    if partitions > 0 {
+        let initiated: u64 = (0..N_BROKERS)
+            .map(|i| cluster.node(i).stats().repairs_initiated)
+            .sum();
+        ensure!(
+            initiated >= 1,
+            "no broker escalated a dead link into a repair across {partitions} partitions"
+        );
+        for i in 0..N_BROKERS {
+            let flips = cluster.node(i).stats().epoch_flips;
+            ensure!(flips >= 1, "broker {i} never flipped its topology epoch");
+        }
+    }
+    let final_epoch = epoch_of(&vers, dead);
+    for i in 0..N_BROKERS {
+        let e = cluster.node(i).stats().topology_epoch;
+        ensure!(
+            e == final_epoch,
+            "broker {i} settled at epoch {e}, the link-state mirror says {final_epoch}"
+        );
+    }
+
+    // Leak checks at quiescence.
+    for i in 0..N_BROKERS {
+        let s = cluster.node(i).stats();
+        ensure!(
+            s.dropped_spool_overflow == 0,
+            "broker {i} dropped {} spooled frames",
+            s.dropped_spool_overflow
+        );
+        ensure!(
+            s.protocol_errors == 0,
+            "broker {i} counted {} protocol errors",
+            s.protocol_errors
+        );
+        ensure!(
+            s.evicted_slow_consumers == 0 && s.peer_overflow_disconnects == 0,
+            "broker {i} evicted connections under a workload that cannot overflow"
+        );
+    }
+
+    let mut trace = format!("seed={seed} epoch={final_epoch}\n");
+    for op in ops {
+        trace.push_str(&format!("{op:?}\n"));
+    }
+    trace.push_str(&format!("published={published:?}\n"));
+    for (i, got) in received.iter().enumerate() {
+        trace.push_str(&format!("stable{i}={got:?}\n"));
+    }
+
+    for node in cluster.nodes.iter_mut().filter_map(Option::take) {
+        node.shutdown();
+    }
+    Ok(trace)
+}
+
 /// Greedy ddmin-style shrinker: repeatedly removes chunks (halving down
 /// to single ops) while the schedule keeps failing.
 fn shrink(ops: &[Op], fails: impl Fn(&[Op]) -> Result<(), String>) -> Vec<Op> {
@@ -963,12 +1413,39 @@ fn seeded_crash_model() {
     let ops = crash_schedule(seed, 30);
     if let Err(err) = run_model(seed, &ops, Some(cut)) {
         let minimal = shrink(&ops, |o| run_model(seed, o, Some(cut)).map(|_| ()));
-        let replay = run_model(seed, &minimal, Some(cut)).err().unwrap_or_default();
+        let replay = run_model(seed, &minimal, Some(cut))
+            .err()
+            .unwrap_or_default();
         panic!(
             "crash model failed (seed {seed}, {cut:?}): {err}\n\
              minimal failing schedule ({} ops): {minimal:#?}\n\
              minimal-schedule failure: {replay}\n\
              replay with SIMNET_SEED={seed} SIMNET_CUT=<mode>",
+            minimal.len()
+        );
+    }
+}
+
+/// The repair model: kill any single cycle edge of a redundant
+/// 5-broker graph *permanently* and every matching subscriber must
+/// still get every event exactly once into routing — the dead edge's
+/// dialer escalates into a `LinkDown` flood, forests recompute over the
+/// surviving graph, and routing cuts over under a new topology epoch
+/// (DESIGN.md §15). The probe oracle runs over the repaired fabric, so
+/// the exact forwarded/delivered accounting proves the cutover rather
+/// than assuming it. CI runs the 8-seed matrix via `SIMNET_SEED`.
+#[test]
+fn seeded_repair_model() {
+    let seed = seed_from_env("SIMNET_SEED", 42);
+    let ops = repair_schedule(seed, 24);
+    if let Err(err) = run_repair(seed, &ops) {
+        let minimal = shrink(&ops, |o| run_repair(seed, o).map(|_| ()));
+        let replay = run_repair(seed, &minimal).err().unwrap_or_default();
+        panic!(
+            "repair model failed (seed {seed}): {err}\n\
+             minimal failing schedule ({} ops): {minimal:#?}\n\
+             minimal-schedule failure: {replay}\n\
+             replay with SIMNET_SEED={seed}",
             minimal.len()
         );
     }
@@ -1133,4 +1610,137 @@ fn resync_invalidates_match_cache() {
     );
     node_a.shutdown();
     node_b.shutdown();
+}
+
+/// Spool re-homing across a repair, end to end on a triangle: an event
+/// spooled toward a dead direct neighbor must be re-forwarded down the
+/// repaired tree (here the two-hop detour through the middle broker)
+/// when the `LinkDown` flood flips the publisher's broker — not wait
+/// forever for a redial that can never succeed. Pins the repair
+/// counters along the way: the dead edge's dialer initiates exactly one
+/// repair, every broker flips its epoch once, and the re-homing broker
+/// counts the rerouted frame.
+#[test]
+fn repair_rehomes_spooled_frames_across_the_new_tree() {
+    let mut builder = NetworkBuilder::new();
+    let a = builder.add_broker();
+    let b = builder.add_broker();
+    let c = builder.add_broker();
+    builder.connect(a, b, 5.0).unwrap();
+    builder.connect(b, c, 5.0).unwrap();
+    builder.connect(a, c, 5.0).unwrap();
+    let pub_client = builder.add_client(a).unwrap();
+    let sub_client = builder.add_client(c).unwrap();
+    let fabric = RoutingFabric::new_all_roots(builder.build().unwrap()).unwrap();
+    let registry = registry();
+
+    let net = SimNet::new(3);
+    let hosts: Vec<Arc<SimHost>> = (0..3).map(|_| Arc::new(net.host())).collect();
+    let client_host = Arc::new(net.host());
+    let start = |broker, host: &Arc<SimHost>, port| {
+        let mut config = BrokerConfig::localhost(broker, fabric.clone(), Arc::clone(&registry));
+        config.listen = SocketAddr::new(host.ip(), port);
+        config.transport = Arc::clone(host) as Arc<dyn linkcast_broker::Transport>;
+        config.gc_interval = Duration::from_millis(50);
+        config.heartbeat_interval = Duration::from_millis(100);
+        config.repair_after = 2;
+        BrokerNode::start(config).unwrap()
+    };
+    let node_a = start(a, &hosts[0], 7301);
+    let node_b = start(b, &hosts[1], 7302);
+    let node_c = start(c, &hosts[2], 7303);
+    // The higher-numbered endpoint of each edge supervises the dial, so
+    // the (a, c) edge's failure detector lives at C.
+    node_b.connect_to_persistent(a, node_a.addr());
+    node_c.connect_to_persistent(b, node_b.addr());
+    node_c.connect_to_persistent(a, node_a.addr());
+    let wait = |what: &str, done: &mut dyn FnMut() -> bool| {
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while !done() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    wait("triangle mesh", &mut || {
+        node_a.stats().connections >= 2
+            && node_b.stats().connections >= 2
+            && node_c.stats().connections >= 2
+    });
+
+    let mut publisher = Client::connect_via(
+        &*client_host,
+        node_a.addr(),
+        pub_client,
+        0,
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    let mut subscriber = Client::connect_via(
+        &*client_host,
+        node_c.addr(),
+        sub_client,
+        0,
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    subscriber.subscribe(SchemaId::new(0), "n >= 0").unwrap();
+    wait("subscription flood", &mut || {
+        node_a.stats().subscriptions == 1
+            && node_b.stats().subscriptions == 1
+            && node_c.stats().subscriptions == 1
+    });
+
+    // Baseline: A's publish tree reaches C over the direct edge.
+    publisher.publish(&tick(&registry, 1)).unwrap();
+    let (_, event) = subscriber.recv(Duration::from_secs(10)).unwrap();
+    assert_eq!(event.value(0).unwrap().as_int().unwrap(), 1);
+    // Let C's cumulative ack flush (GC cadence) so the baseline frame
+    // is trimmed from A's spool — the cut below is then quiescent, and
+    // re-homing cannot resend an already-delivered frame (DESIGN.md
+    // §15's exactly-once-for-quiescent-cuts claim).
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Kill the direct edge, then publish *before* the repair converges:
+    // the frame spools at A toward the dead C.
+    net.kill_link(hosts[0].ip(), hosts[2].ip());
+    wait("cut detected", &mut || {
+        node_a.stats().connections == 2 && node_c.stats().connections == 2
+    });
+    publisher.publish(&tick(&registry, 2)).unwrap();
+
+    // C's dialer escalates into a LinkDown flood (via B); every broker
+    // flips to the repaired forest, and A's flip re-homes the spooled
+    // frame down the detour A → B → C.
+    let (_, event) = subscriber
+        .recv(Duration::from_secs(15))
+        .expect("the repair must re-home the spooled frame down the new tree");
+    assert_eq!(event.value(0).unwrap().as_int().unwrap(), 2);
+    assert!(
+        subscriber.recv(Duration::from_millis(300)).is_err(),
+        "the re-homed frame must arrive exactly once"
+    );
+
+    // One LinkDown statement at version 1: scalar 2·1+1 = 3 everywhere.
+    wait("epoch convergence", &mut || {
+        [&node_a, &node_b, &node_c]
+            .iter()
+            .all(|n| n.stats().topology_epoch == 3)
+    });
+    let (sa, sb, sc) = (node_a.stats(), node_b.stats(), node_c.stats());
+    assert_eq!(
+        sc.repairs_initiated, 1,
+        "the dead edge's dialer (C) initiates the repair"
+    );
+    assert_eq!(sa.repairs_initiated + sb.repairs_initiated, 0);
+    assert!(
+        sa.rerouted_frames >= 1,
+        "A never re-homed the spooled frame"
+    );
+    for (name, s) in [("A", &sa), ("B", &sb), ("C", &sc)] {
+        assert_eq!(s.epoch_flips, 1, "broker {name} must flip exactly once");
+        assert_eq!(s.protocol_errors, 0, "broker {name} saw protocol errors");
+    }
+    node_a.shutdown();
+    node_b.shutdown();
+    node_c.shutdown();
 }
